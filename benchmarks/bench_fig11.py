@@ -1,0 +1,81 @@
+"""Figure 11 — CFG-node growth before and after reduction versus coverage.
+
+Paper shape: the traced graph (before reduction) grows with coverage and
+``go`` is the outlier (+184% at CA = 0.97, +722% at full coverage, vs at
+most +80% for the rest); reduction cuts the growth by roughly an order of
+magnitude (go +70% reduced, others ≤ +10% in the paper).
+"""
+
+from repro.evaluation import CA_SWEEP, format_table, render_series
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import once
+
+
+def compute_fig11(runs):
+    data = {}
+    for name in WORKLOAD_NAMES:
+        run = runs[name]
+        data[name] = [run.graph_sizes(ca) for ca in CA_SWEEP]
+    return data
+
+
+def test_fig11(benchmark, runs, record):
+    data = once(benchmark, compute_fig11, runs)
+    header = ["Program"] + [f"CA={ca:g}" for ca in CA_SWEEP]
+    before_rows = []
+    after_rows = []
+    for name, sizes in data.items():
+        orig = sizes[0][0]
+        before_rows.append(
+            [name] + [f"{(hpg - orig) / orig:+.0%}" for (_, hpg, _) in sizes]
+        )
+        after_rows.append(
+            [name] + [f"{(red - orig) / orig:+.0%}" for (_, _, red) in sizes]
+        )
+    record(
+        "fig11",
+        format_table(
+            header,
+            before_rows,
+            title="Figure 11 (a/c): CFG-node growth BEFORE reduction vs coverage",
+        )
+        + "\n\n"
+        + format_table(
+            header,
+            after_rows,
+            title="Figure 11 (b/d): CFG-node growth AFTER reduction vs coverage",
+        )
+        + "\n\n"
+        + render_series(
+            {
+                name: [(hpg - sizes[0][0]) / sizes[0][0] for (_, hpg, _) in sizes]
+                for name, sizes in data.items()
+            },
+            [f"{ca:g}" for ca in CA_SWEEP],
+            title="shape (before reduction):",
+        ),
+    )
+
+    growth_before = {}
+    growth_after = {}
+    for name, sizes in data.items():
+        orig = sizes[0][0]
+        # Index 4 is CA = 0.97 in the sweep.
+        growth_before[name] = (sizes[4][1] - orig) / orig
+        growth_after[name] = (sizes[4][2] - orig) / orig
+        # Reduction never grows the graph; coverage growth is monotone.
+        for (_, hpg, red) in sizes:
+            assert red <= hpg
+        hpgs = [s[1] for s in sizes]
+        assert hpgs == sorted(hpgs), name
+
+    # go is the growth outlier, as in the paper.
+    go_before = growth_before.pop("go95")
+    assert go_before > max(growth_before.values())
+    go_after = growth_after.pop("go95")
+    assert go_after >= max(growth_after.values())
+    # Reduction removes a substantial share of the duplication everywhere.
+    for name in growth_after:
+        if growth_before[name] > 0:
+            assert growth_after[name] < growth_before[name]

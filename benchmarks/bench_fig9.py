@@ -1,0 +1,53 @@
+"""Figure 9 — increase in dynamic instructions with constant results versus
+hot-path coverage (baseline: CA = 0, plain Wegman–Zadek).
+
+Paper shape: the curve rises with coverage; most of the benefit arrives
+before full coverage (virtually all of it by CA = 0.97); improvements at
+full coverage range from small to several percent on SPEC-sized programs
+(our kernels are tiny and constant-rich, so absolute percentages are much
+larger — see EXPERIMENTS.md).
+"""
+
+from repro.evaluation import CA_SWEEP, format_table, render_series
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import once
+
+
+def compute_fig9(runs):
+    series = {}
+    for name in WORKLOAD_NAMES:
+        run = runs[name]
+        series[name] = [
+            run.aggregate_classification(ca).constant_increase
+            for ca in CA_SWEEP
+        ]
+    return series
+
+
+def test_fig9(benchmark, runs, record):
+    series = once(benchmark, compute_fig9, runs)
+    rows = [
+        [name] + [f"{v:+.1%}" for v in values]
+        for name, values in series.items()
+    ]
+    record(
+        "fig9",
+        format_table(
+            ["Program"] + [f"CA={ca:g}" for ca in CA_SWEEP],
+            rows,
+            title=(
+                "Figure 9: increase in dynamic constant instructions vs "
+                "coverage (baseline CA = 0)"
+            ),
+        )
+        + "\n\n"
+        + render_series(
+            series, [f"{ca:g}" for ca in CA_SWEEP], title="shape:"
+        ),
+    )
+    for name, values in series.items():
+        assert values[0] == 0.0, "CA = 0 is the baseline"
+        assert max(values) > 0.0, f"{name} must benefit from qualification"
+        # Most of the benefit by CA = 0.97 (index 4 in the sweep).
+        assert values[4] >= 0.75 * max(values), name

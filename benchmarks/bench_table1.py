@@ -1,0 +1,50 @@
+"""Table 1 — general information about the benchmarks.
+
+Paper columns: Nodes (CFG nodes), Paths (Ball–Larus paths executed in the
+training run), Hot Paths (paths covering 97% of training instructions),
+Compile Time, and Anal. Time (constant propagation at CA = 0).
+
+Paper shape to reproduce: path counts vary by two orders of magnitude with
+``go`` the outlier; hot-path counts are far smaller than executed paths; the
+CA = 0 analysis is cheap everywhere.
+"""
+
+from repro.evaluation import format_table
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import once
+
+
+def compute_table1(runs):
+    rows = []
+    for name in WORKLOAD_NAMES:
+        run = runs[name]
+        rows.append(
+            [
+                name,
+                run.cfg_nodes,
+                run.executed_paths,
+                run.hot_path_count(0.97),
+                f"{run.compile_time * 1000:.1f}ms",
+                f"{run.analysis_time(0.0) * 1000:.1f}ms",
+            ]
+        )
+    return rows
+
+
+def test_table1(benchmark, runs, record):
+    rows = once(benchmark, compute_table1, runs)
+    record(
+        "table1",
+        format_table(
+            ["Program", "Nodes", "Paths", "Hot Paths", "Compile Time", "Anal. Time"],
+            rows,
+            title="Table 1: general information about the benchmarks",
+        ),
+    )
+    # Shape assertions from the paper.
+    by_name = {r[0]: r for r in rows}
+    paths = {name: by_name[name][2] for name in WORKLOAD_NAMES}
+    assert paths["go95"] == max(paths.values()), "go must execute the most paths"
+    for name in WORKLOAD_NAMES:
+        assert by_name[name][3] <= by_name[name][2], "hot paths <= executed paths"

@@ -1,0 +1,41 @@
+"""Table 2 — effect of path-qualified constant propagation on running time.
+
+Paper columns: Base (seconds after Wegman–Zadek folding), Optimized (after
+path-qualified folding at CA = 0.97, CR = 0.95), Speedup.  Our stand-in for
+seconds is the interpreter's deterministic cycle cost; both builds get the
+same DCE and profile-guided layout, so the comparison isolates what
+qualification adds.
+
+Paper shape: effects are small (within roughly ±10%) and need not correlate
+perfectly with the number of constants found — duplication itself has a cost
+(extra non-fall-through jumps), which our cost model charges explicitly.
+"""
+
+from repro.evaluation import format_table
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import once
+
+
+def compute_table2(runs):
+    return [runs[name].table2(0.97) for name in WORKLOAD_NAMES]
+
+
+def test_table2(benchmark, runs, record):
+    table = once(benchmark, compute_table2, runs)
+    rows = [
+        [row.name, row.base_cost, row.optimized_cost, f"{row.speedup:.3f}x"]
+        for row in table
+    ]
+    record(
+        "table2",
+        format_table(
+            ["Program", "Base (cycles)", "Optimized (cycles)", "Speedup"],
+            rows,
+            title="Table 2: running cost after constant propagation (ref input)",
+        ),
+    )
+    for row in table:
+        # Behaviour equality is asserted inside table2(); here we check the
+        # magnitudes stay in the paper's "small effect" regime.
+        assert 0.7 < row.speedup < 2.0, row

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures.  The
+seven workload runs are built once per session and shared; per-coverage
+pipeline results are cached inside each :class:`WorkloadRun`.
+
+Every bench both *prints* its table (run pytest with ``-s`` to see it
+inline) and writes it under ``benchmarks/results/`` so the artifacts survive
+the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.evaluation import WorkloadRun
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runs() -> dict[str, WorkloadRun]:
+    """All seven profiled workloads (the expensive shared fixture)."""
+    return {name: WorkloadRun(get_workload(name)) for name in WORKLOAD_NAMES}
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a rendered table under benchmarks/results/ and print it."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+def once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under pytest-benchmark's timer.
+
+    The experiment computations are deterministic and expensive, so a single
+    measured round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

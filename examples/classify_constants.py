@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Classify a workload's dynamic instructions (Figures 10 and 13).
+
+Runs the full pipeline on one workload and prints the Venn-diagram regions
+of the paper's Figure 13: Local, Iterative, Identical, Variable, Mixed,
+Unknowable — all weighted by the ref input's dynamic executions — followed
+by the per-routine detail and the headline improvement ratio.
+
+Run:  python examples/classify_constants.py [workload]
+      (default: go95)
+"""
+
+import sys
+
+from repro.evaluation import WorkloadRun, format_table
+from repro.stats import render_venn, venn_summary
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "go95"
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+
+    run = WorkloadRun(get_workload(name))
+    agg = run.aggregate_classification(1.0)
+
+    print(f"=== {name}: dynamic instruction classification at CA = 1 ===\n")
+    print(render_venn(venn_summary(agg)))
+
+    ratio = agg.improvement_ratio
+    print(
+        f"\nNon-local constants: Wegman-Zadek {agg.iterative_nonlocal}, "
+        f"path-qualified {agg.qualified_nonlocal} "
+        f"({'inf' if ratio == float('inf') else f'{ratio:.1f}x'} — "
+        "the paper reports 2-112x)"
+    )
+
+    print("\n=== per-routine detail ===")
+    rows = []
+    for fn_name, c in run.classification(1.0).items():
+        rows.append(
+            [
+                fn_name,
+                c.total_dynamic,
+                c.local,
+                c.iterative_nonlocal,
+                c.qualified_nonlocal,
+                c.variable,
+                c.mixed,
+                c.unknowable,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "routine",
+                "dynamic",
+                "local",
+                "WZ nonlocal",
+                "qualified",
+                "variable",
+                "mixed",
+                "unknowable",
+            ],
+            rows,
+        )
+    )
+
+    print(
+        "\nReading: 'variable' constants take different values at different"
+        "\nduplicates (only duplication reveals them); 'mixed' are constant"
+        "\non some hot paths and unknown elsewhere — the paper found most"
+        "\nqualified constants fall in that region."
+    )
+
+
+if __name__ == "__main__":
+    main()

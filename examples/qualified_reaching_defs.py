@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Path qualification applied to a different data-flow problem.
+
+The paper notes "the technique can be applied to any data-flow problem".
+Because our analyses run against a GraphView, *any* framework instance runs
+on a hot-path graph unchanged.  This example runs reaching definitions on
+the running example's CFG and on its hot-path graph and shows the payoff:
+on the original CFG, the use of ``a`` in H sees two reaching definitions
+(from C and from D); on the hot-path graph, every hot duplicate of H sees
+exactly one — the analysis knows *which* definition flows along each hot
+path, which is what lets the constant propagator give ``x = a + b``
+different values at different duplicates.
+
+Run:  python examples/qualified_reaching_defs.py
+"""
+
+from repro.dataflow import GraphView, solve
+from repro.dataflow.problems import ReachingDefinitions
+from repro.interp import Interpreter
+from repro.core import run_qualified
+from repro.workloads.running_example import (
+    running_example_module,
+    training_run_inputs,
+)
+
+
+def defs_of_var(defs, var):
+    return sorted(str(d[0]) for d in defs if d[2] == var)
+
+
+def main() -> None:
+    module = running_example_module()
+    fn = module.function("work")
+    activations, inputs = training_run_inputs()
+    run = Interpreter(module).run([activations], inputs)
+    qa = run_qualified(fn, run.profiles["work"], ca=1.0)
+
+    # Unqualified reaching definitions.
+    view = GraphView.from_function(fn)
+    problem = ReachingDefinitions(fn.params, view.cfg.entry)
+    flat = solve(problem, view)
+    print("=== Reaching definitions of 'a' at H, original CFG ===")
+    print(" ", defs_of_var(flat.value_in["H"], "a"))
+    print("  -> the definitions from C (a=2) and D (a=1) merge: the use of")
+    print("     'a' in H cannot be resolved to either.")
+
+    # Qualified: the same problem instance, solved over the hot-path graph.
+    hpg_view = qa.hpg.view()
+    qualified = solve(
+        ReachingDefinitions(fn.params, hpg_view.cfg.entry), hpg_view
+    )
+    print("\n=== Reaching definitions of 'a' at each duplicate of H ===")
+    for dup in qa.hpg.duplicates("H"):
+        reaching = defs_of_var(qualified.value_in[dup], "a")
+        marker = " <- unique!" if len(reaching) == 1 else ""
+        print(f"  H@q{dup[1]}: {reaching}{marker}")
+
+    singles = sum(
+        1
+        for dup in qa.hpg.duplicates("H")
+        if len(defs_of_var(qualified.value_in[dup], "a")) == 1
+    )
+    print(
+        f"\n{singles} of {len(qa.hpg.duplicates('H'))} duplicates of H see a "
+        "single reaching definition of 'a';"
+    )
+    print("on the original CFG, zero do.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Run the full paper pipeline on one of the SPEC95-like workloads.
+
+Compiles a MiniC workload, profiles its train input, performs path-qualified
+constant propagation at the paper's settings (CA = 0.97, CR = 0.95), and
+reports the paper's headline metrics on the ref input: non-local constant
+improvement over Wegman–Zadek, graph growth before and after reduction, and
+the base-vs-optimized running cost.
+
+Run:  python examples/spec_workload_pipeline.py [workload]
+      (default: m88ksim95; see repro.workloads.WORKLOAD_NAMES)
+"""
+
+import sys
+
+from repro.evaluation import WorkloadRun, format_table
+from repro.workloads import WORKLOAD_NAMES, get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "m88ksim95"
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+
+    print(f"=== {name} ===")
+    run = WorkloadRun(get_workload(name))
+    print(f"description        : {run.workload.description}")
+    print(f"CFG nodes          : {run.cfg_nodes}")
+    print(f"train instructions : {run.train.instr_count}")
+    print(f"ref instructions   : {run.ref.instr_count}")
+    print(f"executed BL paths  : {run.executed_paths}")
+    print(f"hot paths (97%)    : {run.hot_path_count(0.97)}")
+
+    orig, hpg, red = run.graph_sizes(0.97)
+    print("\n--- graph growth at CA = 0.97 ---")
+    print(f"original -> traced -> reduced: {orig} -> {hpg} -> {red} vertices")
+
+    agg = run.aggregate_classification(0.97)
+    print("\n--- constants on the ref input ---")
+    rows = [
+        ["local", agg.local],
+        ["non-local, Wegman-Zadek", agg.iterative_nonlocal],
+        ["non-local, path-qualified", agg.qualified_nonlocal],
+        ["  of which Variable", agg.variable],
+        ["  of which Identical (new)", agg.identical_extra],
+        ["  of which mixed const/unknown", agg.mixed],
+        ["unknowable (tainted)", agg.unknowable],
+    ]
+    print(format_table(["category", "dynamic instructions"], rows))
+    print(f"\nimprovement over WZ : {agg.improvement_ratio:.1f}x "
+          "(the paper reports 2-112x across SPEC95)")
+    print(f"constant increase   : {agg.constant_increase:+.1%} "
+          "(paper: +1-7% on full-size benchmarks)")
+
+    row = run.table2(0.97)
+    print("\n--- running cost on ref (Table 2 analogue) ---")
+    print(f"base (WZ folding)      : {row.base_cost}")
+    print(f"optimized (qualified)  : {row.optimized_cost}")
+    print(f"speedup                : {row.speedup:.3f}x")
+
+    per_fn = run.qualified(0.97)
+    print("\n--- per-routine detail ---")
+    rows = []
+    for fn_name, qa in per_fn.items():
+        rows.append(
+            [
+                fn_name,
+                qa.original_size,
+                qa.hpg_size,
+                qa.reduced_size,
+                len(qa.hot_paths),
+                f"{qa.analysis_time * 1000:.1f}ms",
+            ]
+        )
+    print(
+        format_table(
+            ["routine", "blocks", "traced", "reduced", "hot paths", "time"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

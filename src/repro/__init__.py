@@ -1,0 +1,88 @@
+"""repro — a reproduction of Ammons & Larus, *Improving Data-flow Analysis
+with Path Profiles* (PLDI 1998).
+
+The package implements the paper's full pipeline and every substrate it
+depends on:
+
+* :mod:`repro.ir` — a three-address IR with CFGs (the low-SUIF stand-in);
+* :mod:`repro.frontend` — the MiniC language that workloads are written in;
+* :mod:`repro.interp` — a deterministic interpreter with cost accounting and
+  built-in Ball–Larus profiling;
+* :mod:`repro.profiles` — Ball–Larus path numbering, path profiles, and
+  hot-path selection;
+* :mod:`repro.automaton` — the Aho–Corasick qualification automaton and
+  partition refinement;
+* :mod:`repro.dataflow` — the monotone framework, iterative solver, and
+  Wegman–Zadek conditional constant propagation;
+* :mod:`repro.core` — the paper's contribution: data-flow tracing, hot-path
+  graphs, reduction, profile translation, and the end-to-end pipeline;
+* :mod:`repro.opt` — materialization, constant folding, DCE, block layout;
+* :mod:`repro.stats` — constant classification (the paper's Figures 10/13);
+* :mod:`repro.workloads` / :mod:`repro.evaluation` — the synthetic SPEC95
+  workloads and the experiment harness behind every table and figure.
+
+Quick start::
+
+    from repro import compile_program, Interpreter, run_qualified
+
+    module = compile_program(source)
+    run = Interpreter(module).run(args, inputs)      # collects a path profile
+    qa = run_qualified(module.function("kernel"),
+                       run.profiles["kernel"], ca=0.97, cr=0.95)
+"""
+
+from .core import (
+    HotPathGraph,
+    QualifiedAnalysis,
+    ReducedGraph,
+    reduce_hpg,
+    reduce_profile,
+    run_qualified,
+    trace,
+    translate_profile,
+)
+from .dataflow import ConstEnv, GraphView, analyze, solve
+from .evaluation import Workload, WorkloadRun
+from .frontend import compile_program
+from .interp import Interpreter, run_module
+from .ir import Cfg, Function, IRBuilder, Module, parse_module
+from .profiles import (
+    BallLarusNumbering,
+    BLPath,
+    PathProfile,
+    recording_edges,
+    select_hot_paths,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze",
+    "BallLarusNumbering",
+    "BLPath",
+    "Cfg",
+    "compile_program",
+    "ConstEnv",
+    "Function",
+    "GraphView",
+    "HotPathGraph",
+    "Interpreter",
+    "IRBuilder",
+    "Module",
+    "parse_module",
+    "PathProfile",
+    "QualifiedAnalysis",
+    "recording_edges",
+    "reduce_hpg",
+    "reduce_profile",
+    "ReducedGraph",
+    "run_module",
+    "run_qualified",
+    "select_hot_paths",
+    "solve",
+    "trace",
+    "translate_profile",
+    "Workload",
+    "WorkloadRun",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Qualification automata (§3) and partition refinement (§5 step 3)."""
+
+from .aho_corasick import AhoCorasick
+from .minimize import hopcroft_refine, moore_refine, quotient_map
+from .qualification import DOT, QualificationAutomaton
+from .trie import Trie
+
+__all__ = [
+    "AhoCorasick",
+    "DOT",
+    "hopcroft_refine",
+    "moore_refine",
+    "QualificationAutomaton",
+    "quotient_map",
+    "Trie",
+]

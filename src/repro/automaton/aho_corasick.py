@@ -1,0 +1,104 @@
+"""The general Aho–Corasick automaton, with BFS-constructed failure links.
+
+The paper's qualification automaton exploits Theorem 2: for keyword sets
+derived from *trimmed Ball–Larus paths*, the failure function is trivial
+(``q•`` on a recording edge, ``qε`` otherwise), so only trie edges need
+storing.  This module implements the *textbook* construction [Aho94] for
+arbitrary keyword sets, for two purposes:
+
+* an executable proof of Theorem 2 — the test suite checks that on trimmed
+  hot-path keywords the general automaton's transition function coincides
+  exactly with :class:`~repro.automaton.qualification.QualificationAutomaton`;
+* an ablation baseline measuring what the trivial failure function saves
+  (``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+from .trie import Trie
+
+Letter = Hashable
+
+
+class AhoCorasick:
+    """A complete keyword-matching DFA over an explicit alphabet.
+
+    States are trie states; the transition function is built from failure
+    links as in the classic algorithm: ``goto`` if a trie edge matches,
+    otherwise follow failure links until one does (or the root is reached).
+    """
+
+    def __init__(
+        self, keywords: Iterable[Sequence[Letter]], alphabet: Iterable[Letter]
+    ) -> None:
+        self.alphabet = tuple(dict.fromkeys(alphabet))
+        self.trie = Trie()
+        for word in keywords:
+            self.trie.insert(word)
+        self.failure: list[int] = [0] * self.trie.num_states
+        #: States at which some keyword ends, directly or via failure chain.
+        self.output: list[bool] = [
+            self.trie.is_word_end(s) for s in self.trie.states()
+        ]
+        self._build_failure_links()
+
+    @property
+    def root(self) -> int:
+        return self.trie.root
+
+    @property
+    def num_states(self) -> int:
+        return self.trie.num_states
+
+    def _build_failure_links(self) -> None:
+        queue: deque[int] = deque()
+        for child in self.trie.children(self.root).values():
+            self.failure[child] = self.root
+            queue.append(child)
+        while queue:
+            state = queue.popleft()
+            for letter, child in self.trie.children(state).items():
+                queue.append(child)
+                # Walk failure links of `state` looking for a `letter` edge.
+                f = self.failure[state]
+                while f != self.root and self.trie.child(f, letter) is None:
+                    f = self.failure[f]
+                target = self.trie.child(f, letter)
+                self.failure[child] = (
+                    target if target is not None and target != child else self.root
+                )
+                if self.output[self.failure[child]]:
+                    self.output[child] = True
+
+    def transition(self, state: int, letter: Letter) -> int:
+        """The DFA transition: goto edge if present, else failure chain."""
+        while True:
+            child = self.trie.child(state, letter)
+            if child is not None:
+                return child
+            if state == self.root:
+                return self.root
+            state = self.failure[state]
+
+    def run(self, letters: Sequence[Letter]) -> int:
+        """Drive the automaton from the root over ``letters``."""
+        state = self.root
+        for letter in letters:
+            state = self.transition(state, letter)
+        return state
+
+    def matches(self, text: Sequence[Letter]) -> list[tuple[int, int]]:
+        """All keyword occurrences in ``text`` as (end index, state) pairs.
+
+        ``end index`` is the position just past the match.
+        """
+        hits: list[tuple[int, int]] = []
+        state = self.root
+        for i, letter in enumerate(text):
+            state = self.transition(state, letter)
+            if self.output[state]:
+                hits.append((i + 1, state))
+        return hits

@@ -1,0 +1,166 @@
+"""Partition refinement (DFA minimization) for the reduction step.
+
+§5 step 3 of the paper views the hot-path graph as a finite automaton whose
+edges are labelled by original-CFG edges, and refines the compatibility
+partition ``Π`` with "the standard DFA minimization algorithm [Gri73]"
+(Hopcroft, as described by Gries) so the resulting partition ``Π'`` induces a
+well-defined quotient graph: for every class and every label, all members'
+transitions land in one class.  Because refinement only *splits* classes, no
+new entry path can reach a class that couldn't before, which is the paper's
+argument that minimization cannot lower any solution.
+
+Two implementations are provided:
+
+* :func:`hopcroft_refine` — the worklist algorithm with the classic
+  "all but the largest" optimization, O(n log n) splits;
+* :func:`moore_refine` — straightforward signature-based refinement, used as
+  a cross-checking oracle in tests.
+
+Both are deterministic and return classes as tuples in a canonical order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+State = Hashable
+Label = Hashable
+#: transitions(state) -> {label: successor state}
+Transitions = Callable[[State], Mapping[Label, State]]
+
+
+def _normalize(partition: Iterable[Iterable[State]], order: dict[State, int]) -> list[tuple[State, ...]]:
+    classes = [tuple(sorted(block, key=order.__getitem__)) for block in partition]
+    classes = [c for c in classes if c]
+    classes.sort(key=lambda c: order[c[0]])
+    return classes
+
+
+def _check_partition(states: Sequence[State], partition: Iterable[Iterable[State]]) -> None:
+    seen: set[State] = set()
+    count = 0
+    for block in partition:
+        for s in block:
+            if s in seen:
+                raise ValueError(f"state {s!r} appears in two classes")
+            seen.add(s)
+            count += 1
+    if seen != set(states):
+        raise ValueError("partition does not cover exactly the given states")
+
+
+def moore_refine(
+    states: Sequence[State],
+    partition: Iterable[Iterable[State]],
+    transitions: Transitions,
+) -> list[tuple[State, ...]]:
+    """Refine ``partition`` until every class maps each label into a single
+    class.  Simple fixed-point signature refinement (the test oracle)."""
+    _check_partition(states, partition)
+    order = {s: i for i, s in enumerate(states)}
+    classes = _normalize(partition, order)
+    while True:
+        class_of: dict[State, int] = {}
+        for i, block in enumerate(classes):
+            for s in block:
+                class_of[s] = i
+        new_classes: list[tuple[State, ...]] = []
+        changed = False
+        for block in classes:
+            groups: dict[tuple, list[State]] = {}
+            for s in block:
+                sig = tuple(
+                    sorted(
+                        (repr(label), class_of[t])
+                        for label, t in transitions(s).items()
+                    )
+                )
+                groups.setdefault(sig, []).append(s)
+            if len(groups) > 1:
+                changed = True
+            new_classes.extend(tuple(g) for g in groups.values())
+        classes = _normalize(new_classes, order)
+        if not changed:
+            return classes
+
+
+def hopcroft_refine(
+    states: Sequence[State],
+    partition: Iterable[Iterable[State]],
+    transitions: Transitions,
+) -> list[tuple[State, ...]]:
+    """Hopcroft's partition refinement, generalized to partial label maps.
+
+    Returns the coarsest refinement of ``partition`` such that for every
+    class ``C`` and label ``a``, the ``a``-successors of all members of ``C``
+    (when defined) lie in a single class and are defined for the same
+    members.
+    """
+    _check_partition(states, partition)
+    order = {s: i for i, s in enumerate(states)}
+
+    # Inverse transitions: (label, target) -> [sources].
+    inverse: dict[tuple, list[State]] = {}
+    labels: set = set()
+    for s in states:
+        for label, t in transitions(s).items():
+            inverse.setdefault((repr(label), _key(t)), []).append(s)
+            labels.add(repr(label))
+
+    # Classes as lists; class index per state.
+    classes: list[list[State]] = [list(block) for block in _normalize(partition, order)]
+    class_of: dict[State, int] = {}
+    for i, block in enumerate(classes):
+        for s in block:
+            class_of[s] = i
+
+    # Worklist of (class index snapshot contents, label) splitters. We store
+    # frozensets so stale entries still denote the right state set.
+    worklist: list[tuple[frozenset, str]] = []
+    for block in classes:
+        fs = frozenset(block)
+        for label in sorted(labels):
+            worklist.append((fs, label))
+
+    while worklist:
+        splitter_set, label = worklist.pop()
+        # X = states with a `label` transition into the splitter set.
+        x: set[State] = set()
+        for t in splitter_set:
+            x.update(inverse.get((label, _key(t)), ()))
+        if not x:
+            continue
+        # Split every class crossed by X.
+        affected = sorted({class_of[s] for s in x})
+        for ci in affected:
+            block = classes[ci]
+            inside = [s for s in block if s in x]
+            outside = [s for s in block if s not in x]
+            if not inside or not outside:
+                continue
+            # Replace block with `inside`; append `outside` as a new class.
+            classes[ci] = inside
+            new_index = len(classes)
+            classes.append(outside)
+            for s in outside:
+                class_of[s] = new_index
+            smaller = inside if len(inside) <= len(outside) else outside
+            fs = frozenset(smaller)
+            for lab in sorted(labels):
+                worklist.append((fs, lab))
+
+    return _normalize(classes, order)
+
+
+def _key(state: State):
+    return state
+
+
+def quotient_map(classes: Sequence[Sequence[State]]) -> dict[State, State]:
+    """Map each state to its class representative (the first member)."""
+    rep: dict[State, State] = {}
+    for block in classes:
+        head = block[0]
+        for s in block:
+            rep[s] = head
+    return rep

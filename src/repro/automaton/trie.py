@@ -1,0 +1,104 @@
+"""Retrieval trees (tries) over arbitrary hashable letters.
+
+The Aho–Corasick construction of §3 starts from the retrieval tree of the
+trimmed hot paths; keywords here are sequences of CFG edges.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+Letter = Hashable
+
+
+class Trie:
+    """A retrieval tree with integer states; state 0 is the root.
+
+    Each root-to-node path spells a distinct prefix of some inserted keyword,
+    and every keyword prefix has exactly one such path — the two defining
+    properties quoted in the paper.
+    """
+
+    def __init__(self) -> None:
+        self._children: list[dict[Letter, int]] = [{}]
+        self._word_end: list[bool] = [False]
+        self._depth: list[int] = [0]
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    @property
+    def num_states(self) -> int:
+        return len(self._children)
+
+    def insert(self, word: Sequence[Letter], mark_end: bool = True) -> int:
+        """Insert a keyword; returns the state at which it ends.
+
+        With ``mark_end=False`` the path is created (or found) but the final
+        state is not marked as a keyword end.
+        """
+        state = 0
+        for letter in word:
+            nxt = self._children[state].get(letter)
+            if nxt is None:
+                nxt = len(self._children)
+                self._children[state][letter] = nxt
+                self._children.append({})
+                self._word_end.append(False)
+                self._depth.append(self._depth[state] + 1)
+            state = nxt
+        if mark_end:
+            self._word_end[state] = True
+        return state
+
+    def child(self, state: int, letter: Letter) -> int | None:
+        """The child of ``state`` along ``letter``, or None."""
+        return self._children[state].get(letter)
+
+    def children(self, state: int) -> dict[Letter, int]:
+        """All children of ``state`` (letter -> state)."""
+        return dict(self._children[state])
+
+    def is_word_end(self, state: int) -> bool:
+        """True if a whole keyword ends at ``state``."""
+        return self._word_end[state]
+
+    def depth(self, state: int) -> int:
+        """Distance of ``state`` from the root."""
+        return self._depth[state]
+
+    def contains(self, word: Sequence[Letter]) -> bool:
+        """True if ``word`` was inserted as a keyword."""
+        state = 0
+        for letter in word:
+            nxt = self._children[state].get(letter)
+            if nxt is None:
+                return False
+            state = nxt
+        return self._word_end[state]
+
+    def states(self) -> Iterator[int]:
+        return iter(range(len(self._children)))
+
+    def word_of(self, state: int) -> tuple[Letter, ...]:
+        """The prefix spelled by the root-to-``state`` path.
+
+        O(total trie size); intended for debugging and tests.
+        """
+        path: list[Letter] = []
+        target = state
+        found = self._search_word(0, target, path)
+        if not found:
+            raise KeyError(f"no state {state}")
+        return tuple(path)
+
+    def _search_word(self, state: int, target: int, path: list[Letter]) -> bool:
+        if state == target:
+            return True
+        for letter, child in self._children[state].items():
+            path.append(letter)
+            if self._search_word(child, target, path):
+                return True
+            path.pop()
+        return False

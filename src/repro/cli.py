@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Mirrors the paper's two-pass tooling (PP instruments and profiles; PW
+analyzes and optimizes) as subcommands::
+
+    python -m repro compile  prog.mc                 # MiniC -> textual IR
+    python -m repro run      prog.mc --args 10 --input data=1,2,3 \\
+                             --save-profile prog.prof
+    python -m repro optimize prog.mc --profile prog.prof --ca 0.97 --cr 0.95
+    python -m repro dot      prog.mc --function work --profile prog.prof
+    python -m repro report   m88ksim95
+
+All subcommands are pure functions of their inputs, so they are unit-tested
+by invoking :func:`main` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import run_qualified
+from .frontend import compile_program
+from .interp import Interpreter
+from .ir import validate_module
+from .ir.dot import cfg_to_dot, traced_to_dot
+from .opt.driver import optimize_module
+from .profiles.serialize import dumps_profiles, loads_profiles
+
+
+def _parse_inputs(pairs: Sequence[str]) -> dict[str, list[int]]:
+    inputs: dict[str, list[int]] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--input expects name=v1,v2,...; got {pair!r}")
+        name, _, values = pair.partition("=")
+        inputs[name] = [int(v) for v in values.split(",") if v != ""]
+    return inputs
+
+
+def _load_module(path: str):
+    with open(path) as f:
+        module = compile_program(f.read())
+    validate_module(module)
+    return module
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    module = _load_module(args.file)
+    text = str(module) + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _load_module(args.file)
+    interp = Interpreter(module, profile_mode="bl")
+    result = interp.run(args.args, _parse_inputs(args.input))
+    for values in result.output:
+        print(" ".join(str(v) for v in values))
+    print(f"# return value : {result.return_value}", file=sys.stderr)
+    print(f"# instructions : {result.instr_count}", file=sys.stderr)
+    print(f"# cost (cycles): {result.cost}", file=sys.stderr)
+    if args.save_profile:
+        with open(args.save_profile, "w") as f:
+            f.write(dumps_profiles(result.profiles))
+        print(f"# profile saved to {args.save_profile}", file=sys.stderr)
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    module = _load_module(args.file)
+    with open(args.profile) as f:
+        profiles = loads_profiles(f.read())
+
+    optimized, reports = optimize_module(
+        module, profiles, ca=args.ca, cr=args.cr
+    )
+    text = str(optimized) + "\n"
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+    for report in reports:
+        print(
+            f"# {report.name}: {report.blocks_before} -> "
+            f"{report.blocks_after} blocks, {report.hot_paths} hot paths",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from .ir import Cfg
+
+    module = _load_module(args.file)
+    fn = module.functions.get(args.function)
+    if fn is None:
+        raise SystemExit(f"no function {args.function!r} in {args.file}")
+    if args.profile:
+        with open(args.profile) as f:
+            profiles = loads_profiles(f.read())
+        profile = profiles.get(args.function)
+        if profile is None:
+            raise SystemExit(f"profile has no routine {args.function!r}")
+        qa = run_qualified(fn, profile, ca=args.ca, cr=args.cr)
+        if not qa.traced:
+            sys.stdout.write(cfg_to_dot(qa.cfg, name=args.function) + "\n")
+            return 0
+        graph = qa.reduced if args.reduced else qa.hpg
+        weights = qa.reduction.weights if args.reduced else None
+        sys.stdout.write(
+            traced_to_dot(graph, name=args.function, weights=weights) + "\n"
+        )
+    else:
+        sys.stdout.write(
+            cfg_to_dot(Cfg.from_function(fn), name=args.function) + "\n"
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .evaluation import WorkloadRun, format_table
+    from .workloads import WORKLOAD_NAMES, get_workload
+
+    if args.workload not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from {WORKLOAD_NAMES}"
+        )
+    run = WorkloadRun(get_workload(args.workload))
+    agg = run.aggregate_classification(args.ca, args.cr)
+    orig, hpg, red = run.graph_sizes(args.ca, args.cr)
+    row = run.table2(args.ca, args.cr)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["CFG nodes", run.cfg_nodes],
+                ["executed paths (train)", run.executed_paths],
+                [f"hot paths (CA={args.ca})", run.hot_path_count(args.ca)],
+                ["traced vertices", hpg],
+                ["reduced vertices", red],
+                ["WZ non-local constants", agg.iterative_nonlocal],
+                ["qualified non-local constants", agg.qualified_nonlocal],
+                ["base cost", row.base_cost],
+                ["optimized cost", row.optimized_cost],
+                ["speedup", f"{row.speedup:.3f}x"],
+            ],
+            title=f"{args.workload} @ CA={args.ca}, CR={args.cr}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path-qualified data-flow analysis (Ammons & Larus, PLDI 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile MiniC to textual IR")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="run a MiniC program and collect a profile")
+    p.add_argument("file")
+    p.add_argument("--args", type=int, nargs="*", default=[])
+    p.add_argument("--input", action="append", default=[], metavar="NAME=V1,V2")
+    p.add_argument("--save-profile", metavar="FILE")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("optimize", help="path-qualified optimization")
+    p.add_argument("file")
+    p.add_argument("--profile", required=True)
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("dot", help="emit Graphviz for a routine's CFG or HPG")
+    p.add_argument("file")
+    p.add_argument("--function", required=True)
+    p.add_argument("--profile")
+    p.add_argument("--reduced", action="store_true")
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("report", help="experiment summary for a workload")
+    p.add_argument("workload")
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

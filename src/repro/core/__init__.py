@@ -1,0 +1,57 @@
+"""The paper's core contribution: data-flow tracing, hot-path graphs,
+reduction, profile translation, and the end-to-end qualified-analysis
+pipeline."""
+
+from .chain import (
+    materialized_recording_edges,
+    profile_for_materialized,
+    relabel_profile,
+)
+from .hot_path_graph import HotPathGraph, HpgVertex, ReducedGraph, TracedGraph
+from .qualified import QualifiedAnalysis, block_sizes_of, run_qualified
+from .reduction import (
+    ReductionResult,
+    compatibility_partition,
+    nonlocal_constant_sites,
+    reduce_hpg,
+    select_hot_vertices,
+    vertex_weights,
+)
+from .qualify_any import ProblemFactory, QualifiedSolution, qualify_problem
+from .tracing import trace
+from .tupling import TupledResult, tupled_analyze
+from .translate import (
+    reduce_path,
+    reduce_profile,
+    translate_path,
+    translate_profile,
+)
+
+__all__ = [
+    "block_sizes_of",
+    "compatibility_partition",
+    "HotPathGraph",
+    "materialized_recording_edges",
+    "profile_for_materialized",
+    "relabel_profile",
+    "HpgVertex",
+    "nonlocal_constant_sites",
+    "QualifiedAnalysis",
+    "QualifiedSolution",
+    "qualify_problem",
+    "ProblemFactory",
+    "reduce_hpg",
+    "reduce_path",
+    "reduce_profile",
+    "ReducedGraph",
+    "ReductionResult",
+    "run_qualified",
+    "select_hot_vertices",
+    "trace",
+    "TracedGraph",
+    "translate_path",
+    "TupledResult",
+    "tupled_analyze",
+    "translate_profile",
+    "vertex_weights",
+]

@@ -1,0 +1,88 @@
+"""Chaining qualified passes: profiles survive materialization.
+
+The paper's third contribution is that path-profiling information is
+preserved through the CFG transformations, so "profiling information is
+available for subsequent analyses and optimizations" — and §4.3 explains
+that this composability is why tracing was chosen over tupling.
+
+This module closes the loop: after a traced (or reduced) graph is
+materialized into an executable function, :func:`relabel_profile` rewrites
+the translated profile onto the new function's block labels, and
+:func:`materialized_recording_edges` maps the traced recording edges the
+same way.  The pair is exactly what a *second* qualified pass needs::
+
+    qa1 = run_qualified(fn, profile, ca)
+    fn2 = materialize(qa1.reduced)                       # no folding: exact
+    profile2, recording2 = profile_for_materialized(qa1)
+    qa2 = run_qualified(fn2, profile2,
+                        cfg=Cfg.from_function(fn2), recording=recording2)
+
+Lemmas 1–2 guarantee ``profile2`` is a faithful Ball–Larus profile of
+``fn2`` with respect to ``recording2`` (the tests re-derive it from an
+actual instrumented run of ``fn2`` and compare).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..ir.cfg import Cfg, ENTRY, EXIT, Edge
+from ..opt.codegen import vertex_labels
+from ..profiles.path_profile import BLPath, PathProfile
+from .hot_path_graph import HpgVertex, TracedGraph
+from .qualified import QualifiedAnalysis
+
+
+def _label_map(graph: TracedGraph) -> dict[HpgVertex, str]:
+    labels = dict(vertex_labels(graph))
+    # Virtual vertices keep their virtual names.
+    labels[graph.cfg.entry] = ENTRY
+    labels[graph.cfg.exit] = EXIT
+    return labels
+
+
+def relabel_profile(profile: PathProfile, graph: TracedGraph) -> PathProfile:
+    """Rewrite a traced-graph profile onto materialized block labels."""
+    labels = _label_map(graph)
+    out = PathProfile()
+    for path, count in profile.items():
+        out.add(BLPath(tuple(labels[v] for v in path.vertices)), count)
+    return out
+
+
+def materialized_recording_edges(graph: TracedGraph) -> frozenset[Edge]:
+    """The traced recording edges, as label pairs of the materialized
+    function.
+
+    This set, not a fresh DFS over the new function, is what makes the
+    relabelled profile interpretable: Lemma 1 ties path boundaries to these
+    edges.  (It still acyclifies the new CFG, because a non-recording cycle
+    would project to a non-recording cycle of the original graph.)
+    """
+    labels = _label_map(graph)
+    return frozenset(
+        (labels[u], labels[v]) for u, v in graph.recording
+    )
+
+
+def profile_for_materialized(
+    qa: QualifiedAnalysis, stage: str = "reduced"
+) -> tuple[PathProfile, frozenset[Edge]]:
+    """(profile, recording edges) for the materialization of a pipeline
+    stage — ready to drive a second qualified pass.
+
+    ``stage`` is ``"reduced"`` (default) or ``"hpg"``.  Raises
+    :class:`ValueError` for an untraced analysis: the original profile and
+    recording edges are already valid there.
+    """
+    if not qa.traced:
+        raise ValueError("analysis was not traced; use the original profile")
+    if stage == "reduced":
+        graph: TracedGraph = qa.reduced
+        profile = qa.reduced_profile
+    elif stage == "hpg":
+        graph = qa.hpg
+        profile = qa.hpg_profile
+    else:
+        raise ValueError(f"unknown stage {stage!r}")
+    return relabel_profile(profile, graph), materialized_recording_edges(graph)

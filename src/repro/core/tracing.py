@@ -1,0 +1,59 @@
+"""Data-flow tracing: building the hot-path graph (Figure 4 of the paper).
+
+This is Holley and Rosen's tracing algorithm extended to mark recording
+edges: a worklist explores all (vertex, state) pairs reachable from
+``(r, q•)``; each CFG edge ``(v, v')`` induces the unique traced edge
+``((v, q), (v', q'))`` where ``q'`` is the automaton transition on
+``(v, v')``, and the traced edge is recording iff ``(v, v')`` is.
+
+Theorem 3 (verified by property tests): on completion, ``(v, q)`` is a
+traced vertex iff some path from the entry drives the automaton from its
+start configuration to ``q`` while walking to ``v``.
+"""
+
+from __future__ import annotations
+
+from ..automaton.qualification import QualificationAutomaton
+from ..ir.cfg import Cfg, Edge
+from ..ir.function import Function
+from .hot_path_graph import HotPathGraph, HpgVertex
+
+
+def trace(
+    fn: Function,
+    cfg: Cfg,
+    recording: frozenset[Edge],
+    automaton: QualificationAutomaton,
+) -> HotPathGraph:
+    """Construct the hot-path graph of ``fn`` for ``automaton``.
+
+    ``cfg`` and ``recording`` must be the graph and recording-edge set the
+    automaton was built against.
+    """
+    entry: HpgVertex = (cfg.entry, automaton.q_dot)
+    # Every edge into the exit is recording and all recording transitions
+    # target q•, so the traced graph has the single exit (exit, q•).
+    exit_vertex: HpgVertex = (cfg.exit, automaton.q_dot)
+
+    traced = Cfg(entry=entry, exit=exit_vertex)
+    traced_recording: set[tuple[HpgVertex, HpgVertex]] = set()
+
+    worklist: list[HpgVertex] = [entry]
+    visited: set[HpgVertex] = {entry}
+    while worklist:
+        v, q = worklist.pop()
+        for succ in cfg.succs(v):
+            edge = (v, succ)
+            q_next = automaton.transition(q, edge)
+            target: HpgVertex = (succ, q_next)
+            if target not in visited:
+                visited.add(target)
+                traced.add_vertex(target)
+                worklist.append(target)
+            traced.add_edge((v, q), target)
+            if edge in recording:
+                traced_recording.add(((v, q), target))
+
+    return HotPathGraph(
+        fn, cfg, recording, automaton, traced, frozenset(traced_recording)
+    )

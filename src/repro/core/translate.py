@@ -1,0 +1,60 @@
+"""Path-profile translation (§4.2, Lemmas 1 and 2).
+
+Because tracing preserves recording edges, a Ball–Larus path of the original
+graph corresponds to exactly one Ball–Larus path of the hot-path graph: start
+at ``(v0, q•)`` and follow the (deterministic) traced edges.  Reduction then
+maps traced paths through class representatives.  Both translations preserve
+counts exactly, so profile weight is conserved — a property the test suite
+checks for every workload.
+"""
+
+from __future__ import annotations
+
+from ..profiles.path_profile import BLPath, PathProfile
+from .hot_path_graph import HotPathGraph, HpgVertex, ReducedGraph
+
+
+def translate_path(path: BLPath, hpg: HotPathGraph) -> BLPath:
+    """The unique hot-path-graph Ball–Larus path corresponding to ``path``."""
+    automaton = hpg.automaton
+    state = automaton.q_dot
+    vertices: list[HpgVertex] = [(path.start, state)]
+    prev = path.start
+    for v in path.vertices[1:]:
+        state = automaton.transition(state, (prev, v))
+        vertices.append((v, state))
+        prev = v
+    translated = BLPath(tuple(vertices))
+    for u, w in translated.edges():
+        if not hpg.cfg.has_edge(u, w):
+            raise ValueError(
+                f"path {path} does not exist in the hot-path graph "
+                f"(missing edge {(u, w)!r}); was it profiled on this CFG?"
+            )
+    return translated
+
+
+def translate_profile(profile: PathProfile, hpg: HotPathGraph) -> PathProfile:
+    """Reinterpret an original-graph profile as a hot-path-graph profile."""
+    translated = PathProfile()
+    for path, count in profile.items():
+        translated.add(translate_path(path, hpg), count)
+    return translated
+
+
+def reduce_path(path: BLPath, reduced: ReducedGraph) -> BLPath:
+    """Map a hot-path-graph Ball–Larus path through class representatives."""
+    rep = reduced.representative_of
+    return BLPath(tuple(rep[v] for v in path.vertices))
+
+
+def reduce_profile(profile: PathProfile, reduced: ReducedGraph) -> PathProfile:
+    """Reinterpret a hot-path-graph profile on the reduced graph.
+
+    Distinct traced paths may map to the same reduced path; their counts
+    merge, conserving total weight.
+    """
+    result = PathProfile()
+    for path, count in profile.items():
+        result.add(reduce_path(path, reduced), count)
+    return result

@@ -1,0 +1,151 @@
+"""Context tupling — Holley and Rosen's other qualification method (§4.3).
+
+Where data-flow tracing tracks the automaton state *in the control-flow
+graph* (by duplicating vertices), context tupling tracks it *in the lattice*:
+the value at a vertex is a tuple of environments indexed by automaton state,
+and the analysis runs over the **original** graph.  The paper chose tracing
+(simpler to explain, composes across passes, no efficiency win for tupling)
+but describes tupling as the alternative that avoids irreducible graphs.
+
+We implement tupling for conditional constant propagation and use it two
+ways:
+
+* as an executable cross-check — for every traced vertex ``(v, q)``, the
+  tupled solution's ``q`` component at ``v`` must equal the traced graph's
+  solution at ``(v, q)`` (they are the same fixpoint computed over
+  isomorphic equation systems), which the test suite asserts on the running
+  example and on random programs;
+* as an ablation baseline for the cost of tracing
+  (``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..automaton.qualification import QualificationAutomaton
+from ..dataflow.lattice import (
+    TOP,
+    UNREACHABLE,
+    BOT,
+    ConstEnv,
+    EnvValue,
+    meet_env,
+)
+from ..dataflow.transfer import eval_operand, transfer_block
+from ..ir.cfg import Cfg, Edge
+from ..ir.function import Function
+from ..ir.instructions import Branch, Jump, Ret
+
+Vertex = Hashable
+
+#: The tupled lattice value at a vertex: automaton state -> environment.
+#: States that no executable path reaches are simply absent.
+Tuple_ = dict[int, ConstEnv]
+
+
+class TupledResult:
+    """Solution of a context-tupled conditional constant propagation."""
+
+    def __init__(
+        self,
+        fn: Function,
+        cfg: Cfg,
+        automaton: QualificationAutomaton,
+        in_values: dict[Vertex, Tuple_],
+        executable: frozenset[tuple[Vertex, int, Vertex]],
+    ) -> None:
+        self.fn = fn
+        self.cfg = cfg
+        self.automaton = automaton
+        self.in_values = in_values
+        #: Executable (vertex, state, successor) triples.
+        self.executable = executable
+
+    def states_at(self, vertex: Vertex) -> tuple[int, ...]:
+        """Automaton states reachable at ``vertex`` (Theorem 3's pairs)."""
+        return tuple(sorted(self.in_values.get(vertex, {})))
+
+    def solution(self, vertex: Vertex, state: int) -> EnvValue:
+        """The qualified solution at ``vertex`` given automaton ``state``."""
+        envs = self.in_values.get(vertex)
+        if envs is None or state not in envs:
+            return UNREACHABLE
+        return envs[state]
+
+    def merged_solution(self, vertex: Vertex) -> EnvValue:
+        """Theorem 1's projection: the meet over all states at ``vertex``."""
+        acc: EnvValue = UNREACHABLE
+        for env in self.in_values.get(vertex, {}).values():
+            acc = meet_env(acc, env)
+        return acc
+
+
+def tupled_analyze(
+    fn: Function,
+    cfg: Cfg,
+    recording: frozenset[Edge],
+    automaton: QualificationAutomaton,
+    entry_env: Optional[ConstEnv] = None,
+) -> TupledResult:
+    """Conditional constant propagation over the tupled lattice.
+
+    The worklist carries (vertex, state) pairs; each pair behaves exactly
+    like the traced vertex ``(v, q)`` would under
+    :func:`repro.dataflow.wegman_zadek.analyze`, but the graph is never
+    materialized.
+    """
+    if entry_env is None:
+        entry_env = ConstEnv({p: BOT for p in fn.params})
+
+    in_values: dict[Vertex, Tuple_] = {cfg.entry: {automaton.q_dot: entry_env}}
+    executable: set[tuple[Vertex, int, Vertex]] = set()
+    worklist: list[tuple[Vertex, int]] = [(cfg.entry, automaton.q_dot)]
+    on_list: set[tuple[Vertex, int]] = set(worklist)
+
+    while worklist:
+        v, q = worklist.pop()
+        on_list.discard((v, q))
+        env = in_values.get(v, {}).get(q)
+        if env is None:
+            continue
+
+        block = fn.blocks.get(v)
+        if block is None:
+            out_env = env
+            targets = list(cfg.succs(v))
+        else:
+            out_env = transfer_block(block, env)
+            targets = _targets(block, out_env, cfg, v)
+
+        for w in targets:
+            q_next = automaton.transition(q, (v, w))
+            newly = (v, q, w) not in executable
+            executable.add((v, q, w))
+            slot = in_values.setdefault(w, {})
+            old = slot.get(q_next, UNREACHABLE)
+            new = meet_env(old, out_env)
+            if newly or new != old:
+                assert new is not UNREACHABLE
+                slot[q_next] = new  # type: ignore[assignment]
+                if (w, q_next) not in on_list:
+                    worklist.append((w, q_next))
+                    on_list.add((w, q_next))
+
+    return TupledResult(fn, cfg, automaton, in_values, frozenset(executable))
+
+
+def _targets(block, out_env: ConstEnv, cfg: Cfg, v: Vertex) -> list:
+    term = block.terminator
+    if isinstance(term, Jump):
+        return [term.target]
+    if isinstance(term, Ret):
+        return [cfg.exit]
+    if isinstance(term, Branch):
+        cond = eval_operand(term.cond, out_env)
+        if cond is TOP:
+            return []
+        if cond is BOT:
+            return [term.if_true, term.if_false]
+        return [term.if_true if cond != 0 else term.if_false]
+    raise TypeError(f"unknown terminator {term!r}")  # pragma: no cover

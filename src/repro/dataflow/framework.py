@@ -1,0 +1,110 @@
+"""The generic monotone data-flow framework (Definitions 1–4 of the paper).
+
+A :class:`DataflowProblem` supplies the lattice (top, meet) and monotone
+transfer functions; :func:`solve` computes the good solution by iteration to
+a fixpoint.  The solver makes no reducibility assumption — the paper notes
+that tracing produces irreducible graphs, so "tracing should only be used
+with data-flow solvers that can handle irreducible graphs", and iterative
+solving is exactly such a solver.
+
+Problems are written against a :class:`~repro.dataflow.graph_view.GraphView`,
+so every instance runs unchanged on hot-path graphs: that is the qualified
+analysis of Definition 6, where the traced problem keeps the lattice and
+transfer functions of the original and only the graph changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+from ..ir.basic_block import BasicBlock
+from .graph_view import GraphView
+
+L = TypeVar("L")
+Vertex = Hashable
+
+
+class DataflowProblem(ABC, Generic[L]):
+    """A monotone data-flow problem over a graph view."""
+
+    #: "forward" or "backward".
+    direction: str = "forward"
+
+    @abstractmethod
+    def top(self) -> L:
+        """The lattice top (the initial optimistic value)."""
+
+    @abstractmethod
+    def meet(self, a: L, b: L) -> L:
+        """The lattice meet (greatest lower bound)."""
+
+    @abstractmethod
+    def boundary(self) -> L:
+        """The value at the graph boundary: the entry for forward problems,
+        the exit for backward problems (the paper's ``l_r``)."""
+
+    @abstractmethod
+    def transfer(self, vertex: Vertex, block: Optional[BasicBlock], value: L) -> L:
+        """The transfer function of ``vertex`` (identity for virtual
+        vertices, i.e. when ``block`` is None, unless overridden)."""
+
+    def equal(self, a: L, b: L) -> bool:
+        """Lattice-value equality (override for non-``==`` representations)."""
+        return a == b
+
+
+@dataclass
+class Solution(Generic[L]):
+    """Fixpoint solution: values at vertex entry and exit.
+
+    For backward problems ``value_in`` is the value *flowing into* the vertex
+    from its successors (i.e. at the vertex's exit in program order) and
+    ``value_out`` the transferred value.
+    """
+
+    value_in: dict[Vertex, L]
+    value_out: dict[Vertex, L]
+
+
+def solve(problem: DataflowProblem[L], view: GraphView) -> Solution[L]:
+    """Iterate ``problem`` over ``view`` to its greatest fixpoint."""
+    cfg = view.cfg
+    forward = problem.direction == "forward"
+    if not forward and problem.direction != "backward":
+        raise ValueError(f"bad direction {problem.direction!r}")
+
+    start = cfg.entry if forward else cfg.exit
+    next_of = cfg.succs if forward else cfg.preds
+    prev_of = cfg.preds if forward else cfg.succs
+
+    value_in: dict[Vertex, L] = {}
+    value_out: dict[Vertex, L] = {}
+    for v in cfg.vertices:
+        value_in[v] = problem.top()
+        value_out[v] = problem.top()
+    value_in[start] = problem.boundary()
+    value_out[start] = problem.transfer(start, view.block_of(start), value_in[start])
+
+    worklist = list(cfg.vertices)
+    on_list = set(worklist)
+    while worklist:
+        v = worklist.pop()
+        on_list.discard(v)
+        preds = prev_of(v)
+        if preds:
+            acc = value_out[preds[0]]
+            for p in preds[1:]:
+                acc = problem.meet(acc, value_out[p])
+            if v == start:
+                acc = problem.meet(acc, problem.boundary())
+            value_in[v] = acc
+        new_out = problem.transfer(v, view.block_of(v), value_in[v])
+        if not problem.equal(new_out, value_out[v]):
+            value_out[v] = new_out
+            for w in next_of(v):
+                if w not in on_list:
+                    worklist.append(w)
+                    on_list.add(w)
+    return Solution(value_in, value_out)

@@ -1,0 +1,77 @@
+"""Graph views: the interface analyses run on.
+
+A :class:`GraphView` pairs a :class:`~repro.ir.cfg.Cfg` with the code behind
+each vertex.  Analyses written against views run unchanged on
+
+* a plain function CFG (vertices are block labels), and
+* a hot-path graph (vertices are ``(label, state)`` pairs whose code is the
+  original block) — which is precisely how the paper reuses a conventional
+  solver on the traced graph (Definition 6: ``M_A((v0,q0),(v1,q1)) =
+  M((v0,v1))``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..ir.basic_block import BasicBlock
+from ..ir.cfg import Cfg
+from ..ir.function import Function
+
+Vertex = Hashable
+
+
+class GraphView:
+    """A CFG whose non-virtual vertices carry basic blocks.
+
+    ``label_of`` maps a vertex to the label of the *original* block it
+    executes (identity for plain function CFGs); branch targets in
+    terminators refer to these original labels.
+    """
+
+    def __init__(
+        self,
+        cfg: Cfg,
+        params: tuple[str, ...],
+        blocks: dict[Vertex, BasicBlock],
+        labels: Optional[dict[Vertex, str]] = None,
+    ) -> None:
+        self.cfg = cfg
+        self.params = params
+        self._blocks = blocks
+        self._labels = labels
+
+    @classmethod
+    def from_function(cls, fn: Function, cfg: Optional[Cfg] = None) -> "GraphView":
+        """The view of a plain function CFG."""
+        return cls(
+            cfg if cfg is not None else Cfg.from_function(fn),
+            fn.params,
+            dict(fn.blocks),
+        )
+
+    def block_of(self, vertex: Vertex) -> Optional[BasicBlock]:
+        """The code at ``vertex`` (None for the virtual entry/exit)."""
+        return self._blocks.get(vertex)
+
+    def label_of(self, vertex: Vertex) -> Optional[str]:
+        """The original block label executed at ``vertex``."""
+        if self._labels is not None:
+            return self._labels.get(vertex)
+        return vertex if vertex in self._blocks else None
+
+    def succ_for_label(self, vertex: Vertex, label: str) -> Vertex:
+        """The unique successor of ``vertex`` whose original label is ``label``.
+
+        Well-defined on both plain CFGs and hot-path graphs: the automaton is
+        deterministic, so a traced vertex has at most one successor per
+        original CFG edge.
+        """
+        for w in self.cfg.succs(vertex):
+            if self.label_of(w) == label or w == label:
+                return w
+        raise KeyError(f"{vertex!r} has no successor labelled {label!r}")
+
+    def size(self) -> int:
+        """Number of non-virtual vertices."""
+        return len([v for v in self.cfg.vertices if v in self._blocks])

@@ -1,0 +1,54 @@
+"""Local (single basic block) constant analysis.
+
+The paper's *Local* category: "instructions [that] can be determined to be
+constant with local analysis — that is, by scanning their enclosing basic
+block".  Nothing is assumed about values flowing into the block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Assign, BinOp, UnOp
+from ..ir.operands import Const, Operand
+
+
+def local_constant_sites(block: BasicBlock) -> dict[int, int]:
+    """Instruction indices in ``block`` whose result is constant by local
+    analysis alone, mapped to the constant value.
+
+    Only pure instructions can be locally constant; variables not assigned a
+    constant earlier *in this block* are unknown.
+    """
+    known: dict[str, int] = {}
+    sites: dict[int, int] = {}
+
+    def value_of(op: Operand) -> Optional[int]:
+        if isinstance(op, Const):
+            return op.value
+        return known.get(op.name)
+
+    for idx, instr in enumerate(block.instrs):
+        result: Optional[int] = None
+        if isinstance(instr, Assign):
+            result = value_of(instr.src)
+        elif isinstance(instr, BinOp):
+            a, b = value_of(instr.lhs), value_of(instr.rhs)
+            if a is not None and b is not None:
+                from ..ir.ops import eval_binop
+
+                result = eval_binop(instr.op, a, b)
+        elif isinstance(instr, UnOp):
+            a = value_of(instr.src)
+            if a is not None:
+                from ..ir.ops import eval_unop
+
+                result = eval_unop(instr.op, a)
+        if instr.dest is not None:
+            if result is not None:
+                sites[idx] = result
+                known[instr.dest] = result
+            else:
+                known.pop(instr.dest, None)
+    return sites

@@ -1,0 +1,74 @@
+"""A reference meet-over-all-paths (MOP) solver.
+
+§2 of the paper frames everything against the meet-over-all-paths solution
+``l_v = /\\ M(p)(l_r)`` over all entry paths ``p``.  This module computes
+that meet *by enumeration* for the constant-propagation problem, bounding
+loop unrolling, so tests can compare the iterative and qualified solutions
+against the theoretical reference:
+
+* on acyclic graphs the enumeration is exact;
+* constant propagation is not distributive, so the iterative fixpoint may be
+  strictly below MOP (the classic ``x = a + b`` diamond) — a property test
+  asserts the ≤ direction;
+* the qualified solution at a traced vertex ``(v, q)`` meets only over the
+  paths driving the automaton to ``q``, which is why it can beat MOP
+  (§1.1's partition argument).
+
+Exponential in the worst case — a test/reference tool, not a production
+solver.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from .graph_view import GraphView
+from .lattice import UNREACHABLE, ConstEnv, EnvValue, meet_env
+from .transfer import transfer_block
+
+Vertex = Hashable
+
+
+def mop_solution(
+    view: GraphView,
+    entry_env: Optional[ConstEnv] = None,
+    max_paths: int = 20_000,
+    max_occurrences: int = 2,
+) -> dict[Vertex, EnvValue]:
+    """Enumerate entry paths and meet their environments at each vertex.
+
+    ``max_occurrences`` bounds how often a vertex may repeat on one path
+    (loop unrolling depth); on acyclic graphs any value >= 1 is exact.
+    Raises :class:`RuntimeError` if more than ``max_paths`` paths arise.
+    """
+    if entry_env is None:
+        entry_env = ConstEnv()
+    solution: dict[Vertex, EnvValue] = {v: UNREACHABLE for v in view.cfg.vertices}
+    counter = {"paths": 0}
+
+    def walk(vertex: Vertex, env: ConstEnv, seen: dict[Vertex, int]) -> None:
+        counter["paths"] += 1
+        if counter["paths"] > max_paths:
+            raise RuntimeError(f"more than {max_paths} paths; graph too large")
+        solution[vertex] = meet_env(solution[vertex], env)
+        block = view.block_of(vertex)
+        out_env = transfer_block(block, env) if block is not None else env
+        for succ in view.cfg.succs(vertex):
+            occurrences = seen.get(succ, 0)
+            if occurrences >= max_occurrences:
+                continue
+            next_seen = dict(seen)
+            next_seen[succ] = occurrences + 1
+            walk(succ, out_env, next_seen)
+
+    start_env = entry_env
+    walk(view.cfg.entry, start_env, {view.cfg.entry: 1})
+    return solution
+
+
+def mop_for_function(view: GraphView, **kwargs) -> dict[Vertex, EnvValue]:
+    """MOP with the standard boundary: parameters bottom, all else top."""
+    from .lattice import BOT
+
+    entry_env = ConstEnv({p: BOT for p in view.params})
+    return mop_solution(view, entry_env, **kwargs)

@@ -1,0 +1,26 @@
+"""Classic data-flow problem instances.
+
+These demonstrate that the framework — and therefore path qualification,
+which only swaps the graph — applies to any monotone problem, as the paper
+states ("the technique can be applied to any data-flow problem").
+"""
+
+from .available_exprs import ALL, AvailableExpressions
+from .copy_prop import CopyPropagation
+from .liveness import LiveVariables
+from .signs import NEG, POS, ZERO, SignAnalysis
+from .very_busy import VeryBusyExpressions
+from .reaching_defs import ReachingDefinitions
+
+__all__ = [
+    "ALL",
+    "AvailableExpressions",
+    "CopyPropagation",
+    "LiveVariables",
+    "NEG",
+    "POS",
+    "SignAnalysis",
+    "VeryBusyExpressions",
+    "ZERO",
+    "ReachingDefinitions",
+]

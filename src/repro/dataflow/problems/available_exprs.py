@@ -1,0 +1,97 @@
+"""Available expressions (forward, must, intersection meet).
+
+The lattice top is the special token :data:`ALL` (the universal set), so the
+meet behaves correctly before a vertex has been visited.  Expressions are
+canonicalized: commutative operators order their operands.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Union
+
+from ...ir.basic_block import BasicBlock
+from ...ir.instructions import BinOp, Instr, UnOp
+from ...ir.operands import Const, Operand, Var
+from ...ir.ops import COMMUTATIVE
+from ..framework import DataflowProblem
+
+Vertex = Hashable
+
+
+class _All:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "ALL"
+
+
+ALL = _All()
+ExprSet = Union[frozenset, _All]
+
+#: A canonical expression: (op, operand keys...).
+Expr = tuple
+
+
+def _operand_key(op: Operand):
+    return ("c", op.value) if isinstance(op, Const) else ("v", op.name)
+
+
+def expression_of(instr: Instr) -> Optional[Expr]:
+    """The canonical expression computed by ``instr`` (None if it computes
+    nothing re-usable)."""
+    if isinstance(instr, BinOp):
+        a, b = _operand_key(instr.lhs), _operand_key(instr.rhs)
+        if instr.op in COMMUTATIVE and b < a:
+            a, b = b, a
+        return (instr.op, a, b)
+    if isinstance(instr, UnOp):
+        return (instr.op, _operand_key(instr.src))
+    return None
+
+
+def _expr_vars(expr: Expr) -> tuple[str, ...]:
+    return tuple(key[1] for key in expr[1:] if key[0] == "v")
+
+
+class AvailableExpressions(DataflowProblem[ExprSet]):
+    """Which expressions are available (computed on every path, operands
+    unchanged since) at each vertex entry."""
+
+    direction = "forward"
+
+    def top(self) -> ExprSet:
+        return ALL
+
+    def meet(self, a: ExprSet, b: ExprSet) -> ExprSet:
+        if a is ALL:
+            return b
+        if b is ALL:
+            return a
+        return a & b
+
+    def boundary(self) -> ExprSet:
+        return frozenset()
+
+    def equal(self, a: ExprSet, b: ExprSet) -> bool:
+        if a is ALL or b is ALL:
+            return a is b
+        return a == b
+
+    def transfer(
+        self, vertex: Vertex, block: Optional[BasicBlock], value: ExprSet
+    ) -> ExprSet:
+        if block is None or value is ALL:
+            # ALL only flows through virtual vertices; real blocks are
+            # reached from the entry whose boundary is the empty set.
+            if block is None:
+                return value
+        current: set[Expr] = set() if value is ALL else set(value)
+        for instr in block.instrs:
+            expr = expression_of(instr)
+            if expr is not None:
+                current.add(expr)
+            if instr.dest is not None:
+                current = {
+                    e for e in current if instr.dest not in _expr_vars(e)
+                }
+        return frozenset(current)

@@ -1,0 +1,60 @@
+"""Copy propagation (forward, must, intersection meet).
+
+Tracks ``dest = src`` copies between variables that hold on every path.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Union
+
+from ...ir.basic_block import BasicBlock
+from ...ir.instructions import Assign
+from ...ir.operands import Var
+from ..framework import DataflowProblem
+from .available_exprs import ALL, _All
+
+Vertex = Hashable
+#: A valid copy: (dest, src) meaning dest currently equals src.
+Copy = tuple[str, str]
+CopySet = Union[frozenset, _All]
+
+
+class CopyPropagation(DataflowProblem[CopySet]):
+    """Which variable-to-variable copies hold at each vertex entry."""
+
+    direction = "forward"
+
+    def top(self) -> CopySet:
+        return ALL
+
+    def meet(self, a: CopySet, b: CopySet) -> CopySet:
+        if a is ALL:
+            return b
+        if b is ALL:
+            return a
+        return a & b
+
+    def boundary(self) -> CopySet:
+        return frozenset()
+
+    def equal(self, a: CopySet, b: CopySet) -> bool:
+        if a is ALL or b is ALL:
+            return a is b
+        return a == b
+
+    def transfer(
+        self, vertex: Vertex, block: Optional[BasicBlock], value: CopySet
+    ) -> CopySet:
+        if block is None:
+            return value
+        current: set[Copy] = set() if value is ALL else set(value)
+        for instr in block.instrs:
+            if instr.dest is not None:
+                # Kill copies involving the redefined variable.
+                current = {
+                    c for c in current if instr.dest not in c
+                }
+            if isinstance(instr, Assign) and isinstance(instr.src, Var):
+                if instr.dest != instr.src.name:
+                    current.add((instr.dest, instr.src.name))
+        return frozenset(current)

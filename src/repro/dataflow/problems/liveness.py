@@ -1,0 +1,45 @@
+"""Live variables (backward, may, union meet)."""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ...ir.basic_block import BasicBlock
+from ...ir.operands import Var
+from ..framework import DataflowProblem
+
+Vertex = Hashable
+
+
+class LiveVariables(DataflowProblem[frozenset]):
+    """Which variables are live (may be read before redefinition) at each
+    point; the per-vertex solution is liveness at block *entry*."""
+
+    direction = "backward"
+
+    def top(self) -> frozenset:
+        return frozenset()
+
+    def meet(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def transfer(
+        self, vertex: Vertex, block: Optional[BasicBlock], value: frozenset
+    ) -> frozenset:
+        if block is None:
+            return value
+        live = set(value)
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Var):
+                    live.add(op.name)
+        for instr in reversed(block.instrs):
+            if instr.dest is not None:
+                live.discard(instr.dest)
+            for op in instr.uses():
+                if isinstance(op, Var):
+                    live.add(op.name)
+        return frozenset(live)

@@ -1,0 +1,156 @@
+"""Sign analysis (forward, flat sign lattice per variable).
+
+A second *value* analysis (besides constant propagation) that path
+qualification sharpens: branch legs often bind values of known sign, and
+the signs merge at joins exactly like constants do.  Also a stress test for
+the framework with a slightly richer lattice:
+
+        TOP  (no evidence yet)
+      /  |  \\
+    NEG ZERO POS
+      \\  |  /
+        BOT  (any sign)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ...ir.basic_block import BasicBlock
+from ...ir.instructions import Assign, BinOp, Call, Load, UnOp
+from ...ir.operands import Const, Operand, Var
+from ..framework import DataflowProblem
+
+Vertex = Hashable
+
+TOP = "top"
+NEG = "neg"
+ZERO = "zero"
+POS = "pos"
+BOT = "bot"
+
+Sign = str
+#: Environment: variable -> sign; absent means TOP.
+SignEnv = frozenset  # of (name, sign) pairs
+
+
+def sign_of(value: int) -> Sign:
+    if value > 0:
+        return POS
+    if value < 0:
+        return NEG
+    return ZERO
+
+
+def meet_sign(a: Sign, b: Sign) -> Sign:
+    if a == TOP:
+        return b
+    if b == TOP:
+        return a
+    if a == b:
+        return a
+    return BOT
+
+
+_ADD_TABLE = {
+    (POS, POS): POS,
+    (NEG, NEG): NEG,
+    (ZERO, ZERO): ZERO,
+    (POS, ZERO): POS,
+    (ZERO, POS): POS,
+    (NEG, ZERO): NEG,
+    (ZERO, NEG): NEG,
+}
+
+_MUL_SIGNS = {POS: 1, NEG: -1, ZERO: 0}
+
+
+def add_signs(a: Sign, b: Sign) -> Sign:
+    if a in (TOP, BOT) or b in (TOP, BOT):
+        return BOT if BOT in (a, b) else TOP
+    return _ADD_TABLE.get((a, b), BOT)
+
+
+def mul_signs(a: Sign, b: Sign) -> Sign:
+    if a in (TOP, BOT) or b in (TOP, BOT):
+        return BOT if BOT in (a, b) else TOP
+    product = _MUL_SIGNS[a] * _MUL_SIGNS[b]
+    return sign_of(product)
+
+
+def _env_get(env: SignEnv, name: str) -> Sign:
+    for n, s in env:
+        if n == name:
+            return s
+    return TOP
+
+
+def _env_set(env: SignEnv, name: str, sign: Sign) -> SignEnv:
+    rest = frozenset((n, s) for n, s in env if n != name)
+    if sign == TOP:
+        return rest
+    return rest | {(name, sign)}
+
+
+class SignAnalysis(DataflowProblem[SignEnv]):
+    """Which sign each variable is guaranteed to have at vertex entry."""
+
+    direction = "forward"
+
+    def __init__(self, params: tuple[str, ...] = ()) -> None:
+        self.params = params
+
+    def top(self) -> SignEnv:
+        return frozenset()
+
+    def meet(self, a: SignEnv, b: SignEnv) -> SignEnv:
+        names = {n for n, _ in a} | {n for n, _ in b}
+        out = set()
+        for name in names:
+            s = meet_sign(_env_get(a, name), _env_get(b, name))
+            if s != TOP:
+                out.add((name, s))
+        return frozenset(out)
+
+    def boundary(self) -> SignEnv:
+        return frozenset((p, BOT) for p in self.params)
+
+    def transfer(
+        self, vertex: Vertex, block: Optional[BasicBlock], value: SignEnv
+    ) -> SignEnv:
+        if block is None:
+            return value
+        env = value
+        for instr in block.instrs:
+            if instr.dest is None:
+                continue
+            env = _env_set(env, instr.dest, self._eval(instr, env))
+        return env
+
+    def _eval(self, instr, env: SignEnv) -> Sign:
+        if isinstance(instr, Assign):
+            return self._operand(instr.src, env)
+        if isinstance(instr, BinOp):
+            a = self._operand(instr.lhs, env)
+            b = self._operand(instr.rhs, env)
+            if instr.op == "add":
+                return add_signs(a, b)
+            if instr.op == "mul":
+                return mul_signs(a, b)
+            # Comparisons yield 0 or 1 — two different signs — and the flat
+            # lattice has no "non-negative", so they are BOT, like the rest.
+            return BOT
+        if isinstance(instr, UnOp):
+            a = self._operand(instr.src, env)
+            if instr.op == "neg":
+                return {POS: NEG, NEG: POS, ZERO: ZERO}.get(a, a)
+            return BOT
+        if isinstance(instr, (Load, Call)):
+            return BOT
+        return BOT
+
+    @staticmethod
+    def _operand(op: Operand, env: SignEnv) -> Sign:
+        if isinstance(op, Const):
+            return sign_of(op.value)
+        return _env_get(env, op.name)

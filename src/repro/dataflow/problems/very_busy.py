@@ -1,0 +1,65 @@
+"""Very busy (anticipated) expressions — backward, must, intersection meet.
+
+An expression is very busy at a point if it is evaluated on *every* path
+from that point before any of its operands change.  The classic use is code
+hoisting; here it completes the framework's coverage of the four classic
+bit-vector problems (reaching defs: forward/may; liveness: backward/may;
+available exprs: forward/must; very busy: backward/must).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Union
+
+from ...ir.basic_block import BasicBlock
+from ..framework import DataflowProblem
+from .available_exprs import ALL, Expr, _All, _expr_vars, expression_of
+
+Vertex = Hashable
+ExprSet = Union[frozenset, _All]
+
+
+class VeryBusyExpressions(DataflowProblem[ExprSet]):
+    """Which expressions are very busy on entry to each vertex.
+
+    ``value_out`` of a vertex is the set at its *entry* in program order
+    (the backward solver's transferred value)."""
+
+    direction = "backward"
+
+    def top(self) -> ExprSet:
+        return ALL
+
+    def meet(self, a: ExprSet, b: ExprSet) -> ExprSet:
+        if a is ALL:
+            return b
+        if b is ALL:
+            return a
+        return a & b
+
+    def boundary(self) -> ExprSet:
+        return frozenset()
+
+    def equal(self, a: ExprSet, b: ExprSet) -> bool:
+        if a is ALL or b is ALL:
+            return a is b
+        return a == b
+
+    def transfer(
+        self, vertex: Vertex, block: Optional[BasicBlock], value: ExprSet
+    ) -> ExprSet:
+        if block is None:
+            return value
+        current: set[Expr] = set() if value is ALL else set(value)
+        for instr in reversed(block.instrs):
+            if instr.dest is not None:
+                # Backward: kill before gen of the same instruction, so an
+                # expression using its own destination is not anticipated
+                # above the redefinition.
+                current = {
+                    e for e in current if instr.dest not in _expr_vars(e)
+                }
+            expr = expression_of(instr)
+            if expr is not None:
+                current.add(expr)
+        return frozenset(current)

@@ -1,0 +1,93 @@
+"""Abstract evaluation of IR over the constant lattice.
+
+Shared by the Wegman–Zadek analysis, the local (basic-block) analysis, the
+generic framework instance for plain constant propagation, and the constant
+folder — so analysis and transformation always agree on what an instruction's
+abstract result is.
+
+The model matches the paper's conservative implementation: loads, calls, and
+parameters are :data:`~repro.dataflow.lattice.BOT`; no pointers or aliasing
+exist in the IR; ``Store``/``Print`` do not affect scalar environments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Assign, BinOp, Call, Instr, Load, Print, Store, UnOp
+from ..ir.operands import Const, Operand, Var
+from ..ir.ops import eval_binop, eval_unop
+from .lattice import BOT, TOP, ConstEnv, FlatValue
+
+
+def eval_operand(op: Operand, env: ConstEnv) -> FlatValue:
+    """The lattice value of an operand under ``env``."""
+    if isinstance(op, Const):
+        return op.value
+    return env.get(op.name)
+
+
+def eval_pure(instr: Instr, env: ConstEnv) -> FlatValue:
+    """Abstract result of a *pure* value-producing instruction.
+
+    TOP operands dominate BOT (the optimistic rule of conditional constant
+    propagation: a value that might still turn out constant is not yet
+    non-constant).
+    """
+    if isinstance(instr, Assign):
+        return eval_operand(instr.src, env)
+    if isinstance(instr, BinOp):
+        a = eval_operand(instr.lhs, env)
+        b = eval_operand(instr.rhs, env)
+        if a is TOP or b is TOP:
+            return TOP
+        if a is BOT or b is BOT:
+            return BOT
+        return eval_binop(instr.op, a, b)
+    if isinstance(instr, UnOp):
+        a = eval_operand(instr.src, env)
+        if a is TOP or a is BOT:
+            return a
+        return eval_unop(instr.op, a)
+    raise TypeError(f"eval_pure on impure instruction {instr}")
+
+
+def transfer_instr(instr: Instr, env: ConstEnv) -> tuple[ConstEnv, Optional[FlatValue]]:
+    """Abstract effect of one instruction.
+
+    Returns the new environment and, when the instruction defines a variable,
+    the abstract value it produced (``None`` for pure side effects).
+    """
+    if instr.is_pure:
+        value = eval_pure(instr, env)
+        return env.set(instr.dest, value), value
+    if isinstance(instr, (Load, Call)):
+        if instr.dest is not None:
+            return env.set(instr.dest, BOT), BOT
+        return env, None
+    if isinstance(instr, (Store, Print)):
+        return env, None
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def transfer_block(block: BasicBlock, env: ConstEnv) -> ConstEnv:
+    """Abstract effect of a whole basic block on ``env``."""
+    for instr in block.instrs:
+        env, _ = transfer_instr(instr, env)
+    return env
+
+
+def block_site_values(block: BasicBlock, env: ConstEnv) -> list[FlatValue]:
+    """Abstract result of each value-producing site in ``block`` (in order),
+    given the entry environment ``env``.
+
+    A *site* is an instruction with a destination variable; the list aligns
+    with ``[i for i, _ in block.value_sites()]``.
+    """
+    values: list[FlatValue] = []
+    for instr in block.instrs:
+        env, value = transfer_instr(instr, env)
+        if instr.dest is not None:
+            values.append(value if value is not None else BOT)
+    return values

@@ -1,0 +1,172 @@
+"""Wegman–Zadek conditional constant propagation [WZ91] on a CFG.
+
+This is the paper's baseline constant propagator (its PW pass "uses Wegman
+and Zadek's Conditional Constant algorithm"): a worklist algorithm that
+symbolically executes a routine from its entry, propagating values only
+across branch legs that can execute under the current assignment of values.
+Running it on a :class:`~repro.dataflow.graph_view.GraphView` of a hot-path
+graph yields the paper's *path-qualified* constant propagation, with no
+change to the algorithm (Theorem 1).
+
+The implementation is conservative exactly as the paper's: parameters, loads
+and call results are BOT; memory is untracked; there is no pointer aliasing
+in the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..ir.basic_block import BasicBlock
+from ..ir.cfg import Edge
+from ..ir.instructions import Branch, Jump, Ret
+from .graph_view import GraphView
+from .lattice import (
+    BOT,
+    TOP,
+    UNREACHABLE,
+    ConstEnv,
+    EnvValue,
+    FlatValue,
+    meet_env,
+)
+from .transfer import eval_operand, transfer_block, transfer_instr
+
+Vertex = Hashable
+
+
+class CondConstResult:
+    """The solution of a conditional constant propagation run."""
+
+    def __init__(
+        self,
+        view: GraphView,
+        env_in: dict[Vertex, EnvValue],
+        executable_edges: frozenset[Edge],
+    ) -> None:
+        self.view = view
+        self.env_in = env_in
+        self.executable_edges = executable_edges
+
+    def input_env(self, vertex: Vertex) -> EnvValue:
+        """Environment at the entry of ``vertex`` (UNREACHABLE if no
+        executable path reaches it)."""
+        return self.env_in.get(vertex, UNREACHABLE)
+
+    def is_executable(self, vertex: Vertex) -> bool:
+        """True if some executable path reaches ``vertex``."""
+        return self.input_env(vertex) is not UNREACHABLE
+
+    def site_values(self, vertex: Vertex) -> dict[int, FlatValue]:
+        """Abstract result of each value-producing instruction at ``vertex``,
+        keyed by instruction index.  Empty for virtual/unreachable vertices.
+        """
+        env = self.input_env(vertex)
+        block = self.view.block_of(vertex)
+        if block is None or env is UNREACHABLE:
+            return {}
+        values: dict[int, FlatValue] = {}
+        for idx, instr in enumerate(block.instrs):
+            env, value = transfer_instr(instr, env)
+            if instr.dest is not None:
+                values[idx] = value if value is not None else BOT
+        return values
+
+    def constant_sites(self, vertex: Vertex) -> dict[int, int]:
+        """Value-producing instruction indices at ``vertex`` whose result is a
+        known constant, with that constant."""
+        return {
+            idx: v
+            for idx, v in self.site_values(vertex).items()
+            if isinstance(v, int)
+        }
+
+    def pure_constant_sites(self, vertex: Vertex) -> dict[int, int]:
+        """Like :meth:`constant_sites` but restricted to pure instructions —
+        the only sites the optimizer may fold and the unit the paper's
+        "instructions with constant results" metrics count."""
+        block = self.view.block_of(vertex)
+        if block is None:
+            return {}
+        return {
+            idx: v
+            for idx, v in self.constant_sites(vertex).items()
+            if block.instrs[idx].is_pure
+        }
+
+    def output_env(self, vertex: Vertex) -> EnvValue:
+        """Environment at the exit of ``vertex``."""
+        env = self.input_env(vertex)
+        block = self.view.block_of(vertex)
+        if env is UNREACHABLE or block is None:
+            return env
+        return transfer_block(block, env)
+
+
+def analyze(view: GraphView, entry_env: Optional[ConstEnv] = None) -> CondConstResult:
+    """Run conditional constant propagation over ``view``.
+
+    ``entry_env`` defaults to "all parameters BOT, everything else TOP".
+    """
+    if entry_env is None:
+        entry_env = ConstEnv({p: BOT for p in view.params})
+
+    cfg = view.cfg
+    env_in: dict[Vertex, EnvValue] = {cfg.entry: entry_env}
+    executable: set[Edge] = set()
+    worklist: list[Vertex] = [cfg.entry]
+    on_list: set[Vertex] = {cfg.entry}
+
+    while worklist:
+        v = worklist.pop()
+        on_list.discard(v)
+        env = env_in.get(v, UNREACHABLE)
+        if env is UNREACHABLE:
+            continue
+
+        block = view.block_of(v)
+        if block is None:
+            out_env: ConstEnv = env  # virtual vertex: identity transfer
+            out_targets = list(cfg.succs(v))
+        else:
+            out_env = transfer_block(block, env)
+            out_targets = _executable_targets(view, v, block, out_env)
+
+        for w in out_targets:
+            edge = (v, w)
+            newly_exec = edge not in executable
+            executable.add(edge)
+            old = env_in.get(w, UNREACHABLE)
+            new = meet_env(old, out_env)
+            if newly_exec or new != old:
+                env_in[w] = new
+                if w not in on_list:
+                    worklist.append(w)
+                    on_list.add(w)
+
+    return CondConstResult(view, env_in, frozenset(executable))
+
+
+def _executable_targets(
+    view: GraphView, v: Vertex, block: BasicBlock, out_env: ConstEnv
+) -> list[Vertex]:
+    """Successor vertices reachable from ``v`` under ``out_env``."""
+    term = block.terminator
+    if isinstance(term, Jump):
+        return [view.succ_for_label(v, term.target)]
+    if isinstance(term, Ret):
+        return list(view.cfg.succs(v))  # the edge to the virtual exit
+    if isinstance(term, Branch):
+        cond = eval_operand(term.cond, out_env)
+        if cond is TOP:
+            # Optimistic: the condition may yet become a known constant;
+            # propagate along no leg until it resolves (as in [WZ91]).
+            return []
+        if cond is BOT:
+            return [
+                view.succ_for_label(v, term.if_true),
+                view.succ_for_label(v, term.if_false),
+            ]
+        target = term.if_true if cond != 0 else term.if_false
+        return [view.succ_for_label(v, target)]
+    raise TypeError(f"unknown terminator {term!r}")

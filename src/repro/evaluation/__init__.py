@@ -1,0 +1,25 @@
+"""Experiment harness: workloads, per-coverage pipeline caching, and the
+builders behind every table and figure."""
+
+from .harness import (
+    CA_SWEEP,
+    DEFAULT_CA,
+    DEFAULT_CR,
+    Table2Row,
+    Workload,
+    WorkloadRun,
+)
+from .figures import render_series, sparkline
+from .tables import format_table
+
+__all__ = [
+    "CA_SWEEP",
+    "DEFAULT_CA",
+    "DEFAULT_CR",
+    "format_table",
+    "render_series",
+    "sparkline",
+    "Table2Row",
+    "Workload",
+    "WorkloadRun",
+]

@@ -1,0 +1,47 @@
+"""ASCII rendering of figure series.
+
+The paper's Figures 7–12 are line charts; the benchmark harness regenerates
+their data as tables and, with these helpers, as quick terminal charts so a
+reader can see the *shape* (saturation, outliers) without plotting tools.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of ``values`` (min..max scaled)."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _BARS[4] * len(values)
+    span = hi - lo
+    return "".join(
+        _BARS[1 + round((v - lo) / span * (len(_BARS) - 2))] for v in values
+    )
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    title: str = "",
+    value_format: str = "{:+.1%}",
+) -> str:
+    """Render named series as labelled sparklines with first/last values."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  x: {' '.join(x_labels)}")
+    width = max(len(name) for name in series) if series else 0
+    for name, values in series.items():
+        first = value_format.format(values[0])
+        last = value_format.format(values[-1])
+        lines.append(
+            f"  {name.ljust(width)}  {sparkline(values)}  {first} -> {last}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""MiniC front end: lexer, parser, semantic checks, and lowering to IR."""
+
+from .ast_nodes import Program
+from .lexer import MiniCError, Token, tokenize
+from .lower import compile_program, lower_program
+from .parser import parse_program
+from .sema import BUILTIN_ARITY, check_program
+
+__all__ = [
+    "BUILTIN_ARITY",
+    "check_program",
+    "compile_program",
+    "lower_program",
+    "MiniCError",
+    "parse_program",
+    "Program",
+    "Token",
+    "tokenize",
+]

@@ -1,0 +1,184 @@
+"""MiniC abstract syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# -- expressions ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NumberExpr:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class VarExpr:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class IndexExpr:
+    """``array[index]``; a load in expression position."""
+
+    array: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryExpr:
+    """``op`` is '-', '!', or '~'."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryExpr:
+    """``op`` is an arithmetic/relational/bitwise operator; '&&' and '||'
+    short-circuit and are lowered with control flow."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CallExpr:
+    func: str
+    args: tuple["Expr", ...]
+    line: int = 0
+
+
+Expr = Union[NumberExpr, VarExpr, IndexExpr, UnaryExpr, BinaryExpr, CallExpr]
+
+
+# -- statements ------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class VarDecl:
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AssignStmt:
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class StoreStmt:
+    """``array[index] = value;``"""
+
+    array: str
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class IfStmt:
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class WhileStmt:
+    cond: Expr
+    body: tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ForStmt:
+    """``for (init; cond; step) body`` — init/step are statements, either
+    may be None, as may cond (meaning "true")."""
+
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    step: Optional["Stmt"]
+    body: tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class BreakStmt:
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ContinueStmt:
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnStmt:
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PrintStmt:
+    args: tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ExprStmt:
+    """An expression evaluated for effect (a call)."""
+
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[
+    VarDecl,
+    AssignStmt,
+    StoreStmt,
+    IfStmt,
+    WhileStmt,
+    ForStmt,
+    BreakStmt,
+    ContinueStmt,
+    ReturnStmt,
+    PrintStmt,
+    ExprStmt,
+]
+
+
+# -- top level ---------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalDecl:
+    name: str
+    size: int
+    init: tuple[int, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FuncDecl:
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    globals: tuple[GlobalDecl, ...]
+    functions: tuple[FuncDecl, ...]

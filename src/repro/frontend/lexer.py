@@ -1,0 +1,123 @@
+"""MiniC lexer.
+
+MiniC is the small imperative language the workloads are written in; it
+stands in for C the way low-SUIF's input did in the paper.  The lexer is a
+straightforward regex scanner producing :class:`Token` objects with line
+numbers for error reporting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class MiniCError(Exception):
+    """Any front-end error (lexical, syntactic, or semantic)."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+KEYWORDS = frozenset(
+    {
+        "func",
+        "global",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "break",
+        "continue",
+        "return",
+        "print",
+    }
+)
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<newline>\n)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>%s)
+    """
+    % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token: ``kind`` is 'number', 'ident', a keyword, an
+    operator string, or 'eof'."""
+
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source; raises :class:`MiniCError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise MiniCError(f"unexpected character {source[pos]!r}", line)
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "number":
+            tokens.append(Token("number", text, line))
+        elif kind == "ident":
+            tokens.append(Token(text if text in KEYWORDS else "ident", text, line))
+        else:
+            tokens.append(Token(text, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,276 @@
+"""Lowering MiniC to the three-address IR.
+
+The lowering is deliberately naive — no folding, no strength reduction —
+because the paper ran its constant propagator "immediately after SUIF's
+front end", on code "very close to the original C".  Naive lowering leaves
+exactly the kind of redundancy the analyses are supposed to find.
+
+Short-circuit ``&&``/``||`` lower to control flow, so boolean structure in
+the source becomes CFG paths — the raw material of path profiling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.builder import IRBuilder
+from ..ir.function import ArrayDecl, Function, Module
+from ..ir.operands import Const, Operand, Var
+from .ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FuncDecl,
+    IfStmt,
+    IndexExpr,
+    NumberExpr,
+    PrintStmt,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StoreStmt,
+    UnaryExpr,
+    VarDecl,
+    VarExpr,
+    WhileStmt,
+)
+from .lexer import MiniCError
+from .parser import parse_program
+from .sema import check_program
+
+_BINOP_MAP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "==": "eq",
+    "!=": "ne",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+}
+
+_UNOP_MAP = {"-": "neg", "~": "not", "!": "lnot"}
+
+
+def compile_program(source: str) -> Module:
+    """Parse, check, and lower a MiniC program to an IR module."""
+    program = parse_program(source)
+    check_program(program)
+    return lower_program(program)
+
+
+def lower_program(program: Program) -> Module:
+    """Lower a checked AST to IR."""
+    module = Module()
+    for g in program.globals:
+        module.add_array(ArrayDecl(g.name, g.size, g.init))
+    for fn in program.functions:
+        module.add_function(_FunctionLowerer(fn).lower())
+    return module
+
+
+class _FunctionLowerer:
+    def __init__(self, decl: FuncDecl) -> None:
+        self.decl = decl
+        self.builder = IRBuilder(decl.name, decl.params)
+        #: (continue target, break target) per enclosing loop.
+        self.loop_stack: list[tuple[str, str]] = []
+
+    def lower(self) -> Function:
+        b = self.builder
+        b.block("entry")
+        self._lower_body(self.decl.body)
+        if b.is_open:
+            b.ret(0)
+        return b.finish()
+
+    # -- statements ------------------------------------------------------------
+
+    def _lower_body(self, body: tuple[Stmt, ...]) -> None:
+        for stmt in body:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        b = self.builder
+        if isinstance(stmt, VarDecl):
+            init = stmt.init if stmt.init is not None else NumberExpr(0)
+            self._lower_expr_into(stmt.name, init)
+        elif isinstance(stmt, AssignStmt):
+            self._lower_expr_into(stmt.name, stmt.value)
+        elif isinstance(stmt, StoreStmt):
+            index = self._lower_expr(stmt.index)
+            value = self._lower_expr(stmt.value)
+            b.store(stmt.array, index, value)
+        elif isinstance(stmt, IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, BreakStmt):
+            b.jump(self.loop_stack[-1][1])
+        elif isinstance(stmt, ContinueStmt):
+            b.jump(self.loop_stack[-1][0])
+        elif isinstance(stmt, ReturnStmt):
+            value = self._lower_expr(stmt.value) if stmt.value is not None else Const(0)
+            b.ret(value)
+        elif isinstance(stmt, PrintStmt):
+            args = [self._lower_expr(a) for a in stmt.args]
+            b.emit_print(*args)
+        elif isinstance(stmt, ExprStmt):
+            call = stmt.expr
+            assert isinstance(call, CallExpr)
+            args = [self._lower_expr(a) for a in call.args]
+            b.call(None, call.func, *args)
+        else:  # pragma: no cover - sema rejects unknown nodes
+            raise MiniCError(f"cannot lower {stmt!r}")
+
+    def _lower_if(self, stmt: IfStmt) -> None:
+        b = self.builder
+        cond = self._lower_expr(stmt.cond)
+        then_l = b.new_label("then")
+        join_l: Optional[str] = None
+        if stmt.else_body:
+            else_l = b.new_label("else")
+            b.branch(cond, then_l, else_l)
+        else:
+            join_l = b.new_label("endif")
+            b.branch(cond, then_l, join_l)
+
+        b.block(then_l)
+        self._lower_body(stmt.then_body)
+        then_open = b.is_open
+
+        else_open = False
+        if stmt.else_body:
+            if then_open:
+                join_l = b.new_label("endif")
+                b.jump(join_l)
+            b.block(else_l)
+            self._lower_body(stmt.else_body)
+            else_open = b.is_open
+            if else_open:
+                if join_l is None:
+                    join_l = b.new_label("endif")
+                b.jump(join_l)
+            if join_l is not None:
+                b.block(join_l)
+        else:
+            if then_open:
+                b.jump(join_l)
+            b.block(join_l)
+
+    def _lower_while(self, stmt: WhileStmt) -> None:
+        b = self.builder
+        head_l = b.new_label("while")
+        body_l = b.new_label("do")
+        exit_l = b.new_label("done")
+        b.jump(head_l)
+        b.block(head_l)
+        cond = self._lower_expr(stmt.cond)
+        b.branch(cond, body_l, exit_l)
+        b.block(body_l)
+        self.loop_stack.append((head_l, exit_l))
+        self._lower_body(stmt.body)
+        self.loop_stack.pop()
+        if b.is_open:
+            b.jump(head_l)
+        b.block(exit_l)
+
+    def _lower_for(self, stmt: ForStmt) -> None:
+        b = self.builder
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head_l = b.new_label("for")
+        body_l = b.new_label("do")
+        step_l = b.new_label("step") if stmt.step is not None else head_l
+        exit_l = b.new_label("done")
+        b.jump(head_l)
+        b.block(head_l)
+        cond_expr = stmt.cond if stmt.cond is not None else NumberExpr(1)
+        cond = self._lower_expr(cond_expr)
+        b.branch(cond, body_l, exit_l)
+        b.block(body_l)
+        self.loop_stack.append((step_l, exit_l))
+        self._lower_body(stmt.body)
+        self.loop_stack.pop()
+        if b.is_open:
+            b.jump(step_l)
+        if stmt.step is not None:
+            b.block(step_l)
+            self._lower_stmt(stmt.step)
+            b.jump(head_l)
+        b.block(exit_l)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _lower_expr(self, expr: Expr) -> Operand:
+        """Lower ``expr``; the result is a constant or a variable operand."""
+        if isinstance(expr, NumberExpr):
+            return Const(expr.value)
+        if isinstance(expr, VarExpr):
+            return Var(expr.name)
+        return Var(self._lower_expr_into(self.builder.new_temp(), expr))
+
+    def _lower_expr_into(self, dest: str, expr: Expr) -> str:
+        """Lower ``expr`` so its value ends up in variable ``dest``."""
+        b = self.builder
+        if isinstance(expr, NumberExpr):
+            b.assign(dest, Const(expr.value))
+        elif isinstance(expr, VarExpr):
+            b.assign(dest, Var(expr.name))
+        elif isinstance(expr, IndexExpr):
+            index = self._lower_expr(expr.index)
+            b.load(dest, expr.array, index)
+        elif isinstance(expr, UnaryExpr):
+            operand = self._lower_expr(expr.operand)
+            b.unop(dest, _UNOP_MAP[expr.op], operand)
+        elif isinstance(expr, CallExpr):
+            args = [self._lower_expr(a) for a in expr.args]
+            b.call(dest, expr.func, *args)
+        elif isinstance(expr, BinaryExpr):
+            if expr.op in ("&&", "||"):
+                self._lower_short_circuit(dest, expr)
+            else:
+                lhs = self._lower_expr(expr.lhs)
+                rhs = self._lower_expr(expr.rhs)
+                b.binop(dest, _BINOP_MAP[expr.op], lhs, rhs)
+        else:  # pragma: no cover - sema rejects unknown nodes
+            raise MiniCError(f"cannot lower expression {expr!r}")
+        return dest
+
+    def _lower_short_circuit(self, dest: str, expr: BinaryExpr) -> None:
+        """``a && b`` / ``a || b`` with real control flow; the result is
+        normalized to 0/1."""
+        b = self.builder
+        rhs_l = b.new_label("sc_rhs")
+        skip_l = b.new_label("sc_skip")
+        join_l = b.new_label("sc_end")
+        lhs = self._lower_expr(expr.lhs)
+        if expr.op == "&&":
+            b.branch(lhs, rhs_l, skip_l)
+            skip_value = 0
+        else:
+            b.branch(lhs, skip_l, rhs_l)
+            skip_value = 1
+        b.block(rhs_l)
+        rhs = self._lower_expr(expr.rhs)
+        b.binop(dest, "ne", rhs, 0)
+        b.jump(join_l)
+        b.block(skip_l)
+        b.assign(dest, skip_value)
+        b.jump(join_l)
+        b.block(join_l)

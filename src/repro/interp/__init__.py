@@ -1,0 +1,28 @@
+"""IR interpreter with cost accounting, path profiling, and dynamic taint."""
+
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .interpreter import (
+    ExecutionLimit,
+    Interpreter,
+    RunResult,
+    Site,
+    SiteStats,
+    Trap,
+    run_module,
+)
+from .profiler import BallLarusProfiler, NullProfiler, TraceProfiler
+
+__all__ = [
+    "BallLarusProfiler",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ExecutionLimit",
+    "Interpreter",
+    "NullProfiler",
+    "RunResult",
+    "run_module",
+    "Site",
+    "SiteStats",
+    "TraceProfiler",
+    "Trap",
+]

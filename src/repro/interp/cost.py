@@ -1,0 +1,96 @@
+"""The dynamic cost model.
+
+The paper measured wall-clock speed of GCC-compiled SPARC binaries; our
+substitute is a deterministic cost in abstract cycles charged by the
+interpreter.  Two aspects matter for reproducing Table 2's *shape*:
+
+* folding a computation to a constant must save cycles (``assign`` is cheaper
+  than any ``binop``), and
+* code duplication must be able to *cost* cycles, because on real hardware
+  tail duplication adds jumps — the paper notes "a node can have at most one
+  fall-through predecessor", so isolating paths introduces extra jumps.
+
+We model fall-through explicitly: transferring control to the block that
+immediately follows in the function's block order is free, any other transfer
+pays ``taken_penalty``.  Constant folding can therefore speed a program up
+while aggressive duplication slows it down, which is exactly the tension
+Table 2 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Instr,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Store,
+    Terminator,
+    UnOp,
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Abstract cycle costs for IR operations."""
+
+    assign: int = 1
+    unop: int = 1
+    binop: int = 2
+    mul: int = 4
+    div: int = 8
+    load: int = 4
+    store: int = 4
+    call: int = 8
+    print_: int = 2
+    branch: int = 2
+    jump: int = 0
+    ret: int = 2
+    #: Extra cycles when control transfers anywhere but the fall-through block.
+    taken_penalty: int = 1
+
+    def instr_cost(self, instr: Instr) -> int:
+        """Cost of a straight-line instruction."""
+        if isinstance(instr, Assign):
+            return self.assign
+        if isinstance(instr, BinOp):
+            if instr.op == "mul":
+                return self.mul
+            if instr.op in ("div", "mod"):
+                return self.div
+            return self.binop
+        if isinstance(instr, UnOp):
+            return self.unop
+        if isinstance(instr, Load):
+            return self.load
+        if isinstance(instr, Store):
+            return self.store
+        if isinstance(instr, Call):
+            return self.call
+        if isinstance(instr, Print):
+            return self.print_
+        raise TypeError(f"unknown instruction {type(instr).__name__}")
+
+    def transfer_cost(self, term: Terminator, target: str | None, fallthrough: str | None) -> int:
+        """Cost of executing ``term`` and transferring to ``target``.
+
+        ``fallthrough`` is the label of the next block in layout order (or
+        ``None`` at the end of the function).
+        """
+        if isinstance(term, Ret):
+            return self.ret
+        base = self.branch if isinstance(term, Branch) else self.jump
+        if target is not None and target != fallthrough:
+            base += self.taken_penalty
+        return base
+
+
+#: The default model used throughout the experiments.
+DEFAULT_COST_MODEL = CostModel()

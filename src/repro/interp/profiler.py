@@ -1,0 +1,117 @@
+"""Path profilers driven by the interpreter.
+
+Two implementations of the same contract:
+
+* :class:`TraceProfiler` records the full vertex trace of every activation
+  and cuts it at recording edges — the direct, obviously-correct reading of
+  Definition 8, used as a test oracle.
+* :class:`BallLarusProfiler` is the efficient profiler of [BL96]: a single
+  path register per activation, incremented on non-recording edges, and one
+  counter bump per recording edge.  Paths are regenerated from their
+  (start, id) pairs when the profile is read out.
+
+Both observe the same events: :meth:`enter` at activation start, then
+:meth:`edge` for every traversed CFG edge (including the virtual
+entry/exit edges), then :meth:`leave`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..ir.cfg import Cfg, Edge
+from ..profiles.ball_larus import BallLarusNumbering
+from ..profiles.path_profile import BLPath, PathProfile, split_trace
+
+Vertex = Hashable
+
+
+class TraceProfiler:
+    """Oracle profiler: accumulates full traces, splits at recording edges."""
+
+    def __init__(self, cfg: Cfg, recording: frozenset[Edge]) -> None:
+        self.cfg = cfg
+        self.recording = recording
+        self._profile = PathProfile()
+        self._trace: list[Vertex] | None = None
+
+    def enter(self) -> None:
+        self._trace = [self.cfg.entry]
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        assert self._trace is not None, "edge() before enter()"
+        assert self._trace[-1] == u, "non-contiguous trace"
+        self._trace.append(v)
+
+    def leave(self) -> None:
+        assert self._trace is not None
+        for path in split_trace(self._trace, self.recording):
+            self._profile.add(path)
+        self._trace = None
+
+    def profile(self) -> PathProfile:
+        """The accumulated path profile."""
+        return self._profile
+
+
+class BallLarusProfiler:
+    """Efficient profiler: path register plus per-edge increments."""
+
+    def __init__(self, cfg: Cfg, recording: frozenset[Edge]) -> None:
+        self.cfg = cfg
+        self.recording = recording
+        self.numbering = BallLarusNumbering(cfg, recording)
+        #: (start vertex, path id) -> count
+        self._counts: dict[tuple[Vertex, int], int] = {}
+        self._start: Vertex | None = None
+        self._register = 0
+
+    def enter(self) -> None:
+        self._start = None
+        self._register = 0
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        if (u, v) in self.recording:
+            if self._start is not None:
+                pid = self._register + self.numbering.final_offset((u, v))
+                key = (self._start, pid)
+                self._counts[key] = self._counts.get(key, 0) + 1
+            self._start = v
+            self._register = 0
+        else:
+            if self._start is None:
+                raise ValueError(f"activation began with non-recording edge {(u, v)!r}")
+            self._register += self.numbering.edge_increment((u, v))
+
+    def leave(self) -> None:
+        # The edge into the virtual exit is recording, so any complete
+        # activation has already flushed its final path.
+        self._start = None
+        self._register = 0
+
+    def raw_counts(self) -> dict[tuple[Vertex, int], int]:
+        """The (start, path id) -> count table, as hardware would produce."""
+        return dict(self._counts)
+
+    def profile(self) -> PathProfile:
+        """The accumulated profile, with paths regenerated from their ids."""
+        profile = PathProfile()
+        for (start, pid), count in self._counts.items():
+            profile.add(self.numbering.regenerate(start, pid), count)
+        return profile
+
+
+class NullProfiler:
+    """A profiler that records nothing (used when profiling is disabled)."""
+
+    def enter(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def edge(self, u: Vertex, v: Vertex) -> None:
+        pass
+
+    def leave(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def profile(self) -> PathProfile:
+        return PathProfile()

@@ -1,0 +1,89 @@
+"""Three-address intermediate representation.
+
+The IR plays the role of low-SUIF in the paper: a register-based,
+basic-block-structured representation of MiniC programs over which all
+profiling, analysis and transformation passes run.
+
+Public surface:
+
+* operands: :class:`Const`, :class:`Var`
+* instructions: :class:`Assign`, :class:`BinOp`, :class:`UnOp`, :class:`Load`,
+  :class:`Store`, :class:`Call`, :class:`Print` and terminators
+  :class:`Jump`, :class:`Branch`, :class:`Ret`
+* structure: :class:`BasicBlock`, :class:`Function`, :class:`Module`,
+  :class:`ArrayDecl`
+* graphs: :class:`Cfg` with virtual :data:`ENTRY` / :data:`EXIT`
+* utilities: :class:`IRBuilder`, :func:`parse_module`, :func:`parse_function`,
+  :func:`validate_module`, :func:`validate_function`
+"""
+
+from .basic_block import BasicBlock
+from .builder import IRBuilder, as_operand
+from .cfg import ENTRY, EXIT, Cfg
+from .function import ArrayDecl, Function, Module
+from .instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Instr,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Store,
+    Terminator,
+    UnOp,
+    copy_instr,
+    copy_terminator,
+)
+from .operands import Const, Operand, Var
+from .ops import BINOPS, COMMUTATIVE, UNOPS, eval_binop, eval_unop
+from .text import IRSyntaxError, parse_function, parse_module
+from .validate import (
+    BUILTIN_FUNCTIONS,
+    ValidationError,
+    validate_function,
+    validate_module,
+)
+
+__all__ = [
+    "ArrayDecl",
+    "Assign",
+    "BasicBlock",
+    "BinOp",
+    "BINOPS",
+    "Branch",
+    "BUILTIN_FUNCTIONS",
+    "Call",
+    "Cfg",
+    "COMMUTATIVE",
+    "Const",
+    "copy_instr",
+    "copy_terminator",
+    "ENTRY",
+    "eval_binop",
+    "eval_unop",
+    "EXIT",
+    "Function",
+    "Instr",
+    "IRBuilder",
+    "IRSyntaxError",
+    "Jump",
+    "Load",
+    "Module",
+    "Operand",
+    "parse_function",
+    "parse_module",
+    "Print",
+    "Ret",
+    "Store",
+    "Terminator",
+    "UnOp",
+    "UNOPS",
+    "ValidationError",
+    "validate_function",
+    "validate_module",
+    "Var",
+    "as_operand",
+]

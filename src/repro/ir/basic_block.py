@@ -1,0 +1,58 @@
+"""Basic blocks: a label, straight-line instructions, and one terminator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .instructions import Instr, Terminator, copy_instr, copy_terminator
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A labelled basic block.
+
+    ``terminator`` may be ``None`` only while a block is under construction
+    (see :class:`repro.ir.builder.IRBuilder`); a validated function has a
+    terminator in every block.
+    """
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def successors(self) -> tuple[str, ...]:
+        """Labels of successor blocks (empty for returns)."""
+        if self.terminator is None:
+            return ()
+        return self.terminator.targets()
+
+    def append(self, instr: Instr) -> None:
+        """Append a straight-line instruction."""
+        self.instrs.append(instr)
+
+    def value_sites(self) -> Iterator[tuple[int, Instr]]:
+        """(index, instruction) pairs for instructions that define a variable."""
+        for i, instr in enumerate(self.instrs):
+            if instr.dest is not None:
+                yield i, instr
+
+    @property
+    def size(self) -> int:
+        """Number of instructions including the terminator."""
+        return len(self.instrs) + (1 if self.terminator is not None else 0)
+
+    def copy(self, new_label: Optional[str] = None) -> "BasicBlock":
+        """A deep copy, optionally relabelled."""
+        return BasicBlock(
+            new_label if new_label is not None else self.label,
+            [copy_instr(i) for i in self.instrs],
+            copy_terminator(self.terminator) if self.terminator is not None else None,
+        )
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr}" for instr in self.instrs)
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator}")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""A convenience builder for constructing IR functions.
+
+Used by the MiniC lowering pass, by tests, and by the examples that rebuild
+the paper's running example by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Store,
+    UnOp,
+)
+from .operands import Const, Operand, Var
+
+OperandLike = Union[Operand, int, str]
+
+
+def as_operand(value: OperandLike) -> Operand:
+    """Coerce ints to :class:`Const` and strings to :class:`Var`."""
+    if isinstance(value, (Const, Var)):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot treat {value!r} as an operand")
+
+
+class IRBuilder:
+    """Builds a :class:`Function` block by block.
+
+    Example::
+
+        b = IRBuilder("f", params=["n"])
+        b.block("entry")
+        b.assign("i", 0)
+        b.jump("loop")
+        b.block("loop")
+        ...
+        fn = b.finish()
+    """
+
+    def __init__(self, name: str, params: tuple[str, ...] | list[str] = ()) -> None:
+        self.function = Function(name, params)
+        self._current: Optional[BasicBlock] = None
+        self._temp_count = 0
+        self._reserved_labels: set[str] = set()
+
+    # -- blocks -------------------------------------------------------------
+
+    def block(self, label: str) -> BasicBlock:
+        """Start a new block; subsequent emissions go to it."""
+        blk = self.function.add_block(BasicBlock(label))
+        self._current = blk
+        return blk
+
+    def switch_to(self, label: str) -> None:
+        """Resume emitting into an existing block (must be unterminated)."""
+        self._current = self.function.block(label)
+
+    @property
+    def is_open(self) -> bool:
+        """True if there is a current, unterminated block."""
+        return self._current is not None
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block; call block() first")
+        return self._current
+
+    def new_temp(self) -> str:
+        """A fresh temporary variable name."""
+        self._temp_count += 1
+        return f"%t{self._temp_count}"
+
+    def new_label(self, hint: str = "L") -> str:
+        """A fresh block label; reserved immediately, so labels handed out
+        before their blocks are created never collide."""
+        i = 0
+        while f"{hint}{i}" in self.function.blocks or f"{hint}{i}" in self._reserved_labels:
+            i += 1
+        label = f"{hint}{i}"
+        self._reserved_labels.add(label)
+        return label
+
+    # -- straight-line instructions ------------------------------------------
+
+    def assign(self, dest: str, src: OperandLike) -> str:
+        self.current.append(Assign(dest, as_operand(src)))
+        return dest
+
+    def binop(self, dest: str, op: str, lhs: OperandLike, rhs: OperandLike) -> str:
+        self.current.append(BinOp(dest, op, as_operand(lhs), as_operand(rhs)))
+        return dest
+
+    def unop(self, dest: str, op: str, src: OperandLike) -> str:
+        self.current.append(UnOp(dest, op, as_operand(src)))
+        return dest
+
+    def load(self, dest: str, array: str, index: OperandLike) -> str:
+        self.current.append(Load(dest, array, as_operand(index)))
+        return dest
+
+    def store(self, array: str, index: OperandLike, value: OperandLike) -> None:
+        self.current.append(Store(array, as_operand(index), as_operand(value)))
+
+    def call(self, dest: Optional[str], func: str, *args: OperandLike) -> Optional[str]:
+        self.current.append(Call(dest, func, tuple(as_operand(a) for a in args)))
+        return dest
+
+    def emit_print(self, *args: OperandLike) -> None:
+        self.current.append(Print(tuple(as_operand(a) for a in args)))
+
+    # -- terminators ----------------------------------------------------------
+
+    def jump(self, target: str) -> None:
+        self._terminate(Jump(target))
+
+    def branch(self, cond: OperandLike, if_true: str, if_false: str) -> None:
+        self._terminate(Branch(as_operand(cond), if_true, if_false))
+
+    def ret(self, value: Optional[OperandLike] = None) -> None:
+        self._terminate(Ret(as_operand(value) if value is not None else None))
+
+    def _terminate(self, term) -> None:
+        if self.current.terminator is not None:
+            raise RuntimeError(f"block {self.current.label} already terminated")
+        self.current.terminator = term
+        self._current = None
+
+    # -- finishing --------------------------------------------------------------
+
+    def finish(self) -> Function:
+        """Validate termination and return the function."""
+        for label, blk in self.function.blocks.items():
+            if blk.terminator is None:
+                raise RuntimeError(f"block {label} has no terminator")
+        return self.function

@@ -1,0 +1,80 @@
+"""Graphviz (DOT) export for CFGs, hot-path graphs, and reduced graphs.
+
+Useful for inspecting what tracing and reduction did to a routine::
+
+    from repro.ir.dot import cfg_to_dot, traced_to_dot
+    print(cfg_to_dot(Cfg.from_function(fn)))
+    print(traced_to_dot(qa.hpg, recording=True, weights=qa.reduction.weights))
+
+The output is plain DOT text; no graphviz dependency is required to
+generate it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional
+
+from .cfg import Cfg, Edge
+
+Vertex = Hashable
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _vertex_name(v: Vertex) -> str:
+    if isinstance(v, tuple):
+        return f"{v[0]}@q{v[1]}"
+    return str(v)
+
+
+def cfg_to_dot(
+    cfg: Cfg,
+    name: str = "cfg",
+    recording: Optional[frozenset[Edge]] = None,
+    highlight: Optional[Mapping[Vertex, str]] = None,
+) -> str:
+    """Render a graph as DOT.
+
+    ``recording`` edges are drawn dashed (matching the paper's figures);
+    ``highlight`` maps vertices to fill colors.
+    """
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    for v in cfg.vertices:
+        label = _vertex_name(v)
+        attrs = [f"label={_quote(label)}"]
+        if v == cfg.entry or v == cfg.exit:
+            attrs.append("shape=ellipse")
+        if highlight and v in highlight:
+            attrs.append(f"style=filled, fillcolor={_quote(highlight[v])}")
+        lines.append(f"  {_quote(label)} [{', '.join(attrs)}];")
+    for u, v in cfg.edges:
+        attrs = ""
+        if recording and (u, v) in recording:
+            attrs = " [style=dashed]"
+        lines.append(
+            f"  {_quote(_vertex_name(u))} -> {_quote(_vertex_name(v))}{attrs};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def traced_to_dot(
+    graph,
+    name: str = "hpg",
+    weights: Optional[Mapping[Vertex, int]] = None,
+) -> str:
+    """Render a :class:`~repro.core.hot_path_graph.TracedGraph` as DOT.
+
+    Recording edges are dashed; vertices with positive ``weights`` (dynamic
+    non-local constants, per the reduction) are shaded.
+    """
+    highlight = None
+    if weights:
+        highlight = {
+            v: "lightgoldenrod" for v, w in weights.items() if w > 0
+        }
+    return cfg_to_dot(
+        graph.cfg, name=name, recording=graph.recording, highlight=highlight
+    )

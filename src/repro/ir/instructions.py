@@ -1,0 +1,282 @@
+"""Instruction set of the three-address IR.
+
+Instructions fall into two groups:
+
+* *straight-line* instructions (everything except terminators), stored in
+  :attr:`repro.ir.basic_block.BasicBlock.instrs`;
+* *terminators* (:class:`Jump`, :class:`Branch`, :class:`Ret`), exactly one
+  per block, stored in :attr:`repro.ir.basic_block.BasicBlock.terminator`.
+
+Every instruction knows which variables it reads (:meth:`Instr.uses`) and
+which variable, if any, it writes (:attr:`Instr.dest`), whether it is *pure*
+(safe to constant fold), and whether it *produces a value* (the unit the
+paper's "instructions with constant results" metric counts).
+
+The constant-propagation model matches the paper's: :class:`Load` and
+:class:`Call` produce untracked (bottom) values; :class:`Store` and
+:class:`Print` are side effects; everything else is a pure scalar computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .operands import Const, Operand, Var
+from .ops import BINOPS, UNOPS
+
+
+class Instr:
+    """Base class for straight-line instructions.
+
+    Subclasses provide ``dest`` either as a dataclass field or as a class
+    attribute equal to ``None`` (the annotation below is intentionally not
+    assigned, so dataclass subclasses do not inherit a spurious default).
+    """
+
+    #: Variable written by the instruction, or ``None``.
+    dest: Optional[str]
+    #: True if the instruction has no side effect and reads no opaque state.
+    is_pure: bool = False
+    #: True if the instruction produces a scalar value (counted by the
+    #: "constant instructions" metrics of the paper).
+    produces_value: bool = False
+
+    def uses(self) -> tuple[Operand, ...]:
+        """Operands read by the instruction."""
+        return ()
+
+    def use_vars(self) -> tuple[str, ...]:
+        """Names of variables read by the instruction."""
+        return tuple(op.name for op in self.uses() if isinstance(op, Var))
+
+
+@dataclass(slots=True)
+class Assign(Instr):
+    """``dest = src`` — constant assignment or register copy."""
+
+    dest: str
+    src: Operand
+    is_pure = True
+    produces_value = True
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.src,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.src}"
+
+
+@dataclass(slots=True)
+class BinOp(Instr):
+    """``dest = op lhs, rhs`` for ``op`` in :data:`repro.ir.ops.BINOPS`."""
+
+    dest: str
+    op: str
+    lhs: Operand
+    rhs: Operand
+    is_pure = True
+    produces_value = True
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.lhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op} {self.lhs}, {self.rhs}"
+
+
+@dataclass(slots=True)
+class UnOp(Instr):
+    """``dest = op src`` for ``op`` in :data:`repro.ir.ops.UNOPS`."""
+
+    dest: str
+    op: str
+    src: Operand
+    is_pure = True
+    produces_value = True
+
+    def __post_init__(self) -> None:
+        if self.op not in UNOPS:
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.src,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.op} {self.src}"
+
+
+@dataclass(slots=True)
+class Load(Instr):
+    """``dest = array[index]`` — memory read; the result is never tracked."""
+
+    dest: str
+    array: str
+    index: Operand
+    is_pure = False
+    produces_value = True
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.index,)
+
+    def __str__(self) -> str:
+        return f"{self.dest} = load {self.array}[{self.index}]"
+
+
+@dataclass(slots=True)
+class Store(Instr):
+    """``array[index] = value`` — memory write (side effect)."""
+
+    array: str
+    index: Operand
+    value: Operand
+    dest = None
+    is_pure = False
+    produces_value = False
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.index, self.value)
+
+    def __str__(self) -> str:
+        return f"store {self.array}[{self.index}] = {self.value}"
+
+
+@dataclass(slots=True)
+class Call(Instr):
+    """``dest = call func(args)`` — the result, if any, is never tracked.
+
+    Calls cannot modify caller locals (MiniC has no global scalars and no
+    address-of), so the only conservative effect is the untracked result.
+    """
+
+    dest: Optional[str]
+    func: str
+    args: tuple[Operand, ...] = field(default_factory=tuple)
+    is_pure = False
+    produces_value = True  # treated as a value producer when dest is not None
+
+    def uses(self) -> tuple[Operand, ...]:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        call = f"call {self.func}({', '.join(map(str, self.args))})"
+        return f"{self.dest} = {call}" if self.dest is not None else call
+
+
+@dataclass(slots=True)
+class Print(Instr):
+    """``print args`` — observable program output, used by semantics tests."""
+
+    args: tuple[Operand, ...]
+    dest = None
+    is_pure = False
+    produces_value = False
+
+    def uses(self) -> tuple[Operand, ...]:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        return f"print {', '.join(map(str, self.args))}"
+
+
+class Terminator:
+    """Base class for block terminators."""
+
+    def targets(self) -> tuple[str, ...]:
+        """Labels of possible successor blocks."""
+        return ()
+
+    def uses(self) -> tuple[Operand, ...]:
+        return ()
+
+    def retargeted(self, mapping: dict[str, str]) -> "Terminator":
+        """A copy of the terminator with targets replaced via ``mapping``.
+
+        Labels missing from ``mapping`` are kept unchanged.
+        """
+        raise NotImplementedError
+
+
+@dataclass(slots=True)
+class Jump(Terminator):
+    """Unconditional jump to ``target``."""
+
+    target: str
+
+    def targets(self) -> tuple[str, ...]:
+        return (self.target,)
+
+    def retargeted(self, mapping: dict[str, str]) -> "Jump":
+        return Jump(mapping.get(self.target, self.target))
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass(slots=True)
+class Branch(Terminator):
+    """Two-way branch: to ``if_true`` when ``cond`` is non-zero, else ``if_false``."""
+
+    cond: Operand
+    if_true: str
+    if_false: str
+
+    def targets(self) -> tuple[str, ...]:
+        return (self.if_true, self.if_false)
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.cond,)
+
+    def retargeted(self, mapping: dict[str, str]) -> "Branch":
+        return Branch(
+            self.cond,
+            mapping.get(self.if_true, self.if_true),
+            mapping.get(self.if_false, self.if_false),
+        )
+
+    def __str__(self) -> str:
+        return f"branch {self.cond}, {self.if_true}, {self.if_false}"
+
+
+@dataclass(slots=True)
+class Ret(Terminator):
+    """Return from the function, optionally with a value."""
+
+    value: Optional[Operand] = None
+
+    def uses(self) -> tuple[Operand, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def retargeted(self, mapping: dict[str, str]) -> "Ret":
+        return Ret(self.value)
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+def copy_instr(instr: Instr) -> Instr:
+    """A shallow copy of a straight-line instruction (operands are immutable)."""
+    if isinstance(instr, Assign):
+        return Assign(instr.dest, instr.src)
+    if isinstance(instr, BinOp):
+        return BinOp(instr.dest, instr.op, instr.lhs, instr.rhs)
+    if isinstance(instr, UnOp):
+        return UnOp(instr.dest, instr.op, instr.src)
+    if isinstance(instr, Load):
+        return Load(instr.dest, instr.array, instr.index)
+    if isinstance(instr, Store):
+        return Store(instr.array, instr.index, instr.value)
+    if isinstance(instr, Call):
+        return Call(instr.dest, instr.func, tuple(instr.args))
+    if isinstance(instr, Print):
+        return Print(tuple(instr.args))
+    raise TypeError(f"unknown instruction type {type(instr).__name__}")
+
+
+def copy_terminator(term: Terminator) -> Terminator:
+    """A copy of a terminator."""
+    return term.retargeted({})

@@ -1,0 +1,45 @@
+"""Operands of the three-address IR.
+
+The IR is deliberately close to the low-SUIF form the paper analysed: named
+scalar variables (no SSA), integer constants, and opaque memory accessed only
+through :class:`~repro.ir.instructions.Load` / ``Store``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """An integer literal operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A named scalar variable.
+
+    Variables are function-local; the MiniC front end has no global scalars,
+    which matches the paper's model where only local scalars are tracked by
+    constant propagation.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Any value an instruction may read.
+Operand = Union[Const, Var]
+
+
+def operand_vars(*operands: Operand) -> tuple[str, ...]:
+    """Names of the variables among ``operands`` (constants are skipped)."""
+    return tuple(op.name for op in operands if isinstance(op, Var))

@@ -1,0 +1,86 @@
+"""Operator definitions and their (total) integer semantics.
+
+Both the interpreter and every constant folder evaluate operators through
+:func:`eval_binop` / :func:`eval_unop`, so analysis-time folding is guaranteed
+to agree with run-time evaluation.
+
+Semantics notes
+---------------
+* All values are unbounded Python integers (the IR models a word-sized machine
+  but precision never matters for the experiments, and unbounded ints keep the
+  semantics total).
+* Division and modulus are *defined* for a zero divisor (result 0).  This
+  keeps the semantics total so constant folding never changes behaviour, at
+  the cost of diverging from C; the workloads never divide by zero anyway.
+* Comparison and logical operators produce 0 or 1.
+* ``div`` truncates toward zero, like C.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+
+def _c_div(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _c_mod(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    return a - _c_div(a, b) * b
+
+
+def _shl(a: int, b: int) -> int:
+    return a << (b & 63) if b >= 0 else 0
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & 63) if b >= 0 else 0
+
+
+#: Binary operator name -> implementation.
+BINOPS: Mapping[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _c_div,
+    "mod": _c_mod,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": _shl,
+    "shr": _shr,
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+}
+
+#: Unary operator name -> implementation.
+UNOPS: Mapping[str, Callable[[int], int]] = {
+    "neg": lambda a: -a,
+    "not": lambda a: ~a,
+    "lnot": lambda a: int(a == 0),
+}
+
+#: Binary operators that commute (used by available-expression canonicalization).
+COMMUTATIVE: frozenset[str] = frozenset({"add", "mul", "and", "or", "xor", "eq", "ne"})
+
+
+def eval_binop(op: str, lhs: int, rhs: int) -> int:
+    """Evaluate binary operator ``op`` on two integers.
+
+    Raises :class:`KeyError` for an unknown operator name.
+    """
+    return BINOPS[op](lhs, rhs)
+
+
+def eval_unop(op: str, src: int) -> int:
+    """Evaluate unary operator ``op`` on an integer."""
+    return UNOPS[op](src)

@@ -1,0 +1,211 @@
+"""Textual IR: printing and parsing.
+
+The printer is the ``str()`` of the IR classes; this module adds a parser so
+IR can round-trip through text.  The format, by example::
+
+    array data[16] = {1, 2, 3}
+
+    func main(n) {
+    entry:
+      i = 0
+      t1 = lt i, n
+      x = load data[i]
+      store out[i] = x
+      r = call helper(i, x)
+      call helper(i, x)
+      print x, i
+      branch t1, body, done
+    body:
+      jump entry
+    done:
+      ret 0
+    }
+
+Round-tripping is exercised by property tests: ``parse_module(str(m))`` must
+reproduce ``m`` exactly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .basic_block import BasicBlock
+from .function import ArrayDecl, Function, Module
+from .instructions import (
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Store,
+    UnOp,
+)
+from .operands import Const, Operand, Var
+from .ops import BINOPS, UNOPS
+
+
+class IRSyntaxError(Exception):
+    """Raised on malformed textual IR, with a line number in the message."""
+
+
+_IDENT = r"[%A-Za-z_][%A-Za-z0-9_.@]*"
+_OPERAND = rf"(?:-?\d+|{_IDENT})"
+
+_ARRAY_RE = re.compile(
+    rf"^array\s+({_IDENT})\[(\d+)\]\s*(?:=\s*\{{([^}}]*)\}})?\s*$"
+)
+_FUNC_RE = re.compile(rf"^func\s+({_IDENT})\(([^)]*)\)\s*\{{\s*$")
+_LABEL_RE = re.compile(rf"^({_IDENT}):$")
+_BINOP_RE = re.compile(
+    rf"^({_IDENT})\s*=\s*([a-z]+)\s+({_OPERAND})\s*,\s*({_OPERAND})$"
+)
+_UNOP_RE = re.compile(rf"^({_IDENT})\s*=\s*([a-z]+)\s+({_OPERAND})$")
+_ASSIGN_RE = re.compile(rf"^({_IDENT})\s*=\s*({_OPERAND})$")
+_LOAD_RE = re.compile(rf"^({_IDENT})\s*=\s*load\s+({_IDENT})\[({_OPERAND})\]$")
+_STORE_RE = re.compile(
+    rf"^store\s+({_IDENT})\[({_OPERAND})\]\s*=\s*({_OPERAND})$"
+)
+_CALL_RE = re.compile(rf"^(?:({_IDENT})\s*=\s*)?call\s+({_IDENT})\(([^)]*)\)$")
+_PRINT_RE = re.compile(r"^print\s+(.*)$")
+_JUMP_RE = re.compile(rf"^jump\s+({_IDENT})$")
+_BRANCH_RE = re.compile(
+    rf"^branch\s+({_OPERAND})\s*,\s*({_IDENT})\s*,\s*({_IDENT})$"
+)
+_RET_RE = re.compile(rf"^ret(?:\s+({_OPERAND}))?$")
+
+
+def _operand(text: str) -> Operand:
+    text = text.strip()
+    if re.fullmatch(r"-?\d+", text):
+        return Const(int(text))
+    return Var(text)
+
+
+def _operand_list(text: str) -> tuple[Operand, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    return tuple(_operand(part) for part in text.split(","))
+
+
+def parse_module(text: str) -> Module:
+    """Parse a textual module. Inverse of ``str(module)``."""
+    module = Module()
+    lines = text.splitlines()
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        m = _ARRAY_RE.match(line)
+        if m:
+            name, size, init = m.group(1), int(m.group(2)), m.group(3)
+            init_vals = (
+                tuple(int(x) for x in init.split(",")) if init and init.strip() else ()
+            )
+            module.add_array(ArrayDecl(name, size, init_vals))
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            fn, i = _parse_function(m, lines, i)
+            module.add_function(fn)
+            continue
+        raise IRSyntaxError(f"line {i}: expected array or func, got {line!r}")
+    return module
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single textual function."""
+    lines = text.splitlines()
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _FUNC_RE.match(line)
+        if not m:
+            raise IRSyntaxError(f"line {i + 1}: expected func header, got {line!r}")
+        fn, j = _parse_function(m, lines, i + 1)
+        for rest in lines[j:]:
+            if rest.strip() and not rest.strip().startswith("#"):
+                raise IRSyntaxError(f"trailing content after function: {rest.strip()!r}")
+        return fn
+    raise IRSyntaxError("no function found")
+
+
+def _parse_function(header: re.Match, lines: list[str], i: int) -> tuple[Function, int]:
+    name = header.group(1)
+    params = tuple(p.strip() for p in header.group(2).split(",") if p.strip())
+    fn = Function(name, params)
+    block: BasicBlock | None = None
+    n = len(lines)
+    while i < n:
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        if line == "}":
+            return fn, i
+        m = _LABEL_RE.match(line)
+        if m:
+            block = fn.add_block(BasicBlock(m.group(1)))
+            continue
+        if block is None:
+            raise IRSyntaxError(f"line {i}: instruction outside a block: {line!r}")
+        if block.terminator is not None:
+            raise IRSyntaxError(
+                f"line {i}: instruction after terminator in {block.label}: {line!r}"
+            )
+        _parse_instr(line, block, i)
+    raise IRSyntaxError(f"function {name}: missing closing brace")
+
+
+def _parse_instr(line: str, block: BasicBlock, lineno: int) -> None:
+    m = _JUMP_RE.match(line)
+    if m:
+        block.terminator = Jump(m.group(1))
+        return
+    m = _BRANCH_RE.match(line)
+    if m:
+        block.terminator = Branch(_operand(m.group(1)), m.group(2), m.group(3))
+        return
+    m = _RET_RE.match(line)
+    if m:
+        block.terminator = Ret(_operand(m.group(1)) if m.group(1) else None)
+        return
+    m = _LOAD_RE.match(line)
+    if m:
+        block.append(Load(m.group(1), m.group(2), _operand(m.group(3))))
+        return
+    m = _STORE_RE.match(line)
+    if m:
+        block.append(Store(m.group(1), _operand(m.group(2)), _operand(m.group(3))))
+        return
+    m = _CALL_RE.match(line)
+    if m:
+        block.append(Call(m.group(1), m.group(2), _operand_list(m.group(3))))
+        return
+    m = _PRINT_RE.match(line)
+    if m:
+        block.append(Print(_operand_list(m.group(1))))
+        return
+    m = _BINOP_RE.match(line)
+    if m and m.group(2) in BINOPS:
+        block.append(BinOp(m.group(1), m.group(2), _operand(m.group(3)), _operand(m.group(4))))
+        return
+    m = _UNOP_RE.match(line)
+    if m and m.group(2) in UNOPS:
+        block.append(UnOp(m.group(1), m.group(2), _operand(m.group(3))))
+        return
+    m = _ASSIGN_RE.match(line)
+    if m:
+        block.append(Assign(m.group(1), _operand(m.group(2))))
+        return
+    raise IRSyntaxError(f"line {lineno}: cannot parse instruction {line!r}")
+
+
+__all__ = ["parse_module", "parse_function", "IRSyntaxError"]

@@ -1,0 +1,91 @@
+"""IR validation.
+
+:func:`validate_function` / :func:`validate_module` check the structural
+invariants every pass relies on and raise :class:`ValidationError` with a
+precise message when one is violated.
+"""
+
+from __future__ import annotations
+
+from .cfg import Cfg
+from .function import Function, Module
+from .instructions import Branch, Call, Jump, Ret
+from .operands import Const, Var
+
+
+class ValidationError(Exception):
+    """Raised when IR violates a structural invariant."""
+
+
+def validate_function(fn: Function, module: Module | None = None) -> None:
+    """Check structural invariants of ``fn``.
+
+    * every block has exactly one terminator;
+    * every jump/branch target resolves to a block in the function;
+    * the entry label exists;
+    * array references resolve when a module is supplied;
+    * call targets resolve when a module is supplied (builtins allowed);
+    * every block is reachable from the entry (unreachable code is permitted
+      in general IR but is a bug in everything our pipeline emits).
+    """
+    if not fn.blocks:
+        raise ValidationError(f"{fn.name}: function has no blocks")
+    if fn.entry not in fn.blocks:
+        raise ValidationError(f"{fn.name}: entry {fn.entry!r} is not a block")
+
+    for label, block in fn.blocks.items():
+        if block.terminator is None:
+            raise ValidationError(f"{fn.name}:{label}: missing terminator")
+        for target in block.terminator.targets():
+            if target not in fn.blocks:
+                raise ValidationError(
+                    f"{fn.name}:{label}: terminator targets unknown block {target!r}"
+                )
+        if isinstance(block.terminator, Branch):
+            t = block.terminator
+            if t.if_true == t.if_false:
+                # Not fatal, but a degenerate branch defeats edge-based
+                # profiling (parallel edges are unsupported).
+                raise ValidationError(
+                    f"{fn.name}:{label}: branch with identical targets {t.if_true!r}"
+                )
+        for instr in block.instrs:
+            for op in instr.uses():
+                if not isinstance(op, (Const, Var)):
+                    raise ValidationError(
+                        f"{fn.name}:{label}: bad operand {op!r} in {instr}"
+                    )
+            if module is not None:
+                if hasattr(instr, "array") and instr.array not in module.arrays:
+                    raise ValidationError(
+                        f"{fn.name}:{label}: unknown array {instr.array!r}"
+                    )
+                if isinstance(instr, Call):
+                    if (
+                        instr.func not in module.functions
+                        and instr.func not in BUILTIN_FUNCTIONS
+                    ):
+                        raise ValidationError(
+                            f"{fn.name}:{label}: unknown function {instr.func!r}"
+                        )
+
+    cfg = Cfg.from_function(fn)
+    reachable = cfg.reachable()
+    for label in fn.blocks:
+        if label not in reachable:
+            raise ValidationError(f"{fn.name}:{label}: unreachable block")
+
+
+#: Builtins the interpreter provides; their results are opaque to analysis.
+BUILTIN_FUNCTIONS = frozenset({"abs", "min2", "max2", "clamp"})
+
+
+def validate_module(module: Module) -> None:
+    """Validate every function in ``module``."""
+    if "main" not in module.functions:
+        raise ValidationError("module has no main function")
+    for fn in module.functions.values():
+        validate_function(fn, module)
+
+
+__all__ = ["ValidationError", "validate_function", "validate_module", "BUILTIN_FUNCTIONS"]

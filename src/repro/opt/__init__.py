@@ -1,0 +1,21 @@
+"""Optimization passes: materialization of traced graphs, constant folding,
+unreachable-code removal, dead-code elimination, and block layout."""
+
+from .codegen import fold_function, materialize, remove_unreachable, vertex_labels
+from .dce import eliminate_dead_code
+from .driver import RoutineReport, optimize_module
+from .layout import edge_frequencies_from_labels, layout_function
+from .straighten import straighten
+
+__all__ = [
+    "edge_frequencies_from_labels",
+    "eliminate_dead_code",
+    "fold_function",
+    "layout_function",
+    "materialize",
+    "optimize_module",
+    "RoutineReport",
+    "remove_unreachable",
+    "straighten",
+    "vertex_labels",
+]

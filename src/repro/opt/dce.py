@@ -1,0 +1,59 @@
+"""Dead code elimination.
+
+After constant folding, computations feeding only folded instructions (for
+example a comparison whose branch became a jump) are dead; removing them is
+what turns discovered constants into actual cycle savings.  Liveness comes
+from the backward framework instance, so DCE also exercises the framework.
+
+Only pure instructions are removed — loads, stores, calls and prints always
+stay.
+"""
+
+from __future__ import annotations
+
+from ..dataflow.framework import solve
+from ..dataflow.graph_view import GraphView
+from ..dataflow.problems.liveness import LiveVariables
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.operands import Var
+
+
+def eliminate_dead_code(fn: Function) -> Function:
+    """Iteratively remove pure instructions whose results are never used.
+
+    Operates in place and returns ``fn``.  Runs to a fixpoint: removing one
+    dead instruction can kill the uses that kept another alive.
+    """
+    while _eliminate_once(fn):
+        pass
+    return fn
+
+
+def _eliminate_once(fn: Function) -> bool:
+    view = GraphView.from_function(fn)
+    solution = solve(LiveVariables(), view)
+    changed = False
+    for label, block in fn.blocks.items():
+        # Liveness at block exit = meet over successors' entry liveness
+        # (value_in for the backward problem).
+        live = set(solution.value_in[label])
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Var):
+                    live.add(op.name)
+        kept: list = []
+        for instr in reversed(block.instrs):
+            if instr.is_pure and instr.dest is not None and instr.dest not in live:
+                changed = True
+                continue
+            if instr.dest is not None:
+                live.discard(instr.dest)
+            for op in instr.uses():
+                if isinstance(op, Var):
+                    live.add(op.name)
+            kept.append(instr)
+        kept.reverse()
+        if len(kept) != len(block.instrs):
+            block.instrs[:] = kept
+    return changed

@@ -1,0 +1,103 @@
+"""Whole-module optimization driver.
+
+Composes the paper's pipeline over every routine of a module:
+
+    profile -> qualify (trace/analyze/reduce) -> materialize+fold -> DCE ->
+    straighten -> profile-guided layout
+
+Used by the CLI and available as a one-call public API::
+
+    from repro.opt.driver import optimize_module
+    optimized, report = optimize_module(module, run.profiles)
+
+Routines without a profile (never called during training) are folded with
+the Wegman–Zadek baseline only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.qualified import QualifiedAnalysis, run_qualified
+from ..ir.function import Module
+from ..ir.validate import validate_module
+from ..profiles.path_profile import PathProfile
+from .codegen import fold_function, materialize, vertex_labels
+from .dce import eliminate_dead_code
+from .layout import edge_frequencies_from_labels, layout_function
+from .straighten import straighten
+
+
+@dataclass
+class RoutineReport:
+    """What happened to one routine during optimization."""
+
+    name: str
+    traced: bool
+    hot_paths: int
+    blocks_before: int
+    blocks_after: int
+    analysis: QualifiedAnalysis
+
+
+def optimize_module(
+    module: Module,
+    profiles: Mapping[str, PathProfile],
+    ca: float = 0.97,
+    cr: float = 0.95,
+    *,
+    dce: bool = True,
+    straighten_blocks: bool = True,
+    layout: bool = True,
+) -> tuple[Module, list[RoutineReport]]:
+    """Path-qualified optimization of every routine in ``module``.
+
+    Returns a new module (the input is untouched) plus per-routine reports.
+    The output module is validated before being returned.
+    """
+    out = Module()
+    for decl in module.arrays.values():
+        out.add_array(decl)
+
+    reports: list[RoutineReport] = []
+    for name, fn in module.functions.items():
+        profile = profiles.get(name, PathProfile())
+        qa = run_qualified(fn, profile, ca=ca, cr=cr)
+        if qa.traced:
+            optimized = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+            labels = vertex_labels(qa.reduced)
+            freqs = edge_frequencies_from_labels(
+                qa.reduced_profile.edge_frequencies(), labels
+            )
+        else:
+            optimized = fold_function(fn, qa.baseline)
+            freqs = {
+                edge: count
+                for edge, count in profile.edge_frequencies().items()
+                if isinstance(edge[0], str)
+            }
+        if dce:
+            eliminate_dead_code(optimized)
+        if straighten_blocks:
+            straighten(optimized)
+        if layout:
+            freqs = {
+                (u, v): c
+                for (u, v), c in freqs.items()
+                if u in optimized.blocks and v in optimized.blocks
+            }
+            layout_function(optimized, freqs)
+        out.add_function(optimized)
+        reports.append(
+            RoutineReport(
+                name=name,
+                traced=qa.traced,
+                hot_paths=len(qa.hot_paths),
+                blocks_before=len(fn.blocks),
+                blocks_after=len(optimized.blocks),
+                analysis=qa,
+            )
+        )
+    validate_module(out)
+    return out, reports

@@ -1,0 +1,49 @@
+"""Block straightening: merge unconditional-jump chains.
+
+Tracing and reduction leave many blocks whose only connection is an
+unconditional jump to a single-predecessor successor (the paper notes
+duplication necessarily introduces jumps because "a node can have at most
+one fall-through predecessor").  Where the jump target has exactly one
+predecessor, the two blocks can be fused, eliminating the transfer
+entirely — one of the follow-ups the paper suggests ("PW could ... further
+duplicate code to avoid jumps altogether").
+
+Run after folding/DCE and before layout; used by the experiment harness for
+both the base and the optimized builds so Table 2 stays a fair comparison.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Jump
+
+
+def straighten(fn: Function) -> Function:
+    """Fuse ``a -> jump b`` pairs where ``b`` has ``a`` as its only
+    predecessor (and ``b`` is not the entry).  In place; returns ``fn``."""
+    while _straighten_once(fn):
+        pass
+    return fn
+
+
+def _straighten_once(fn: Function) -> bool:
+    preds: dict[str, list[str]] = {label: [] for label in fn.blocks}
+    for label, block in fn.blocks.items():
+        for succ in block.successors():
+            preds[succ].append(label)
+
+    for label, block in fn.blocks.items():
+        term = block.terminator
+        if not isinstance(term, Jump):
+            continue
+        target = term.target
+        if target == fn.entry or target == label:
+            continue
+        if preds[target] != [label]:
+            continue
+        victim = fn.blocks[target]
+        block.instrs.extend(victim.instrs)
+        block.terminator = victim.terminator
+        del fn.blocks[target]
+        return True
+    return False

@@ -1,0 +1,66 @@
+"""Hot-path selection (§3 step 1 of the paper).
+
+Hot paths are the minimal set of profiled paths that cover a fraction ``CA``
+of the training run's dynamic instructions: paths are considered in
+descending order of instructions executed along them (length × frequency) and
+marked hot until the coverage goal is met.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from .path_profile import BLPath, PathProfile
+
+Vertex = Hashable
+
+
+def select_hot_paths(
+    profile: PathProfile,
+    block_sizes: Mapping[Vertex, int],
+    coverage: float,
+) -> tuple[BLPath, ...]:
+    """The minimal hot-path set covering ``coverage`` of dynamic instructions.
+
+    ``coverage`` is the paper's ``CA`` in [0, 1]; ``CA = 0`` selects no paths
+    (plain Wegman–Zadek analysis), ``CA = 1`` selects every executed path.
+    Ties are broken deterministically (by path contents) so repeated runs
+    select identical sets.
+    """
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+    if coverage == 0.0:
+        return ()
+
+    weighted = [
+        (path.weight(block_sizes) * count, path)
+        for path, count in profile.items()
+    ]
+    total = sum(w for w, _ in weighted)
+    if total == 0:
+        return ()
+    # Descending by dynamic instructions; deterministic tie-break.
+    weighted.sort(key=lambda item: (-item[0], item[1].vertices))
+
+    goal = coverage * total
+    covered = 0
+    hot: list[BLPath] = []
+    for w, path in weighted:
+        if covered >= goal:
+            break
+        hot.append(path)
+        covered += w
+    return tuple(hot)
+
+
+def coverage_of(
+    paths: tuple[BLPath, ...],
+    profile: PathProfile,
+    block_sizes: Mapping[Vertex, int],
+) -> float:
+    """Fraction of dynamic instructions covered by ``paths``."""
+    total = profile.total_instructions(block_sizes)
+    if total == 0:
+        return 0.0
+    covered = sum(p.weight(block_sizes) * profile.count(p) for p in set(paths))
+    return covered / total

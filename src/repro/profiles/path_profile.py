@@ -1,0 +1,188 @@
+"""Ball–Larus paths and path profiles (Definitions 7 and 8 of the paper).
+
+A :class:`BLPath` is the paper's ``[•, v0, v1, ..., vk]``: an implicit leading
+``•`` (a recording edge was just traversed), then vertices from the target of
+that recording edge up to and including the target of the next recording
+edge.  Only the final edge of the path is a recording edge.
+
+A :class:`PathProfile` is a multiset of Ball–Larus paths — the number of times
+each occurred as a subpath of the executed program paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+@dataclass(frozen=True)
+class BLPath:
+    """A Ball–Larus path, stored as its vertex sequence ``v0..vk``.
+
+    ``v0`` is the target of the recording edge that started the path; the
+    final edge ``(v_{k-1}, v_k)`` is the recording edge that ended it.
+    """
+
+    vertices: tuple[Vertex, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 2:
+            raise ValueError("a Ball-Larus path has at least two vertices")
+
+    @property
+    def start(self) -> Vertex:
+        return self.vertices[0]
+
+    @property
+    def end(self) -> Vertex:
+        return self.vertices[-1]
+
+    def edges(self) -> tuple[Edge, ...]:
+        """The edges of the path, in order; the last one is recording."""
+        return tuple(zip(self.vertices, self.vertices[1:]))
+
+    def interior(self) -> tuple[Vertex, ...]:
+        """Vertices whose instructions this path accounts for: all but the
+        last.  The final vertex belongs to the *next* path, so summing
+        interior sizes over a split trace counts each executed block once.
+        """
+        return self.vertices[:-1]
+
+    def weight(self, block_sizes: Mapping[Vertex, int]) -> int:
+        """Instructions executed along the path (its *length* in the paper's
+        "length times frequency" hot-path ordering)."""
+        return sum(block_sizes.get(v, 0) for v in self.interior())
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __str__(self) -> str:
+        return "[• " + " ".join(str(v) for v in self.vertices) + "]"
+
+
+class PathProfile:
+    """A multiset of Ball–Larus paths with integer counts."""
+
+    def __init__(self, counts: Mapping[BLPath, int] | None = None) -> None:
+        self._counts: dict[BLPath, int] = {}
+        if counts:
+            for path, count in counts.items():
+                self.add(path, count)
+
+    def add(self, path: BLPath, count: int = 1) -> None:
+        """Record ``count`` more traversals of ``path``."""
+        if count < 0:
+            raise ValueError("path counts cannot be negative")
+        if count:
+            self._counts[path] = self._counts.get(path, 0) + count
+
+    def count(self, path: BLPath) -> int:
+        return self._counts.get(path, 0)
+
+    def paths(self) -> tuple[BLPath, ...]:
+        """Distinct paths, in first-recorded order."""
+        return tuple(self._counts)
+
+    def items(self) -> Iterator[tuple[BLPath, int]]:
+        return iter(self._counts.items())
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct executed paths (Table 1's "Paths" column)."""
+        return len(self._counts)
+
+    @property
+    def total_count(self) -> int:
+        """Total path traversals."""
+        return sum(self._counts.values())
+
+    def total_instructions(self, block_sizes: Mapping[Vertex, int]) -> int:
+        """Total dynamic instructions accounted for by the profile."""
+        return sum(p.weight(block_sizes) * c for p, c in self._counts.items())
+
+    def block_frequencies(self) -> dict[Vertex, int]:
+        """Execution count of each vertex, derived from the profile.
+
+        Each path contributes its count to every *interior* vertex occurrence,
+        so frequencies partition the executed trace exactly (see
+        :meth:`BLPath.interior`).
+        """
+        freq: dict[Vertex, int] = {}
+        for path, count in self._counts.items():
+            for v in path.interior():
+                freq[v] = freq.get(v, 0) + count
+        return freq
+
+    def edge_frequencies(self) -> dict[Edge, int]:
+        """Traversal count of each edge, derived from the profile."""
+        freq: dict[Edge, int] = {}
+        for path, count in self._counts.items():
+            for e in path.edges():
+                freq[e] = freq.get(e, 0) + count
+        return freq
+
+    def merged_with(self, other: "PathProfile") -> "PathProfile":
+        """A new profile combining the counts of both."""
+        merged = PathProfile(dict(self._counts))
+        for path, count in other.items():
+            merged.add(path, count)
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathProfile):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        return f"PathProfile({self.num_distinct} paths, {self.total_count} total)"
+
+
+def split_trace(
+    trace: Iterable[Vertex], recording: frozenset[Edge]
+) -> list[BLPath]:
+    """Cut an executed vertex trace into Ball–Larus paths at recording edges.
+
+    ``trace`` is the full vertex sequence of one routine activation, starting
+    at the virtual entry and ending at the virtual exit.  This is the paper's
+    Definition 8 made operational, and serves as the oracle against which the
+    increment-based profiler is validated.
+    """
+    paths: list[BLPath] = []
+    current: list[Vertex] | None = None
+    prev: Vertex | None = None
+    first = True
+    for v in trace:
+        if first:
+            prev = v
+            first = False
+            continue
+        edge = (prev, v)
+        if edge in recording:
+            if current is not None:
+                current.append(v)
+                paths.append(BLPath(tuple(current)))
+            current = [v]
+        else:
+            if current is None:
+                raise ValueError(
+                    f"trace begins with non-recording edge {edge!r}"
+                )
+            current.append(v)
+        prev = v
+    if current is not None and len(current) > 1:
+        raise ValueError("trace ended in the middle of a Ball-Larus path")
+    return paths
+
+
+def profile_from_traces(
+    traces: Iterable[Iterable[Vertex]], recording: frozenset[Edge]
+) -> PathProfile:
+    """Build a :class:`PathProfile` from executed traces (Definition 8)."""
+    profile = PathProfile()
+    for trace in traces:
+        for path in split_trace(trace, recording):
+            profile.add(path)
+    return profile

@@ -1,0 +1,46 @@
+"""Recording-edge computation.
+
+Ball–Larus acyclic paths start and end at *recording edges*.  Per the paper
+(§2.3), the minimum recording set contains
+
+* every edge leaving the entry vertex,
+* every edge entering the exit vertex, and
+* every retreating edge,
+
+so that removing the recording edges leaves an acyclic graph.  Additional
+edges may be designated recording edges (``extra``), which shortens paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ir.cfg import Cfg, Edge
+
+
+def recording_edges(cfg: Cfg, extra: Iterable[Edge] = ()) -> frozenset[Edge]:
+    """The recording-edge set of ``cfg``: entry edges, exit edges, retreating
+    edges, and any ``extra`` edges (which must exist in the graph).
+    """
+    edges: set[Edge] = set()
+    for succ in cfg.succs(cfg.entry):
+        edges.add((cfg.entry, succ))
+    for pred in cfg.preds(cfg.exit):
+        edges.add((pred, cfg.exit))
+    edges.update(cfg.retreating_edges())
+    for e in extra:
+        if not cfg.has_edge(*e):
+            raise ValueError(f"extra recording edge {e!r} is not a CFG edge")
+        edges.add(e)
+    if not cfg.is_acyclic_without(edges):
+        # retreating_edges() guarantees this; a failure indicates a graph bug.
+        raise AssertionError("recording edges do not acyclify the graph")
+    return frozenset(edges)
+
+
+def path_start_vertices(cfg: Cfg, recording: frozenset[Edge]) -> tuple:
+    """Vertices at which Ball–Larus paths may start: targets of recording
+    edges, in deterministic (vertex-insertion) order, excluding the exit.
+    """
+    targets = {v for _, v in recording}
+    return tuple(v for v in cfg.vertices if v in targets and v != cfg.exit)

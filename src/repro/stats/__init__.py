@@ -1,0 +1,19 @@
+"""Constant classification and distribution statistics (Figures 7, 10, 13)."""
+
+from .classify import (
+    ConstantClassification,
+    classify_constants,
+    constant_distribution,
+    cumulative_coverage,
+)
+from .venn import VennSummary, render_venn, venn_summary
+
+__all__ = [
+    "classify_constants",
+    "ConstantClassification",
+    "constant_distribution",
+    "cumulative_coverage",
+    "render_venn",
+    "venn_summary",
+    "VennSummary",
+]

@@ -1,0 +1,92 @@
+"""The Figure 13 Venn regions, computed from a classification.
+
+Figure 13 partitions a program's dynamic instructions into Local,
+Iterative, MOP, Qualified, Identical, Variable, and Unknowable regions.
+MOP is not directly measurable (the paper: "We cannot measure this category
+directly"), so, exactly as the paper does, the Identical and Variable sets
+approximate the interesting intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .classify import ConstantClassification
+
+
+@dataclass(frozen=True)
+class VennSummary:
+    """Dynamic-instruction regions of the paper's Figure 13."""
+
+    #: Constant by scanning the enclosing block (subset of every analysis).
+    local: int
+    #: Non-local constants Wegman–Zadek finds (Iterative \ Local).
+    iterative_only: int
+    #: Qualified constants that MOP would also find (Identical \ Iterative).
+    identical_only: int
+    #: Qualified constants only duplication reveals, with differing values.
+    variable: int
+    #: Qualified constants at some duplicates, unknown at others.
+    mixed: int
+    #: Never knowable to these analyses (tainted by memory/calls/params).
+    unknowable: int
+    #: Everything else (non-constant but in-principle knowable, stores,
+    #: prints, terminators, ...).
+    other: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.local
+            + self.iterative_only
+            + self.identical_only
+            + self.variable
+            + self.mixed
+            + self.unknowable
+            + self.other
+        )
+
+
+def venn_summary(c: ConstantClassification) -> VennSummary:
+    """Partition ``c.total_dynamic`` into the Figure 13 regions.
+
+    The constant regions are disjoint by construction of
+    :func:`repro.stats.classify.classify_constants`; ``other`` absorbs the
+    remainder so the regions always sum to the dynamic total.
+    """
+    constant_regions = (
+        c.local
+        + c.iterative_nonlocal
+        + c.identical_extra
+        + c.variable
+        + c.mixed
+    )
+    other = c.total_dynamic - constant_regions - c.unknowable
+    return VennSummary(
+        local=c.local,
+        iterative_only=c.iterative_nonlocal,
+        identical_only=c.identical_extra,
+        variable=c.variable,
+        mixed=c.mixed,
+        unknowable=c.unknowable,
+        other=max(other, 0),
+    )
+
+
+def render_venn(summary: VennSummary) -> str:
+    """A text rendering of the regions with percentages."""
+    total = summary.total or 1
+    rows = [
+        ("Local", summary.local),
+        ("Iterative (non-local, WZ)", summary.iterative_only),
+        ("Identical (qualified = MOP)", summary.identical_only),
+        ("Variable (duplication only)", summary.variable),
+        ("Mixed (constant/unknown)", summary.mixed),
+        ("Unknowable", summary.unknowable),
+        ("Other", summary.other),
+    ]
+    width = max(len(name) for name, _ in rows)
+    lines = ["Figure 13 regions (dynamic instructions):"]
+    for name, value in rows:
+        lines.append(f"  {name.ljust(width)} {value:>10d}  {value / total:6.1%}")
+    return "\n".join(lines)

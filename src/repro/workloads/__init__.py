@@ -1,0 +1,18 @@
+"""Workloads: the paper's running example plus synthetic SPEC95-like
+programs with train/ref inputs."""
+
+from .running_example import (
+    running_example_function,
+    running_example_module,
+    training_run_inputs,
+)
+from .spec import WORKLOAD_NAMES, all_workloads, get_workload
+
+__all__ = [
+    "all_workloads",
+    "get_workload",
+    "running_example_function",
+    "running_example_module",
+    "training_run_inputs",
+    "WORKLOAD_NAMES",
+]

@@ -1,0 +1,174 @@
+"""The paper's running example (Figure 1) and its path profile (Figure 2).
+
+The routine ``work`` is the loop of Figure 1::
+
+        Entry
+          |
+          A        i = 0
+          |
+    +---> B        branch on sel1[base+i]   (load: unknowable)
+    |    / \\
+    |   C   D      a = 2     a = 1
+    |    \\ /
+    |     E        branch on sel2[base+i]   (load: unknowable)
+    |    / \\
+    |   F   G      b = 4     b = 3
+    |    \\ /
+    |     H        x = a + b; res[base+i] = x; i = i + 1;
+    |    / \\          branch on cont[base+i-1]
+    +----+  I      n = i; print n
+            |
+          Exit
+
+Without qualification, only the constant assignments in A, C, D, F and G are
+constant instructions; Wegman–Zadek finds nothing else because ``a``, ``b``
+and ``i`` merge at B, E and H.  Path qualification discovers ``x = a + b``
+(6, 5 or 4 depending on the duplicate of H), ``i = i + 1`` (1 at the
+first-iteration copies of H) and ``n = i`` (1 at the copy of I on the
+no-iteration hot path) — exactly the constants the paper reports for its
+Figure 5.
+
+:func:`training_run_inputs` reproduces the Figure 2 profile: 70 activations
+that run A,B,C,E,F,H,I straight through; 5 activations that iterate the
+B,D,E,G,H loop six times; and 25 that iterate it three times.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import IRBuilder
+from ..ir.function import ArrayDecl, Function, Module
+
+#: Iteration slots reserved per activation in the control arrays.
+STRIDE = 8
+
+
+def running_example_function() -> Function:
+    """The routine of Figure 1."""
+    b = IRBuilder("work", ["base"])
+    b.block("A")
+    b.assign("i", 0)
+    b.jump("B")
+
+    b.block("B")
+    b.binop("t1", "add", "base", "i")
+    b.load("c", "sel1", "t1")
+    b.branch("c", "C", "D")
+
+    b.block("C")
+    b.assign("a", 2)
+    b.jump("E")
+
+    b.block("D")
+    b.assign("a", 1)
+    b.jump("E")
+
+    b.block("E")
+    b.binop("t2", "add", "base", "i")
+    b.load("u", "sel2", "t2")
+    b.branch("u", "F", "G")
+
+    b.block("F")
+    b.assign("b", 4)
+    b.jump("H")
+
+    b.block("G")
+    b.assign("b", 3)
+    b.jump("H")
+
+    b.block("H")
+    b.binop("x", "add", "a", "b")
+    b.store("res", "t2", "x")
+    b.binop("i", "add", "i", 1)
+    b.load("w", "cont", "t2")
+    b.branch("w", "B", "I")
+
+    b.block("I")
+    b.assign("n", "i")
+    b.emit_print("n")
+    b.ret("n")
+    return b.finish()
+
+
+def running_example_module(activations: int = 100) -> Module:
+    """A module whose ``main`` calls ``work`` once per activation.
+
+    The control arrays (``sel1``, ``sel2``, ``cont``) are supplied as run
+    inputs; ``res`` receives the computed sums.
+    """
+    module = Module()
+    size = activations * STRIDE
+    module.add_array(ArrayDecl("sel1", size))
+    module.add_array(ArrayDecl("sel2", size))
+    module.add_array(ArrayDecl("cont", size))
+    module.add_array(ArrayDecl("res", size))
+    module.add_function(running_example_function())
+
+    b = IRBuilder("main", ["activations"])
+    b.block("entry")
+    b.assign("t", 0)
+    b.assign("total", 0)
+    b.jump("loop")
+    b.block("loop")
+    b.binop("more", "lt", "t", "activations")
+    b.branch("more", "body", "done")
+    b.block("body")
+    b.binop("base", "mul", "t", STRIDE)
+    b.call("r", "work", "base")
+    b.binop("total", "add", "total", "r")
+    b.binop("t", "add", "t", 1)
+    b.jump("loop")
+    b.block("done")
+    b.emit_print("total")
+    b.ret("total")
+    module.add_function(b.finish())
+    return module
+
+
+def _activation_pattern(kind: str) -> tuple[list[int], list[int], list[int]]:
+    """Per-activation control slots (sel1, sel2, cont) for one run kind."""
+    if kind == "straight":
+        # [Entry, A, B, C, E, F, H, I, Exit]: one trip, no loop-back.
+        return [1], [1], [0]
+    if kind == "long":
+        # First trip B->D, E->F; six trips B->D, E->G; final trip B->D, E->F.
+        trips = 8
+        sel1 = [0] * trips
+        sel2 = [1] + [0] * 6 + [1]
+        cont = [1] * 7 + [0]
+        return sel1, sel2, cont
+    if kind == "short":
+        # Same shape with three interior B,D,E,G,H iterations.
+        trips = 5
+        sel1 = [0] * trips
+        sel2 = [1] + [0] * 3 + [1]
+        cont = [1] * 4 + [0]
+        return sel1, sel2, cont
+    raise ValueError(f"unknown activation kind {kind!r}")
+
+
+def training_run_inputs(
+    straight: int = 70, long: int = 5, short: int = 25
+) -> tuple[int, dict[str, list[int]]]:
+    """(main argument, input arrays) reproducing the Figure 2 profile.
+
+    Returns the activation count to pass to ``main`` and the control arrays.
+    With the defaults the profile is::
+
+        70  [• A B C E F H I Exit]
+        30  [• A B D E F H B]
+        105 [• B D E G H B]          (the paper's narration weighs H13 at 100)
+        30  [• B D E F H I Exit]
+    """
+    kinds = ["straight"] * straight + ["long"] * long + ["short"] * short
+    activations = len(kinds)
+    size = activations * STRIDE
+    sel1 = [0] * size
+    sel2 = [0] * size
+    cont = [0] * size
+    for t, kind in enumerate(kinds):
+        s1, s2, co = _activation_pattern(kind)
+        base = t * STRIDE
+        sel1[base : base + len(s1)] = s1
+        sel2[base : base + len(s2)] = s2
+        cont[base : base + len(co)] = co
+    return activations, {"sel1": sel1, "sel2": sel2, "cont": cont}

@@ -1,0 +1,678 @@
+"""Synthetic SPEC95-like workloads.
+
+The paper evaluates on seven C SPEC95 benchmarks; we cannot ship SPEC, so
+each workload here is a small MiniC program that echoes its namesake's
+control-flow character:
+
+* ``compress95`` — a tight LZW-flavoured kernel: one dominant loop path, a
+  rare "emit code" path (the paper: 11 blocks carry virtually all non-local
+  constants).
+* ``go95`` — the outlier: several independent data-driven branches per
+  iteration, so the number of executed Ball–Larus paths is far larger than
+  in any other workload, and tracing blows the graph up accordingly.
+* ``ijpeg95`` — nested block-transform loops with a per-block quality mode.
+* ``li95`` — an interpreter dispatch loop over a bytecode stream with a
+  skewed opcode distribution.
+* ``m88ksim95`` — a CPU simulator: fetch, field decode, execute dispatch.
+* ``perl95`` — a character-class scanner / tokenizer state machine.
+* ``vortex95`` — record validation with chained predicates and rare error
+  paths.
+
+Every workload follows the paper's exploitable pattern: branch legs bind
+small constants (step sizes, biases, table bases) that are re-used later on
+the same acyclic path, so path-qualified analysis finds constants that
+Wegman–Zadek's merges destroy.  All inputs are generated deterministically
+from fixed seeds; ``train`` and ``ref`` use different seeds and sizes, as in
+the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..evaluation.harness import Workload
+
+__all__ = ["all_workloads", "get_workload", "WORKLOAD_NAMES"]
+
+
+def _rand(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+# ---------------------------------------------------------------------------
+# compress95
+# ---------------------------------------------------------------------------
+
+_COMPRESS_SRC = """
+// compress95: LZW-flavoured compression kernel.
+global input[4096];
+global table[512];
+global output[4096];
+
+func hash_probe(key) {
+  var h = (key * 37 + 11) % 509;
+  if (h < 0) { h = h + 509; }
+  return table[h];
+}
+
+func compress(n) {
+  var i = 0;
+  var prev = 0;
+  var emitted = 0;
+  var checksum = 0;
+  var rounds = 3;             // constant; defined outside the loop body
+  while (i < n) {
+    var byte = input[i];
+    var key = prev * 256 + byte;
+    var probe = hash_probe(key);
+    var step;
+    var bonus;
+    if (probe == key) {
+      // Hot path: the sequence extends the current match.
+      step = 1;
+      bonus = 3;
+      prev = byte;
+    } else {
+      // Cold path: emit a code and restart the match.
+      step = 2;
+      bonus = 7;
+      output[emitted % 4096] = prev;
+      emitted = emitted + 1;
+      prev = 0;
+    }
+    // Iterative constant: rounds is constant on every path, so WZ finds
+    // base_credit even though rounds is defined in another block.
+    var base_credit = rounds * 5;
+    // Qualified constants: step/bonus are per-path; WZ merges them to
+    // bottom, but each duplicate of this block keeps them.
+    var credit = bonus * 4 + step;
+    var adjusted = credit + bonus * 2;
+    checksum = checksum + adjusted + base_credit + (byte & 15);
+    i = i + step;
+  }
+  print(checksum, emitted);
+  return checksum;
+}
+
+func main(n) {
+  var total = compress(n);
+  return total;
+}
+"""
+
+
+def _compress_inputs(seed: int, n: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    data = []
+    # Long runs of repeated bytes make the "match" path hot.
+    while len(data) < n:
+        byte = rng.randrange(0, 64)
+        run = rng.randrange(6, 24)
+        data.extend([byte] * run)
+    data = data[:n]
+    table = [0] * 512
+    # Pre-seed the table so `probe == key` holds for repeated bytes.
+    for byte in range(64):
+        key = byte * 256 + byte
+        h = (key * 37 + 11) % 509
+        table[h] = key
+    return {"input": data, "table": table}
+
+
+def _compress_workload() -> Workload:
+    train_n, ref_n = 700, 2600
+    return Workload(
+        name="compress95",
+        source=_COMPRESS_SRC,
+        train_args=(train_n,),
+        train_inputs=_compress_inputs(101, train_n),
+        ref_args=(ref_n,),
+        ref_inputs=_compress_inputs(202, ref_n),
+        description="LZW-flavoured kernel; one dominant hot path",
+    )
+
+
+# ---------------------------------------------------------------------------
+# go95
+# ---------------------------------------------------------------------------
+
+_GO_SRC = """
+// go95: branchy move evaluator with many executed paths.
+global board[4096];
+global liberty[4096];
+global influence[4096];
+
+func evaluate(pos) {
+  var komi = 6;
+  var stone = board[pos];
+  var libs = liberty[pos];
+  var infl = influence[pos];
+  var weight;
+  var base;
+  var margin;
+  var scale;
+  // Four independent data-driven branches: up to 16 paths per call,
+  // each binding different constants that the tail consumes.
+  if (stone == 1) { weight = 8; } else { weight = 3; }
+  if (libs > 2) { base = 10; } else { base = 40; }
+  if (infl > 0) { margin = 2; } else { margin = 9; }
+  if ((pos & 7) == 0) { scale = 5; } else { scale = 1; }
+  var norm = komi * 2 + 1;        // iterative non-local constant
+  var score = weight * base + margin;
+  var adjusted = score * scale + weight;
+  if (adjusted > 300) {
+    adjusted = adjusted - base;
+  }
+  return adjusted + libs + norm;
+}
+
+func scan_region(start, len) {
+  var k = 0;
+  var acc = 0;
+  while (k < len) {
+    var v = evaluate(start + k);
+    if (v > 120) {
+      acc = acc + v;
+    } else {
+      acc = acc + 1;
+    }
+    k = k + 1;
+  }
+  return acc;
+}
+
+func main(regions) {
+  var r = 0;
+  var total = 0;
+  while (r < regions) {
+    var start = r * 16;
+    total = total + scan_region(start, 16);
+    r = r + 1;
+  }
+  print(total);
+  return total;
+}
+"""
+
+
+def _go_inputs(seed: int, cells: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    # Near-uniform feature distribution => many path combinations executed.
+    board = [rng.randrange(0, 3) for _ in range(cells)]
+    liberty = [rng.randrange(0, 5) for _ in range(cells)]
+    influence = [rng.randrange(-2, 3) for _ in range(cells)]
+    return {"board": board, "liberty": liberty, "influence": influence}
+
+
+def _go_workload() -> Workload:
+    train_regions, ref_regions = 40, 160
+    return Workload(
+        name="go95",
+        source=_GO_SRC,
+        train_args=(train_regions,),
+        train_inputs=_go_inputs(303, 4096),
+        ref_args=(ref_regions,),
+        ref_inputs=_go_inputs(404, 4096),
+        description="wide branching; the path-count outlier, as go was",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ijpeg95
+# ---------------------------------------------------------------------------
+
+_IJPEG_SRC = """
+// ijpeg95: blocked integer transform with per-block quality modes.
+global pixels[4096];
+global quality[512];
+global coeffs[4096];
+
+func quantize_block(base, mode) {
+  var j = 0;
+  var energy = 0;
+  var dctsize = 8;
+  while (j < 8) {
+    var stride = dctsize * 2;   // iterative non-local constant
+    var p = pixels[base + j];
+    // The mode dispatch sits inside the loop (as a per-coefficient
+    // quality decision), so every acyclic loop path binds q/rounding/
+    // dcshift to constants that the tail of the same path consumes.
+    var q;
+    var rounding;
+    var dcshift;
+    if (mode == 0) {
+      q = 16; rounding = 8; dcshift = 128;
+    } else {
+      if (mode == 1) {
+        q = 8; rounding = 4; dcshift = 128;
+      } else {
+        q = 4; rounding = 2; dcshift = 0;
+      }
+    }
+    var divisor = q * 2 - rounding / 2;
+    var centered = p - dcshift;
+    var quantized = (centered + rounding) / divisor;
+    coeffs[base + j] = quantized;
+    energy = energy + quantized * quantized + stride;
+    j = j + 1;
+  }
+  return energy;
+}
+
+func main(blocks) {
+  var b = 0;
+  var total = 0;
+  while (b < blocks) {
+    var mode = quality[b];
+    total = total + quantize_block(b * 8, mode);
+    b = b + 1;
+  }
+  print(total);
+  return total;
+}
+"""
+
+
+def _ijpeg_inputs(seed: int, blocks: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    pixels = [rng.randrange(0, 256) for _ in range(blocks * 8)]
+    # Mode 0 dominates (the "default quality" hot path).
+    quality = [0 if rng.random() < 0.85 else rng.randrange(1, 3) for _ in range(blocks)]
+    return {"pixels": pixels, "quality": quality}
+
+
+def _ijpeg_workload() -> Workload:
+    train_blocks, ref_blocks = 60, 260
+    return Workload(
+        name="ijpeg95",
+        source=_IJPEG_SRC,
+        train_args=(train_blocks,),
+        train_inputs=_ijpeg_inputs(505, 512),
+        ref_args=(ref_blocks,),
+        ref_inputs=_ijpeg_inputs(606, 512),
+        description="nested transform loops, mode-dependent quantization",
+    )
+
+
+# ---------------------------------------------------------------------------
+# li95
+# ---------------------------------------------------------------------------
+
+_LI_SRC = """
+// li95: bytecode interpreter dispatch loop (a lisp-ish eval core).
+global code[8192];
+global operand[8192];
+global stackmem[256];
+
+func eval_loop(n) {
+  var pc = 0;
+  var sp = 0;
+  var acc = 0;
+  var steps = 0;
+  var fuel = 4;
+  while (pc < n) {
+    var basecost = fuel * 2 + 1;  // iterative non-local constant
+    var op = code[pc];
+    var arg = operand[pc];
+    var cost;
+    var delta;
+    // Dispatch chain: each opcode binds its own constant parameters.
+    if (op == 0) {            // PUSH-CONST
+      stackmem[sp % 256] = arg;
+      sp = sp + 1;
+      cost = 1; delta = 2;
+    } else { if (op == 1) {   // ADD
+      acc = acc + arg;
+      cost = 1; delta = 3;
+    } else { if (op == 2) {   // CAR-ish: load
+      acc = stackmem[arg % 256];
+      cost = 2; delta = 5;
+    } else { if (op == 3) {   // CONS-ish: store
+      stackmem[arg % 256] = acc;
+      cost = 3; delta = 7;
+    } else { if (op == 4) {   // GC tick (rare)
+      sp = 0;
+      cost = 9; delta = 11;
+    } else {                  // NOP
+      cost = 1; delta = 1;
+    } } } } }
+    // cost/delta are constants along each dispatch path.
+    var charge = cost * 6 + delta;
+    var total_charge = charge + cost;
+    steps = steps + total_charge + basecost;
+    pc = pc + 1;
+  }
+  print(steps, acc, sp);
+  return steps;
+}
+
+func main(n) {
+  return eval_loop(n);
+}
+"""
+
+
+def _li_inputs(seed: int, n: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    # Skewed opcode mix: PUSH/ADD dominate, GC is rare.
+    weights = [(0, 40), (1, 35), (2, 12), (3, 8), (4, 2), (5, 3)]
+    ops = [op for op, w in weights for _ in range(w)]
+    code = [rng.choice(ops) for _ in range(n)]
+    operands = [rng.randrange(0, 256) for _ in range(n)]
+    return {"code": code, "operand": operands}
+
+
+def _li_workload() -> Workload:
+    train_n, ref_n = 900, 3600
+    return Workload(
+        name="li95",
+        source=_LI_SRC,
+        train_args=(train_n,),
+        train_inputs=_li_inputs(707, train_n),
+        ref_args=(ref_n,),
+        ref_inputs=_li_inputs(808, ref_n),
+        description="interpreter dispatch; skewed opcode distribution",
+    )
+
+
+# ---------------------------------------------------------------------------
+# m88ksim95
+# ---------------------------------------------------------------------------
+
+_M88K_SRC = """
+// m88ksim95: a toy CPU simulator - fetch, decode fields, execute.
+global imem[4096];
+global regs[32];
+global dmem[1024];
+
+func step(word) {
+  var pipeline = 2;
+  var opcode = (word >> 12) & 15;
+  var rd = (word >> 8) & 15;
+  var rs = (word >> 4) & 15;
+  var imm = word & 15;
+  var cycles;
+  var unit;
+  if (opcode == 0) {            // ADD
+    regs[rd] = regs[rs] + imm;
+    cycles = 1; unit = 2;
+  } else { if (opcode == 1) {   // SUB
+    regs[rd] = regs[rs] - imm;
+    cycles = 1; unit = 2;
+  } else { if (opcode == 2) {   // LD
+    regs[rd] = dmem[(regs[rs] + imm) & 1023];
+    cycles = 3; unit = 5;
+  } else { if (opcode == 3) {   // ST
+    dmem[(regs[rs] + imm) & 1023] = regs[rd];
+    cycles = 3; unit = 5;
+  } else { if (opcode == 4) {   // MUL (slower unit)
+    regs[rd] = regs[rs] * imm;
+    cycles = 6; unit = 7;
+  } else {                      // NOP / unknown
+    cycles = 1; unit = 1;
+  } } } } }
+  // The timing model consumes per-opcode constants (qualified) plus a
+  // pipeline overhead WZ can find (iterative non-local).
+  var overhead = pipeline * 3;
+  var charge = cycles * 4 + unit;
+  var issue = charge + cycles;
+  return issue + overhead;
+}
+
+func simulate(n) {
+  var pc = 0;
+  var clock = 0;
+  while (pc < n) {
+    var word = imem[pc];
+    clock = clock + step(word);
+    pc = pc + 1;
+  }
+  print(clock);
+  return clock;
+}
+
+func main(n) {
+  return simulate(n);
+}
+"""
+
+
+def _m88k_inputs(seed: int, n: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    # ADD/LD dominate, like integer SPEC traces.
+    weights = [(0, 40), (1, 15), (2, 25), (3, 10), (4, 5), (5, 5)]
+    ops = [op for op, w in weights for _ in range(w)]
+    imem = []
+    for _ in range(n):
+        op = rng.choice(ops)
+        rd = rng.randrange(0, 16)
+        rs = rng.randrange(0, 16)
+        imm = rng.randrange(0, 16)
+        imem.append((op << 12) | (rd << 8) | (rs << 4) | imm)
+    dmem = [rng.randrange(0, 100) for _ in range(1024)]
+    return {"imem": imem, "dmem": dmem}
+
+
+def _m88k_workload() -> Workload:
+    train_n, ref_n = 800, 3200
+    return Workload(
+        name="m88ksim95",
+        source=_M88K_SRC,
+        train_args=(train_n,),
+        train_inputs=_m88k_inputs(909, train_n),
+        ref_args=(ref_n,),
+        ref_inputs=_m88k_inputs(1010, ref_n),
+        description="CPU simulator fetch/decode/execute loop",
+    )
+
+
+# ---------------------------------------------------------------------------
+# perl95
+# ---------------------------------------------------------------------------
+
+_PERL_SRC = """
+// perl95: tokenizer / scanner state machine over a character stream.
+global text[8192];
+global tokens[8192];
+
+func scan(n) {
+  var i = 0;
+  var ntok = 0;
+  var state = 0;
+  var hashv = 0;
+  var salt = 7;
+  while (i < n) {
+    var seed2 = salt * salt - 3;  // iterative non-local constant
+    var ch = text[i];
+    var klass;
+    var weight;
+    // Character classification chain.
+    if (ch == 32) {                       // space
+      klass = 0; weight = 1;
+    } else { if (ch >= 97 && ch <= 122) { // lower alpha
+      klass = 1; weight = 4;
+    } else { if (ch >= 48 && ch <= 57) {  // digit
+      klass = 2; weight = 3;
+    } else { if (ch == 36 || ch == 64) {  // sigil ($, @)
+      klass = 3; weight = 9;
+    } else {                              // punctuation
+      klass = 4; weight = 2;
+    } } } }
+    var bump = weight * 8 + klass + seed2;
+    if (klass == 0) {
+      if (state != 0) {
+        tokens[ntok % 8192] = hashv;
+        ntok = ntok + 1;
+        hashv = 0;
+      }
+      state = 0;
+    } else {
+      hashv = (hashv * 31 + ch + bump) % 65536;
+      state = 1;
+    }
+    i = i + 1;
+  }
+  print(ntok, hashv);
+  return ntok;
+}
+
+func main(n) {
+  return scan(n);
+}
+"""
+
+
+def _perl_inputs(seed: int, n: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    text = []
+    while len(text) < n:
+        # Words of lowercase letters separated by spaces, some digits/sigils.
+        r = rng.random()
+        if r < 0.72:
+            text.extend(rng.randrange(97, 123) for _ in range(rng.randrange(2, 8)))
+        elif r < 0.84:
+            text.extend(rng.randrange(48, 58) for _ in range(rng.randrange(1, 4)))
+        elif r < 0.90:
+            text.append(rng.choice([36, 64]))
+        else:
+            text.append(rng.choice([43, 45, 59, 123, 125]))
+        text.append(32)
+    return {"text": text[:n]}
+
+
+def _perl_workload() -> Workload:
+    train_n, ref_n = 1200, 4800
+    return Workload(
+        name="perl95",
+        source=_PERL_SRC,
+        train_args=(train_n,),
+        train_inputs=_perl_inputs(1111, train_n),
+        ref_args=(ref_n,),
+        ref_inputs=_perl_inputs(1212, ref_n),
+        description="tokenizer state machine over characters",
+    )
+
+
+# ---------------------------------------------------------------------------
+# vortex95
+# ---------------------------------------------------------------------------
+
+_VORTEX_SRC = """
+// vortex95: object-database record validation and indexing.
+global rec_kind[4096];
+global rec_size[4096];
+global rec_owner[4096];
+global index_a[4096];
+global index_b[4096];
+
+func validate(r) {
+  var audit = 5;
+  var kind = rec_kind[r];
+  var size = rec_size[r];
+  var owner = rec_owner[r];
+  var limit;
+  var slot;
+  var penalty;
+  if (kind == 1) {
+    limit = 64; slot = 3; penalty = 2;
+  } else { if (kind == 2) {
+    limit = 128; slot = 5; penalty = 4;
+  } else {
+    limit = 16; slot = 7; penalty = 8;
+  } }
+  var ledger = audit * 4 + 2;   // iterative non-local constant
+  var fee = slot * 10 + penalty + ledger / 2;
+  if (size > limit || owner < 0) {
+    // Rare error path.
+    return 0 - fee;
+  }
+  index_a[(r * slot) % 4096] = size;
+  index_b[(r + fee) % 4096] = owner;
+  return fee + size;
+}
+
+func process(n) {
+  var r = 0;
+  var good = 0;
+  var bad = 0;
+  var total = 0;
+  while (r < n) {
+    var v = validate(r);
+    if (v > 0) {
+      good = good + 1;
+      total = total + v;
+    } else {
+      bad = bad + 1;
+      total = total + v / 2;
+    }
+    r = r + 1;
+  }
+  print(good, bad, total);
+  return total;
+}
+
+func main(n) {
+  return process(n);
+}
+"""
+
+
+def _vortex_inputs(seed: int, n: int) -> dict[str, list[int]]:
+    rng = _rand(seed)
+    kinds = [rng.choice([1, 1, 1, 1, 2, 2, 3]) for _ in range(n)]
+    sizes = []
+    owners = []
+    for kind in kinds:
+        limit = {1: 64, 2: 128, 3: 16}[kind]
+        if rng.random() < 0.93:
+            sizes.append(rng.randrange(1, limit))
+            owners.append(rng.randrange(0, 50))
+        else:  # invalid record
+            sizes.append(limit + rng.randrange(1, 40))
+            owners.append(rng.choice([-1, 5]))
+    return {"rec_kind": kinds, "rec_size": sizes, "rec_owner": owners}
+
+
+def _vortex_workload() -> Workload:
+    train_n, ref_n = 600, 2400
+    return Workload(
+        name="vortex95",
+        source=_VORTEX_SRC,
+        train_args=(train_n,),
+        train_inputs=_vortex_inputs(1313, 4096),
+        ref_args=(ref_n,),
+        ref_inputs=_vortex_inputs(1414, 4096),
+        description="record validation with chained predicates",
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_FACTORIES = {
+    "compress95": _compress_workload,
+    "go95": _go_workload,
+    "ijpeg95": _ijpeg_workload,
+    "li95": _li_workload,
+    "m88ksim95": _m88k_workload,
+    "perl95": _perl_workload,
+    "vortex95": _vortex_workload,
+}
+
+WORKLOAD_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def get_workload(name: str) -> Workload:
+    """Construct one workload by name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        ) from None
+
+
+def all_workloads() -> dict[str, Workload]:
+    """All seven workloads, in canonical order."""
+    return {name: factory() for name, factory in _FACTORIES.items()}

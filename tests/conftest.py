@@ -1,0 +1,154 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.evaluation.harness import WorkloadRun
+from repro.interp import Interpreter
+from repro.ir.cfg import Cfg
+from repro.workloads.running_example import (
+    running_example_module,
+    training_run_inputs,
+)
+from repro.workloads.spec import get_workload
+
+
+# -- running example -----------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def example_module():
+    return running_example_module()
+
+
+@pytest.fixture(scope="session")
+def example_run(example_module):
+    """A profiled training run of the running example (both profilers)."""
+    n, inputs = training_run_inputs()
+    interp = Interpreter(example_module, profile_mode="both")
+    return interp.run([n], inputs)
+
+
+@pytest.fixture(scope="session")
+def example_profile(example_run):
+    """The Figure 2 path profile of the ``work`` routine."""
+    return example_run.profiles["work"]
+
+
+@pytest.fixture(scope="session")
+def example_qualified(example_module, example_profile):
+    """Full pipeline at CA = 1 on the running example."""
+    from repro.core import run_qualified
+
+    return run_qualified(example_module.function("work"), example_profile, ca=1.0)
+
+
+# -- workload runs (session-cached; they are the expensive fixtures) ---------
+
+
+@pytest.fixture(scope="session")
+def compress_run():
+    return WorkloadRun(get_workload("compress95"))
+
+
+@pytest.fixture(scope="session")
+def vortex_run():
+    return WorkloadRun(get_workload("vortex95"))
+
+
+# -- hypothesis strategies ------------------------------------------------
+
+
+@st.composite
+def random_cfgs(draw, max_blocks: int = 8):
+    """A random, connected Cfg over string vertices ``b0..bN`` with entry
+    edge, exit edges, and optional back edges.
+
+    Every vertex is reachable from the entry and reaches the exit, so the
+    graph is a plausible routine CFG for profiling algorithms.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_blocks))
+    names = [f"b{i}" for i in range(n)]
+    cfg = Cfg()
+    cfg.add_edge(cfg.entry, names[0])
+    # Forward edges keep the skeleton acyclic and connected.
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        cfg.add_edge(names[parent], names[i])
+    # Extra forward edges.
+    extra = draw(st.integers(min_value=0, max_value=n))
+    for _ in range(extra):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=n - 1))
+        if a < b:
+            cfg.add_edge(names[a], names[b])
+    # Back edges (cycles).
+    back = draw(st.integers(min_value=0, max_value=2))
+    for _ in range(back):
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=0, max_value=a))
+        cfg.add_edge(names[a], names[b])
+    # Exit edges: every vertex needs a *forward* way out, or a walk could be
+    # trapped in a cycle; give vertices without a higher-indexed successor an
+    # edge to the exit.
+    index = {name: i for i, name in enumerate(names)}
+    for name in names:
+        forward = [
+            s
+            for s in cfg.succs(name)
+            if s == cfg.exit or index.get(s, -1) > index[name]
+        ]
+        if not forward:
+            cfg.add_edge(name, cfg.exit)
+    if draw(st.booleans()):
+        v = names[draw(st.integers(min_value=0, max_value=n - 1))]
+        cfg.add_edge(v, cfg.exit)
+    return cfg
+
+
+@st.composite
+def random_walks(draw, cfg: Cfg, max_steps: int = 40):
+    """A random entry-to-exit walk through ``cfg`` (a plausible execution
+    trace).  Biased toward the exit so walks terminate."""
+    trace = [cfg.entry]
+    current = cfg.entry
+    steps = 0
+    while current != cfg.exit:
+        succs = list(cfg.succs(current))
+        assert succs, f"vertex {current} has no successors"
+        if steps >= max_steps and cfg.exit in succs:
+            nxt = cfg.exit
+        else:
+            nxt = succs[draw(st.integers(min_value=0, max_value=len(succs) - 1))]
+        trace.append(nxt)
+        current = nxt
+        steps += 1
+        if steps > max_steps * 4:
+            # Force termination: follow any path to the exit greedily.
+            current = _force_exit(cfg, current, trace)
+    return trace
+
+
+def _force_exit(cfg: Cfg, current, trace):
+    # BFS parent map toward the exit.
+    from collections import deque
+
+    parents = {current: None}
+    queue = deque([current])
+    while queue:
+        v = queue.popleft()
+        if v == cfg.exit:
+            path = []
+            while v is not None:
+                path.append(v)
+                v = parents[v]
+            path.reverse()
+            trace.extend(path[1:])
+            return cfg.exit
+        for s in cfg.succs(v):
+            if s not in parents:
+                parents[s] = v
+                queue.append(s)
+    raise AssertionError("exit unreachable")

@@ -1,0 +1,139 @@
+"""The general Aho–Corasick automaton, and an executable proof of Theorem 2:
+on trimmed Ball–Larus keyword sets its transition function coincides with
+the trivial-failure qualification automaton."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automaton import AhoCorasick, DOT, QualificationAutomaton
+from repro.interp import Interpreter
+from repro.profiles import recording_edges, select_hot_paths
+from repro.workloads.running_example import (
+    running_example_module,
+    training_run_inputs,
+)
+
+from conftest import random_cfgs, random_walks
+
+
+class TestClassicMatching:
+    def test_textbook_example(self):
+        """The classic {he, she, his, hers} keyword set."""
+        ac = AhoCorasick(["he", "she", "his", "hers"], alphabet="hiser")
+        hits = ac.matches("ushers")
+        ends = sorted(i for i, _ in hits)
+        # "she" ends at 4, "he" (via failure of "she") at 4, "hers" at 6.
+        assert 4 in ends and 6 in ends
+
+    def test_overlapping_keywords(self):
+        ac = AhoCorasick(["aa", "aaa"], alphabet="a")
+        hits = ac.matches("aaaa")
+        assert [i for i, _ in hits] == [2, 3, 4]
+
+    def test_no_match(self):
+        ac = AhoCorasick(["abc"], alphabet="abcx")
+        assert ac.matches("xxab") == []
+
+    def test_failure_links_reset_correctly(self):
+        # After matching the prefix "ab" of "abd", input "c" must recover
+        # the keyword "bc" via the failure link of the "ab" state.
+        ac = AhoCorasick(["abd", "bc"], alphabet="abcd")
+        hits = ac.matches("abc")
+        assert [i for i, _ in hits] == [3]
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_equal_naive_scan(self, data):
+        alphabet = "ab"
+        keywords = data.draw(
+            st.lists(
+                st.text(alphabet=alphabet, min_size=1, max_size=4),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        text = data.draw(st.text(alphabet=alphabet, max_size=20))
+        ac = AhoCorasick(keywords, alphabet)
+        got = sorted({i for i, _ in ac.matches(text)})
+        expected = sorted(
+            {
+                i + len(k)
+                for k in keywords
+                for i in range(len(text))
+                if text.startswith(k, i)
+            }
+        )
+        assert got == expected
+
+
+class TestTheorem2:
+    """The paper's Theorem 2, executed: for trimmed Ball–Larus keywords, the
+    general failure function degenerates to (q• on recording, qε otherwise),
+    i.e. the two automata have identical transition functions."""
+
+    def _automata(self, cfg, hot_paths, recording):
+        qual = QualificationAutomaton(recording, hot_paths)
+        keywords = [[DOT]] + [
+            [DOT, *QualificationAutomaton.trim(p)] for p in hot_paths
+        ]
+        alphabet = [DOT] + list(cfg.edges)
+        general = AhoCorasick(keywords, alphabet)
+        return qual, general
+
+    def _assert_equal_transitions(self, cfg, recording, qual, general):
+        assert qual.num_states == general.num_states
+        for state in qual.states():
+            for edge in cfg.edges:
+                letter = DOT if edge in recording else edge
+                assert qual.transition(state, edge) == general.transition(
+                    state, letter
+                ), (state, edge)
+
+    def test_on_the_running_example(self):
+        from repro.ir import Cfg
+
+        module = running_example_module()
+        n, inputs = training_run_inputs()
+        run = Interpreter(module).run([n], inputs)
+        profile = run.profiles["work"]
+        fn = module.function("work")
+        cfg = Cfg.from_function(fn)
+        recording = recording_edges(cfg)
+        sizes = {label: b.size for label, b in fn.blocks.items()}
+        hot = select_hot_paths(profile, sizes, 1.0)
+        qual, general = self._automata(cfg, hot, recording)
+        self._assert_equal_transitions(cfg, recording, qual, general)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_on_random_graphs(self, data):
+        from repro.profiles import PathProfile, split_trace
+
+        cfg = data.draw(random_cfgs(max_blocks=6))
+        recording = recording_edges(cfg)
+        profile = PathProfile()
+        for _ in range(data.draw(st.integers(1, 3))):
+            walk = data.draw(random_walks(cfg))
+            for p in split_trace(walk, recording):
+                profile.add(p)
+        hot = select_hot_paths(profile, {v: 1 for v in cfg.vertices}, 1.0)
+        qual, general = self._automata(cfg, hot, recording)
+        self._assert_equal_transitions(cfg, recording, qual, general)
+
+    def test_failure_links_all_point_to_root(self):
+        """Theorem 2's proof core: no proper suffix of a trimmed path is a
+        keyword prefix, so every failure link is trivial."""
+        from repro.ir import Cfg
+
+        module = running_example_module()
+        n, inputs = training_run_inputs()
+        run = Interpreter(module).run([n], inputs)
+        fn = module.function("work")
+        cfg = Cfg.from_function(fn)
+        recording = recording_edges(cfg)
+        sizes = {label: b.size for label, b in fn.blocks.items()}
+        hot = select_hot_paths(run.profiles["work"], sizes, 1.0)
+        _, general = self._automata(cfg, hot, recording)
+        for state in range(1, general.num_states):
+            assert general.failure[state] == general.root

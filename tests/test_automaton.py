@@ -1,0 +1,226 @@
+"""Tests for the retrieval tree, the qualification automaton (Theorem 2),
+and partition refinement (Hopcroft vs the Moore oracle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automaton import (
+    DOT,
+    QualificationAutomaton,
+    Trie,
+    hopcroft_refine,
+    moore_refine,
+    quotient_map,
+)
+from repro.ir import Cfg, ENTRY, EXIT
+from repro.profiles import BLPath, recording_edges
+
+from conftest import random_cfgs
+
+
+class TestTrie:
+    def test_insert_and_contains(self):
+        t = Trie()
+        t.insert("abc")
+        t.insert("abd")
+        assert t.contains("abc") and t.contains("abd")
+        assert not t.contains("ab")
+        assert not t.contains("abe")
+
+    def test_shared_prefixes_share_states(self):
+        t = Trie()
+        t.insert("abc")
+        t.insert("abd")
+        # root + a + b + c + d = 5 states
+        assert t.num_states == 5
+
+    def test_depth(self):
+        t = Trie()
+        end = t.insert("abc")
+        assert t.depth(end) == 3
+        assert t.depth(t.root) == 0
+
+    def test_word_of_inverts_insert(self):
+        t = Trie()
+        end = t.insert(["x", "y", "z"])
+        assert t.word_of(end) == ("x", "y", "z")
+
+    def test_word_of_unknown_state(self):
+        with pytest.raises(KeyError):
+            Trie().word_of(99)
+
+    def test_insert_without_marking(self):
+        t = Trie()
+        end = t.insert("ab", mark_end=False)
+        assert not t.is_word_end(end)
+        assert not t.contains("ab")
+
+
+def example_cfg() -> tuple[Cfg, frozenset]:
+    cfg = Cfg(
+        edges=[
+            (ENTRY, "a"),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+            ("d", "a"),
+            ("d", EXIT),
+        ]
+    )
+    return cfg, recording_edges(cfg)
+
+
+class TestQualificationAutomaton:
+    def test_empty_hot_set_has_two_states(self):
+        cfg, rec = example_cfg()
+        auto = QualificationAutomaton(rec)
+        assert auto.num_states == 2  # q_epsilon and q_dot
+
+    def test_transitions_are_total(self):
+        cfg, rec = example_cfg()
+        hot = [BLPath(("a", "b", "d", EXIT))]
+        auto = QualificationAutomaton(rec, hot)
+        for state in auto.states():
+            for edge in cfg.edges:
+                assert auto.transition(state, edge) in range(auto.num_states)
+
+    def test_recording_edge_goes_to_q_dot(self):
+        """Theorem 2: on a recording edge the failure function yields q•."""
+        cfg, rec = example_cfg()
+        hot = [BLPath(("a", "b", "d", "a"))]
+        auto = QualificationAutomaton(rec, hot)
+        for state in auto.states():
+            for edge in rec:
+                assert auto.transition(state, edge) == auto.q_dot
+
+    def test_miss_goes_to_q_epsilon(self):
+        """Theorem 2: on a non-recording miss the automaton resets to qε."""
+        cfg, rec = example_cfg()
+        hot = [BLPath(("a", "b", "d", EXIT))]
+        auto = QualificationAutomaton(rec, hot)
+        # From q_dot, edge (a, c) is not on the hot path and not recording.
+        assert auto.transition(auto.q_dot, ("a", "c")) == auto.q_epsilon
+
+    def test_hot_path_spine_is_followed(self):
+        cfg, rec = example_cfg()
+        hot = [BLPath(("a", "b", "d", EXIT))]
+        auto = QualificationAutomaton(rec, hot)
+        state = auto.run(auto.q_dot, (("a", "b"), ("b", "d")))
+        assert auto.depth(state) == 3  # DOT + two edges
+        assert auto.hot_path_at(state) == hot[0]
+
+    def test_trim_drops_final_recording_edge(self):
+        path = BLPath(("a", "b", "d", EXIT))
+        assert QualificationAutomaton.trim(path) == (("a", "b"), ("b", "d"))
+
+    def test_interior_recording_edge_rejected(self):
+        cfg, rec = example_cfg()
+        bad = BLPath(("a", "b", "d", "a", "b"))  # contains recording (d, a)
+        with pytest.raises(ValueError, match="interior recording"):
+            QualificationAutomaton(rec, [bad])
+
+    def test_state_names(self):
+        cfg, rec = example_cfg()
+        auto = QualificationAutomaton(rec, [BLPath(("a", "b", "d", EXIT))])
+        assert auto.state_name(auto.q_epsilon) == "qe"
+        assert auto.state_name(auto.q_dot) == "q."
+
+    def test_shared_prefix_paths_share_spine(self):
+        cfg, rec = example_cfg()
+        hot = [BLPath(("a", "b", "d", EXIT)), BLPath(("a", "b", "d", "a"))]
+        auto = QualificationAutomaton(rec, hot)
+        # Both trimmed keywords are [DOT, (a,b), (b,d)]: same spine.
+        assert auto.num_states == 4
+
+
+def _transitions_from(table):
+    def transitions(state):
+        return table.get(state, {})
+
+    return transitions
+
+
+class TestPartitionRefinement:
+    def test_split_on_successor_class(self):
+        # s0,s1 both map label 'x' but to states in different classes.
+        table = {
+            "s0": {"x": "t0"},
+            "s1": {"x": "t1"},
+            "t0": {},
+            "t1": {},
+        }
+        states = ["s0", "s1", "t0", "t1"]
+        initial = [["s0", "s1"], ["t0"], ["t1"]]
+        refined = hopcroft_refine(states, initial, _transitions_from(table))
+        assert [set(c) for c in refined] == [{"s0"}, {"s1"}, {"t0"}, {"t1"}]
+
+    def test_no_split_when_compatible(self):
+        table = {
+            "s0": {"x": "t0"},
+            "s1": {"x": "t0"},
+            "t0": {},
+        }
+        states = ["s0", "s1", "t0"]
+        refined = hopcroft_refine(
+            states, [["s0", "s1"], ["t0"]], _transitions_from(table)
+        )
+        assert [set(c) for c in refined] == [{"s0", "s1"}, {"t0"}]
+
+    def test_partial_maps_split_on_definedness(self):
+        table = {"s0": {"x": "t"}, "s1": {}, "t": {}}
+        refined = hopcroft_refine(
+            ["s0", "s1", "t"], [["s0", "s1"], ["t"]], _transitions_from(table)
+        )
+        assert {frozenset(c) for c in refined} == {
+            frozenset({"s0"}),
+            frozenset({"s1"}),
+            frozenset({"t"}),
+        }
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(ValueError):
+            hopcroft_refine(["a"], [["a", "a"]], _transitions_from({}))
+        with pytest.raises(ValueError):
+            hopcroft_refine(["a", "b"], [["a"]], _transitions_from({}))
+
+    def test_quotient_map(self):
+        rep = quotient_map([("a", "b"), ("c",)])
+        assert rep == {"a": "a", "b": "a", "c": "c"}
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_hopcroft_equals_moore_on_random_dfas(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=10))
+        labels = ["x", "y"]
+        states = list(range(n))
+        table = {}
+        for s in states:
+            row = {}
+            for label in labels:
+                if data.draw(st.booleans()):
+                    row[label] = data.draw(st.integers(0, n - 1))
+            table[s] = row
+        # Random initial partition.
+        colors = [data.draw(st.integers(0, 2)) for _ in states]
+        initial: dict[int, list] = {}
+        for s, c in zip(states, colors):
+            initial.setdefault(c, []).append(s)
+        partition = list(initial.values())
+        h = hopcroft_refine(states, partition, _transitions_from(table))
+        m = moore_refine(states, partition, _transitions_from(table))
+        assert {frozenset(c) for c in h} == {frozenset(c) for c in m}
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_refinement_is_stable(self, data):
+        """Refining a refined partition changes nothing."""
+        n = data.draw(st.integers(min_value=1, max_value=8))
+        states = list(range(n))
+        table = {
+            s: {"x": data.draw(st.integers(0, n - 1))} for s in states
+        }
+        refined = hopcroft_refine(states, [states], _transitions_from(table))
+        again = hopcroft_refine(states, refined, _transitions_from(table))
+        assert refined == again

@@ -1,0 +1,142 @@
+"""Ball–Larus numbering: bijectivity, regeneration, and agreement between the
+increment-based profiler and the trace-splitting oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp.profiler import BallLarusProfiler, TraceProfiler
+from repro.ir import Cfg, ENTRY, EXIT
+from repro.profiles import (
+    BallLarusNumbering,
+    recording_edges,
+    split_trace,
+)
+
+from conftest import random_cfgs, random_walks
+
+import pytest
+
+
+def diamond_loop() -> tuple[Cfg, frozenset]:
+    cfg = Cfg(
+        edges=[
+            (ENTRY, "a"),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+            ("d", "a"),
+            ("d", EXIT),
+        ]
+    )
+    return cfg, recording_edges(cfg)
+
+
+class TestNumbering:
+    def test_num_paths_diamond(self):
+        cfg, rec = diamond_loop()
+        numbering = BallLarusNumbering(cfg, rec)
+        # From a: two ways to d (via b or c), then either the backedge
+        # (recording) or the exit edge (recording): 4 paths.
+        assert numbering.num_paths_from("a") == 4
+
+    def test_ids_are_a_bijection(self):
+        cfg, rec = diamond_loop()
+        numbering = BallLarusNumbering(cfg, rec)
+        for start in numbering.start_vertices:
+            n = numbering.num_paths_from(start)
+            seen = set()
+            for pid in range(n):
+                path = numbering.regenerate(start, pid)
+                back = numbering.path_id(path)
+                assert back == (start, pid)
+                seen.add(tuple(path.vertices))
+            assert len(seen) == n
+
+    def test_regenerate_range_checked(self):
+        cfg, rec = diamond_loop()
+        numbering = BallLarusNumbering(cfg, rec)
+        n = numbering.num_paths_from("a")
+        with pytest.raises(ValueError):
+            numbering.regenerate("a", n)
+        with pytest.raises(ValueError):
+            numbering.regenerate("a", -1)
+
+    def test_path_id_rejects_malformed_paths(self):
+        from repro.profiles import BLPath
+
+        cfg, rec = diamond_loop()
+        numbering = BallLarusNumbering(cfg, rec)
+        with pytest.raises(ValueError, match="not a recording edge"):
+            numbering.path_id(BLPath(("a", "b")))  # (a,b) is not recording
+
+    def test_cyclic_without_recording_rejected(self):
+        cfg = Cfg(edges=[(ENTRY, "a"), ("a", "b"), ("b", "a"), ("a", EXIT)])
+        with pytest.raises(ValueError, match="cyclic"):
+            BallLarusNumbering(cfg, frozenset({(ENTRY, "a"), ("a", EXIT)}))
+
+    def test_total_potential_paths(self):
+        cfg, rec = diamond_loop()
+        numbering = BallLarusNumbering(cfg, rec)
+        assert numbering.total_potential_paths == sum(
+            numbering.num_paths_from(s) for s in numbering.start_vertices
+        )
+
+    @given(random_cfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_bijection_on_random_graphs(self, cfg):
+        rec = recording_edges(cfg)
+        numbering = BallLarusNumbering(cfg, rec)
+        for start in numbering.start_vertices:
+            n = min(numbering.num_paths_from(start), 50)
+            for pid in range(n):
+                path = numbering.regenerate(start, pid)
+                assert numbering.path_id(path) == (start, pid)
+                assert path.edges()[-1] in rec
+                for edge in path.edges()[:-1]:
+                    assert edge not in rec
+
+
+class TestProfilerAgreement:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_increment_profiler_equals_oracle(self, data):
+        cfg = data.draw(random_cfgs())
+        rec = recording_edges(cfg)
+        bl = BallLarusProfiler(cfg, rec)
+        oracle = TraceProfiler(cfg, rec)
+        walks = data.draw(st.integers(min_value=1, max_value=5))
+        for _ in range(walks):
+            trace = data.draw(random_walks(cfg))
+            for profiler in (bl, oracle):
+                profiler.enter()
+                for u, v in zip(trace, trace[1:]):
+                    profiler.edge(u, v)
+                profiler.leave()
+        assert bl.profile() == oracle.profile()
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_profile_weight_equals_trace_length(self, data):
+        """Interior-vertex frequencies partition the trace exactly."""
+        cfg = data.draw(random_cfgs())
+        rec = recording_edges(cfg)
+        trace = data.draw(random_walks(cfg))
+        paths = split_trace(trace, rec)
+        interiors = [v for p in paths for v in p.interior()]
+        # Every trace vertex except the final EXIT is some path's interior.
+        assert interiors == trace[1:-1] or interiors == trace[:-1]
+
+    def test_raw_counts_shape(self):
+        cfg, rec = diamond_loop()
+        bl = BallLarusProfiler(cfg, rec)
+        bl.enter()
+        for u, v in zip(t := [ENTRY, "a", "b", "d", EXIT], t[1:]):
+            bl.edge(u, v)
+        bl.leave()
+        raw = bl.raw_counts()
+        assert len(raw) == 1
+        ((start, pid), count), = raw.items()
+        assert start == "a" and count == 1
+        numbering = BallLarusNumbering(cfg, rec)
+        assert numbering.regenerate(start, pid).vertices == ("a", "b", "d", EXIT)

@@ -1,0 +1,106 @@
+"""Chaining qualified passes: the relabelled profile of a materialized graph
+is exactly what instrumenting the materialized function would measure."""
+
+import pytest
+
+from repro.core import run_qualified
+from repro.core.chain import (
+    materialized_recording_edges,
+    profile_for_materialized,
+    relabel_profile,
+)
+from repro.interp import Interpreter
+from repro.ir import Cfg
+from repro.opt import materialize
+from repro.workloads.running_example import (
+    running_example_module,
+    training_run_inputs,
+)
+
+
+@pytest.fixture(scope="module")
+def chained():
+    module = running_example_module()
+    n, inputs = training_run_inputs()
+    run = Interpreter(module).run([n], inputs)
+    qa = run_qualified(module.function("work"), run.profiles["work"], ca=1.0)
+    fn2 = materialize(qa.reduced)  # unfolded: execution pattern is exact
+    profile2, recording2 = profile_for_materialized(qa)
+    return module, n, inputs, run, qa, fn2, profile2, recording2
+
+
+class TestRelabelledProfile:
+    def test_recording_edges_acyclify_materialized_cfg(self, chained):
+        _, _, _, _, _, fn2, _, recording2 = chained
+        cfg2 = Cfg.from_function(fn2)
+        for u, v in recording2:
+            assert cfg2.has_edge(u, v), (u, v)
+        assert cfg2.is_acyclic_without(recording2)
+
+    def test_counts_preserved(self, chained):
+        _, _, _, run, _, _, profile2, _ = chained
+        assert profile2.total_count == run.profiles["work"].total_count
+
+    def test_matches_an_actual_run_of_the_materialized_code(self, chained):
+        """Replace `work` with the materialized function and run the same
+        inputs: the relabelled profile's block frequencies must equal the
+        real execution counts (frequencies are recording-set invariant, so
+        this holds regardless of which recording edges a profiler picks)."""
+        module, n, inputs, run, qa, fn2, profile2, recording2 = chained
+        new_module = module.copy()
+        del new_module.functions["work"]
+        new_module.add_function(fn2)
+        result = Interpreter(new_module, profile_mode=None).run([n], inputs)
+        interp_freq = {
+            label: count
+            for (fn_name, label), count in result.block_counts.items()
+            if fn_name == fn2.name
+        }
+        relabel_freq = {
+            v: c
+            for v, c in profile2.block_frequencies().items()
+            if v in fn2.blocks
+        }
+        assert interp_freq == relabel_freq
+
+    def test_second_qualified_pass_runs(self, chained):
+        """A second qualified pass over the materialized function, driven by
+        the inherited profile/recording edges, keeps the first pass's
+        constants."""
+        module, n, inputs, run, qa, fn2, profile2, recording2 = chained
+        cfg2 = Cfg.from_function(fn2)
+        qa2 = run_qualified(
+            fn2, profile2, ca=1.0, cfg=cfg2, recording=recording2
+        )
+        # The second pass re-discovers at least the first pass's constants
+        # (x = 6/5/4 at H duplicates) — they are now per-label facts.
+        found = set()
+        analysis = qa2.final_analysis()
+        view_vertices = (
+            qa2.reduced.cfg.vertices if qa2.traced else cfg2.vertices
+        )
+        for v in view_vertices:
+            label = v[0] if isinstance(v, tuple) else v
+            if isinstance(label, str) and label.startswith("H"):
+                consts = analysis.pure_constant_sites(v)
+                if 0 in consts:
+                    found.add(consts[0])
+        assert {4, 5, 6} <= found
+
+    def test_untraced_analysis_rejected(self, example_module, example_profile):
+        qa = run_qualified(example_module.function("work"), example_profile, ca=0.0)
+        with pytest.raises(ValueError, match="not traced"):
+            profile_for_materialized(qa)
+
+    def test_unknown_stage_rejected(self, chained):
+        _, _, _, _, qa, _, _, _ = chained
+        with pytest.raises(ValueError, match="stage"):
+            profile_for_materialized(qa, stage="wibble")
+
+    def test_hpg_stage_also_relabels(self, chained):
+        _, _, _, run, qa, _, _, _ = chained
+        profile_h, recording_h = profile_for_materialized(qa, stage="hpg")
+        fn_h = materialize(qa.hpg)
+        cfg_h = Cfg.from_function(fn_h)
+        assert cfg_h.is_acyclic_without(recording_h)
+        assert profile_h.total_count == run.profiles["work"].total_count

@@ -1,0 +1,182 @@
+"""CLI tests: each subcommand invoked through main()."""
+
+import pytest
+
+from repro.cli import main
+from repro.frontend import compile_program
+from repro.interp import run_module
+from repro.ir import parse_module
+
+SOURCE = """
+global data[8];
+
+func kernel(n) {
+  var i = 0;
+  var acc = 0;
+  while (i < n) {
+    var step; var bonus;
+    if (data[i] > 0) { step = 1; bonus = 3; }
+    else             { step = 2; bonus = 7; }
+    acc = acc + bonus * 4 + step;
+    i = i + step;
+  }
+  print(acc);
+  return acc;
+}
+
+func main(n) { return kernel(n); }
+"""
+
+
+@pytest.fixture()
+def prog(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestCompile:
+    def test_compile_to_stdout(self, prog, capsys):
+        assert main(["compile", str(prog)]) == 0
+        out = capsys.readouterr().out
+        module = parse_module(out)
+        assert set(module.functions) == {"kernel", "main"}
+
+    def test_compile_to_file(self, prog, tmp_path):
+        out = tmp_path / "prog.ir"
+        assert main(["compile", str(prog), "-o", str(out)]) == 0
+        module = parse_module(out.read_text())
+        assert "data" in module.arrays
+
+
+class TestRun:
+    def test_run_prints_output(self, prog, capsys):
+        rc = main(
+            ["run", str(prog), "--args", "6", "--input", "data=1,1,0,1,0,1"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip().isdigit()
+        assert "# cost (cycles):" in captured.err
+
+    def test_run_saves_profile(self, prog, tmp_path, capsys):
+        profile_file = tmp_path / "prog.prof"
+        main(
+            [
+                "run",
+                str(prog),
+                "--args",
+                "6",
+                "--input",
+                "data=1,1,0,1,0,1",
+                "--save-profile",
+                str(profile_file),
+            ]
+        )
+        text = profile_file.read_text()
+        assert text.startswith("# repro path profile v1")
+        assert "routine kernel" in text
+
+    def test_bad_input_spec(self, prog):
+        with pytest.raises(SystemExit):
+            main(["run", str(prog), "--input", "data"])
+
+
+class TestOptimize:
+    def test_end_to_end(self, prog, tmp_path, capsys):
+        profile_file = tmp_path / "prog.prof"
+        main(
+            [
+                "run",
+                str(prog),
+                "--args",
+                "8",
+                "--input",
+                "data=1,1,1,0,1,1,0,1",
+                "--save-profile",
+                str(profile_file),
+            ]
+        )
+        baseline_out = capsys.readouterr().out
+        out_file = tmp_path / "opt.ir"
+        rc = main(
+            [
+                "optimize",
+                str(prog),
+                "--profile",
+                str(profile_file),
+                "-o",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        optimized = parse_module(out_file.read_text())
+        # The optimized module still behaves identically.
+        result = run_module(
+            optimized,
+            args=[8],
+            inputs={"data": [1, 1, 1, 0, 1, 1, 0, 1]},
+            profile_mode=None,
+        )
+        assert "\n".join(
+            " ".join(map(str, t)) for t in result.output
+        ) == baseline_out.strip()
+        # Duplication happened: kernel gained blocks.
+        original = compile_program(SOURCE)
+        assert len(optimized.functions["kernel"].blocks) >= len(
+            original.functions["kernel"].blocks
+        )
+
+
+class TestDot:
+    def test_plain_cfg_dot(self, prog, capsys):
+        assert main(["dot", str(prog), "--function", "kernel"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph kernel {")
+
+    def test_traced_dot_with_profile(self, prog, tmp_path, capsys):
+        profile_file = tmp_path / "prog.prof"
+        main(
+            [
+                "run",
+                str(prog),
+                "--args",
+                "8",
+                "--input",
+                "data=1,1,1,0,1,1,0,1",
+                "--save-profile",
+                str(profile_file),
+            ]
+        )
+        capsys.readouterr()
+        rc = main(
+            [
+                "dot",
+                str(prog),
+                "--function",
+                "kernel",
+                "--profile",
+                str(profile_file),
+                "--ca",
+                "1.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "@q" in out  # duplicated vertices present
+
+    def test_unknown_function(self, prog):
+        with pytest.raises(SystemExit):
+            main(["dot", str(prog), "--function", "ghost"])
+
+
+class TestReport:
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["report", "gcc95"])
+
+    def test_report_runs(self, capsys):
+        assert main(["report", "compress95"]) == 0
+        out = capsys.readouterr().out
+        assert "qualified non-local constants" in out
+        assert "speedup" in out

@@ -1,0 +1,177 @@
+"""Edge-case tests across modules: degenerate reductions, cost-model
+details, pipeline bookkeeping, and API error paths."""
+
+import pytest
+
+from repro.core import run_qualified
+from repro.interp import CostModel, DEFAULT_COST_MODEL, run_module
+from repro.ir import (
+    Branch,
+    IRBuilder,
+    Jump,
+    Load,
+    Module,
+    Print,
+    Ret,
+    Store,
+    Var,
+    as_operand,
+)
+
+
+class TestReductionDegenerateCases:
+    def test_cr_zero_collapses_to_original_graph(
+        self, example_module, example_profile
+    ):
+        """With no hot vertices every duplicate of a vertex is compatible,
+        and the quotient is exactly the original CFG."""
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=1.0, cr=0.0)
+        assert qa.reduction.hot_vertices == ()
+        assert qa.reduced_size == qa.original_size
+
+    def test_cr_zero_still_behaves(self, example_module, example_profile):
+        from repro.opt import materialize
+        from repro.workloads.running_example import training_run_inputs
+        from repro.interp import Interpreter
+
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=1.0, cr=0.0)
+        rebuilt = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+        module = example_module.copy()
+        del module.functions["work"]
+        module.add_function(rebuilt)
+        n, inputs = training_run_inputs()
+        ref = Interpreter(example_module, profile_mode=None).run([n], inputs)
+        out = Interpreter(module, profile_mode=None).run([n], inputs)
+        assert out.output == ref.output
+
+    def test_cr_one_protects_every_constant_vertex(
+        self, example_module, example_profile
+    ):
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=1.0, cr=1.0)
+        weights = qa.reduction.weights
+        hot = set(qa.reduction.hot_vertices)
+        assert hot == {v for v, w in weights.items() if w > 0}
+
+
+class TestPipelineBookkeeping:
+    def test_timing_phases_recorded(self, example_qualified):
+        qa = example_qualified
+        for phase in (
+            "baseline",
+            "automaton",
+            "tracing",
+            "profile_translation",
+            "hpg_analysis",
+            "reduction",
+            "reduced_analysis",
+        ):
+            assert phase in qa.timings
+            assert qa.timings[phase] >= 0.0
+        assert qa.analysis_time == pytest.approx(sum(qa.timings.values()))
+
+    def test_explicit_cfg_and_recording_accepted(
+        self, example_module, example_profile
+    ):
+        from repro.ir import Cfg
+        from repro.profiles import recording_edges
+
+        fn = example_module.function("work")
+        cfg = Cfg.from_function(fn)
+        recording = recording_edges(cfg)
+        qa = run_qualified(
+            fn, example_profile, ca=1.0, cfg=cfg, recording=recording
+        )
+        assert qa.cfg is cfg
+        assert qa.recording is recording
+
+    def test_final_profile_untraced_is_train(self, example_module, example_profile):
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=0.0)
+        assert qa.final_profile() is example_profile
+
+
+class TestCostModelDetails:
+    def test_every_instruction_kind_priced(self):
+        cm = DEFAULT_COST_MODEL
+        from repro.ir import Assign, BinOp, Call, Const, UnOp
+
+        assert cm.instr_cost(Assign("x", Const(1))) == cm.assign
+        assert cm.instr_cost(BinOp("x", "add", Const(1), Const(2))) == cm.binop
+        assert cm.instr_cost(BinOp("x", "mul", Const(1), Const(2))) == cm.mul
+        assert cm.instr_cost(BinOp("x", "mod", Const(1), Const(2))) == cm.div
+        assert cm.instr_cost(UnOp("x", "neg", Const(1))) == cm.unop
+        assert cm.instr_cost(Load("x", "m", Const(0))) == cm.load
+        assert cm.instr_cost(Store("m", Const(0), Const(1))) == cm.store
+        assert cm.instr_cost(Call("x", "f", ())) == cm.call
+        assert cm.instr_cost(Print((Const(1),))) == cm.print_
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(TypeError):
+            DEFAULT_COST_MODEL.instr_cost(object())
+
+    def test_transfer_costs(self):
+        cm = CostModel(branch=2, jump=0, ret=2, taken_penalty=5)
+        branch = Branch(Var("c"), "a", "b")
+        assert cm.transfer_cost(branch, "a", "a") == 2  # fall-through
+        assert cm.transfer_cost(branch, "a", "b") == 7  # taken
+        jump = Jump("a")
+        assert cm.transfer_cost(jump, "a", "a") == 0
+        assert cm.transfer_cost(jump, "a", "z") == 5
+        assert cm.transfer_cost(Ret(), None, "a") == 2
+
+    def test_custom_cost_model_flows_through(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.binop("x", "mul", 2, 3)
+        b.ret("x")
+        m = Module()
+        m.add_function(b.finish())
+        cheap = run_module(m, cost_model=CostModel(mul=1, ret=0)).cost
+        pricey = run_module(m, cost_model=CostModel(mul=50, ret=0)).cost
+        assert pricey - cheap == 49
+
+
+class TestOperandCoercion:
+    def test_bool_becomes_int_constant(self):
+        op = as_operand(True)
+        assert op.value == 1
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_operand(3.14)
+
+
+class TestInterpreterDeterminism:
+    def test_identical_runs_identical_results(self, example_module):
+        from repro.workloads.running_example import training_run_inputs
+        from repro.interp import Interpreter
+
+        n, inputs = training_run_inputs()
+        interp = Interpreter(example_module)
+        a = interp.run([n], inputs)
+        b = interp.run([n], inputs)
+        assert a.output == b.output
+        assert a.cost == b.cost
+        assert a.profiles == b.profiles
+        assert a.block_counts == b.block_counts
+
+
+class TestHarnessBuilders:
+    def test_base_and_optimized_modules_validate(self, compress_run):
+        from repro.ir import validate_module
+
+        validate_module(compress_run.build_base_module())
+        validate_module(compress_run.build_optimized_module())
+
+    def test_fresh_module_shares_array_decls(self, compress_run):
+        fresh = compress_run._fresh_module()
+        assert set(fresh.arrays) == set(compress_run.module.arrays)
+        assert not fresh.functions
+
+    def test_function_names(self, compress_run):
+        assert set(compress_run.function_names()) == set(
+            compress_run.module.functions
+        )

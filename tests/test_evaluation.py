@@ -1,0 +1,131 @@
+"""Experiment-harness tests: the metrics behind every table and figure, on
+two cached workloads (compress95 and vortex95)."""
+
+import pytest
+
+from repro.evaluation import CA_SWEEP, format_table
+from repro.stats import constant_distribution, cumulative_coverage
+
+
+class TestTable1Metrics:
+    def test_cfg_nodes_counts_blocks(self, compress_run):
+        assert compress_run.cfg_nodes == sum(
+            len(fn.blocks) for fn in compress_run.module.functions.values()
+        )
+
+    def test_executed_paths_positive(self, compress_run):
+        assert compress_run.executed_paths > 0
+
+    def test_hot_paths_monotone_in_coverage(self, compress_run):
+        counts = [compress_run.hot_path_count(ca) for ca in CA_SWEEP]
+        assert counts == sorted(counts)
+        assert counts[0] == 0  # CA = 0 selects nothing
+
+    def test_compile_time_recorded(self, compress_run):
+        assert compress_run.compile_time > 0
+
+    def test_analysis_time_positive(self, compress_run):
+        assert compress_run.analysis_time(0.0) > 0
+
+
+class TestFigure9Metrics:
+    def test_constant_increase_grows_with_coverage(self, vortex_run):
+        zero = vortex_run.aggregate_classification(0.0).constant_increase
+        high = vortex_run.aggregate_classification(0.97).constant_increase
+        assert zero == 0.0
+        assert high > 0.0
+
+    def test_most_benefit_before_full_coverage(self, vortex_run):
+        """The paper: 'all benchmarks saw virtually all of their benefit by
+        CA = 0.97'."""
+        at_97 = vortex_run.aggregate_classification(0.97).constant_increase
+        at_full = vortex_run.aggregate_classification(1.0).constant_increase
+        assert at_97 >= 0.8 * at_full
+
+    def test_improvement_ratio_beats_wz(self, vortex_run):
+        agg = vortex_run.aggregate_classification(0.97)
+        assert agg.improvement_ratio > 1.0
+
+
+class TestFigure11Metrics:
+    def test_size_ordering(self, vortex_run):
+        orig, hpg, red = vortex_run.graph_sizes(0.97)
+        assert orig <= red <= hpg
+
+    def test_sizes_at_zero_coverage_equal_original(self, vortex_run):
+        orig, hpg, red = vortex_run.graph_sizes(0.0)
+        assert orig == hpg == red
+
+    def test_hpg_growth_monotone_in_coverage(self, vortex_run):
+        sizes = [vortex_run.graph_sizes(ca)[1] for ca in CA_SWEEP]
+        assert sizes == sorted(sizes)
+
+
+class TestFigure7Metrics:
+    def test_distribution_concentrated(self, compress_run):
+        qa = compress_run.qualified(1.0)["compress"]
+        dist = constant_distribution(qa.reduction.weights)
+        cov = cumulative_coverage(dist)
+        assert cov[-1] == pytest.approx(1.0)
+        # compress: a handful of vertices carries almost everything.
+        assert cov[min(3, len(cov) - 1)] > 0.9
+
+
+class TestTable2:
+    def test_speedup_and_behaviour(self, vortex_run):
+        row = vortex_run.table2(0.97)
+        assert row.base_cost > 0 and row.optimized_cost > 0
+        assert 0.8 < row.speedup < 2.0  # sane magnitude
+
+    def test_base_build_behaviour_checked(self, compress_run):
+        row = compress_run.table2(0.97)
+        assert row.speedup == row.base_cost / row.optimized_cost
+
+
+class TestCaching:
+    def test_qualified_results_are_cached(self, compress_run):
+        a = compress_run.qualified(0.97)
+        b = compress_run.qualified(0.97)
+        assert a is b
+
+    def test_profiles_empty_for_uncalled_functions(self, compress_run):
+        from repro.profiles import PathProfile
+
+        assert compress_run.train_profile("nonexistent") == PathProfile()
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "n"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+
+class TestFigureRendering:
+    def test_sparkline_shapes(self):
+        from repro.evaluation import sparkline
+
+        flat = sparkline([1.0, 1.0, 1.0])
+        assert len(flat) == 3 and len(set(flat)) == 1
+        rising = sparkline([0.0, 0.5, 1.0])
+        assert rising[0] < rising[-1]
+        assert sparkline([]) == ""
+
+    def test_render_series(self):
+        from repro.evaluation import render_series
+
+        text = render_series(
+            {"a": [0.0, 0.1], "bb": [0.2, 0.2]}, ["0", "1"], title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a " in lines[2] and "bb" in lines[3]
+        assert "+0.0% -> +10.0%" in lines[2]

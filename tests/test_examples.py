@@ -1,0 +1,57 @@
+"""The example scripts must run end to end (they are the documented
+entry points; a broken example is a broken README)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", [], capsys)
+        assert "Path profile (Figure 2)" in out
+        assert "x = add a, b  ->  6" in out
+        assert "behaviour identical : True" in out
+
+    def test_qualified_reaching_defs(self, capsys):
+        out = run_example("qualified_reaching_defs", [], capsys)
+        assert "<- unique!" in out
+
+    def test_spec_workload_pipeline(self, capsys):
+        out = run_example("spec_workload_pipeline", ["compress95"], capsys)
+        assert "improvement over WZ" in out
+        assert "speedup" in out
+
+    def test_classify_constants(self, capsys):
+        out = run_example("classify_constants", ["compress95"], capsys)
+        assert "Figure 13 regions" in out
+        assert "Variable" in out
+
+    def test_coverage_tradeoff(self, capsys):
+        out = run_example("coverage_tradeoff", ["compress95"], capsys)
+        assert "coverage sweep" in out
+        assert "reduction cutoff sweep" in out
+
+    @pytest.mark.parametrize(
+        "name", ["spec_workload_pipeline", "classify_constants", "coverage_tradeoff"]
+    )
+    def test_unknown_workload_rejected(self, name, capsys):
+        with pytest.raises(SystemExit):
+            run_example(name, ["gcc95"], capsys)

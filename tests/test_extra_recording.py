@@ -1,0 +1,116 @@
+"""Extra recording edges (§2.3: "Additional edges may also be designated
+recording edges") — shorter paths, same machinery."""
+
+from repro.automaton import QualificationAutomaton
+from repro.core import run_qualified, trace, translate_profile
+from repro.ir import Cfg, ENTRY, EXIT, IRBuilder
+from repro.profiles import (
+    BallLarusNumbering,
+    PathProfile,
+    profile_from_traces,
+    recording_edges,
+    select_hot_paths,
+    split_trace,
+)
+
+
+def diamond_loop_cfg() -> Cfg:
+    return Cfg(
+        edges=[
+            (ENTRY, "a"),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+            ("d", "a"),
+            ("d", EXIT),
+        ]
+    )
+
+
+TRACE = [ENTRY, "a", "b", "d", "a", "c", "d", EXIT]
+
+
+class TestExtraRecordingEdges:
+    def test_paths_get_shorter(self):
+        cfg = diamond_loop_cfg()
+        minimal = recording_edges(cfg)
+        extra = recording_edges(cfg, extra=[("a", "b"), ("a", "c")])
+        long_paths = split_trace(TRACE, minimal)
+        short_paths = split_trace(TRACE, extra)
+        assert len(short_paths) > len(long_paths)
+        assert max(len(p) for p in short_paths) < max(
+            len(p) for p in long_paths
+        )
+
+    def test_interior_partition_still_exact(self):
+        cfg = diamond_loop_cfg()
+        extra = recording_edges(cfg, extra=[("a", "b")])
+        paths = split_trace(TRACE, extra)
+        interiors = [v for p in paths for v in p.interior()]
+        assert interiors == TRACE[1:-1]
+
+    def test_numbering_respects_extra_edges(self):
+        cfg = diamond_loop_cfg()
+        extra = recording_edges(cfg, extra=[("a", "b")])
+        numbering = BallLarusNumbering(cfg, extra)
+        for start in numbering.start_vertices:
+            for pid in range(numbering.num_paths_from(start)):
+                path = numbering.regenerate(start, pid)
+                assert numbering.path_id(path) == (start, pid)
+                assert path.edges()[-1] in extra
+
+    def test_full_pipeline_with_extra_recording_edges(
+        self, example_module, example_run
+    ):
+        """run_qualified accepts a custom recording set; tracing, profile
+        translation and reduction all stay consistent."""
+        fn = example_module.function("work")
+        cfg = Cfg.from_function(fn)
+        extra = recording_edges(cfg, extra=[("E", "F")])
+
+        # Re-profile the training run against the richer recording set by
+        # splitting the original profile's paths further.
+        base_profile = example_run.profiles["work"]
+        refined = PathProfile()
+        for path, count in base_profile.items():
+            for piece in _resplit(path, extra):
+                refined.add(piece, count)
+
+        qa = run_qualified(fn, refined, ca=1.0, recording=extra)
+        assert qa.traced
+        assert qa.hpg_profile.total_count == refined.total_count
+        # Shorter hot paths => every traced recording edge maps to the set.
+        for (u, v) in qa.hpg.recording:
+            assert (u[0], v[0]) in extra
+
+    def test_everything_recording_degenerates_to_edge_profiling(self):
+        """With *every* edge recording, Ball-Larus paths are single edges —
+        the profile collapses to an edge profile."""
+        cfg = diamond_loop_cfg()
+        all_edges = recording_edges(cfg, extra=cfg.edges)
+        paths = split_trace(TRACE, all_edges)
+        assert all(len(p) == 2 for p in paths)
+        profile = profile_from_traces([TRACE], all_edges)
+        assert profile.edge_frequencies() == {
+            e: 1 for e in zip(TRACE[1:], TRACE[2:])
+        } | {(TRACE[1], TRACE[2]): 1}
+
+
+def _resplit(path, recording):
+    """Split a BL path further at newly-recording interior edges."""
+    return split_trace_like(path.vertices, recording)
+
+
+def split_trace_like(vertices, recording):
+    from repro.profiles import BLPath
+
+    pieces = []
+    current = [vertices[0]]
+    for u, v in zip(vertices, vertices[1:]):
+        current.append(v)
+        if (u, v) in recording:
+            pieces.append(BLPath(tuple(current)))
+            current = [v]
+    assert len(current) == 1, "path must end on a recording edge"
+    return pieces

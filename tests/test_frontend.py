@@ -1,0 +1,272 @@
+"""MiniC front-end tests: lexer, parser, semantic checks, and lowering
+(lowering correctness is checked by executing the compiled program)."""
+
+import pytest
+
+from repro.frontend import MiniCError, compile_program, parse_program, tokenize
+from repro.interp import run_module
+from repro.ir import validate_module
+
+
+def run_src(src, args=(), inputs=None):
+    module = compile_program(src)
+    validate_module(module)
+    return run_module(module, args=args, inputs=inputs, profile_mode=None)
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        kinds = [t.kind for t in tokenize("if iffy var variable")]
+        assert kinds == ["if", "ident", "var", "ident", "eof"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("a // comment\nb /* multi\nline */ c")]
+        assert kinds == ["ident", "ident", "ident", "eof"]
+
+    def test_multichar_operators_maximal_munch(self):
+        kinds = [t.kind for t in tokenize("a <= b << c == d")]
+        assert "<=" in kinds and "<<" in kinds and "==" in kinds
+
+    def test_bad_character(self):
+        with pytest.raises(MiniCError):
+            tokenize("a ? b")
+
+
+class TestParser:
+    def test_precedence_mul_over_add(self):
+        result = run_src("func main() { return 2 + 3 * 4; }")
+        assert result.return_value == 14
+
+    def test_parentheses(self):
+        assert run_src("func main() { return (2 + 3) * 4; }").return_value == 20
+
+    def test_unary_binds_tighter(self):
+        assert run_src("func main() { return -2 * 3; }").return_value == -6
+
+    def test_comparison_chain_via_logic(self):
+        src = "func main(x) { if (x >= 2 && x <= 5) { return 1; } return 0; }"
+        assert run_src(src, args=[3]).return_value == 1
+        assert run_src(src, args=[9]).return_value == 0
+
+    def test_else_if_chain(self):
+        src = """
+        func main(x) {
+          if (x == 0) { return 10; }
+          else if (x == 1) { return 20; }
+          else { return 30; }
+        }
+        """
+        assert run_src(src, args=[0]).return_value == 10
+        assert run_src(src, args=[1]).return_value == 20
+        assert run_src(src, args=[7]).return_value == 30
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "func main() { return 1 + ; }",
+            "func main() { if (1) return 2; }",  # missing braces
+            "func main( { }",
+            "global a[];",
+            "func main() { x; }",  # bare identifier
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(MiniCError):
+            parse_program(bad)
+
+
+class TestSema:
+    @pytest.mark.parametrize(
+        "bad,msg",
+        [
+            ("func f() { return 0; }", "main"),
+            ("func main() { x = 1; }", "undeclared"),
+            ("func main() { return y; }", "undeclared"),
+            ("func main() { var a = 1; var a = 2; }", "redeclaration"),
+            ("func main(a, a) { }", "duplicate parameter"),
+            ("func main() { break; }", "break outside"),
+            ("func main() { continue; }", "continue outside"),
+            ("func main() { return g(); }", "unknown function"),
+            ("func main() { return abs(1, 2); }", "expects 1"),
+            ("func main() { return q[0]; }", "unknown array"),
+            ("func main() { q[0] = 1; }", "unknown array"),
+            ("global a[4]; global a[4]; func main() { }", "duplicate global"),
+            ("global a[0]; func main() { }", "non-positive"),
+            ("global a[2] = {1,2,3}; func main() { }", "initialized with 3"),
+            ("func main() { return 1; var x; }", "unreachable"),
+            ("global a[4]; func main(a) { }", "collides"),
+            ("func abs(x) { } func main() { }", "duplicate function"),
+        ],
+    )
+    def test_semantic_errors(self, bad, msg):
+        with pytest.raises(MiniCError, match=msg):
+            compile_program(bad)
+
+    def test_var_visible_after_declaration_only(self):
+        with pytest.raises(MiniCError, match="undeclared"):
+            compile_program("func main() { x = 1; var x; }")
+
+
+class TestLoweringSemantics:
+    def test_while_loop(self):
+        src = """
+        func main(n) {
+          var i = 0;
+          var s = 0;
+          while (i < n) { s = s + i; i = i + 1; }
+          return s;
+        }
+        """
+        assert run_src(src, args=[5]).return_value == 10
+
+    def test_for_loop_with_step(self):
+        src = """
+        func main(n) {
+          var s = 0;
+          for (var i = 0; i < n; i = i + 2) { s = s + 1; }
+          return s;
+        }
+        """
+        assert run_src(src, args=[10]).return_value == 5
+
+    def test_break_and_continue(self):
+        src = """
+        func main(n) {
+          var s = 0;
+          for (var i = 0; i < n; i = i + 1) {
+            if (i == 3) { continue; }
+            if (i == 6) { break; }
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        # 0+1+2+4+5 = 12
+        assert run_src(src, args=[100]).return_value == 12
+
+    def test_continue_in_while_reaches_condition(self):
+        src = """
+        func main(n) {
+          var i = 0;
+          var s = 0;
+          while (i < n) {
+            i = i + 1;
+            if (i % 2 == 0) { continue; }
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        assert run_src(src, args=[6]).return_value == 1 + 3 + 5
+
+    def test_short_circuit_and_skips_rhs(self):
+        src = """
+        global touched[1];
+        func side() { touched[0] = 1; return 1; }
+        func main(x) {
+          var r = x > 0 && side() == 1;
+          return r * 10 + touched[0];
+        }
+        """
+        assert run_src(src, args=[0]).return_value == 0  # side() not called
+        assert run_src(src, args=[1]).return_value == 11
+
+    def test_short_circuit_or_skips_rhs(self):
+        src = """
+        global touched[1];
+        func side() { touched[0] = 1; return 0; }
+        func main(x) {
+          var r = x > 0 || side() == 1;
+          return r * 10 + touched[0];
+        }
+        """
+        assert run_src(src, args=[5]).return_value == 10  # side() not called
+        # lhs false: side() runs (touched=1) and the || yields 0.
+        assert run_src(src, args=[0]).return_value == 1
+
+    def test_logic_result_normalized_to_0_1(self):
+        src = "func main(x) { var r = x && 7; return r; }"
+        assert run_src(src, args=[3]).return_value == 1
+
+    def test_missing_return_yields_zero(self):
+        assert run_src("func main() { var x = 5; }").return_value == 0
+
+    def test_return_without_value_yields_zero(self):
+        assert run_src("func main() { return; }").return_value == 0
+
+    def test_recursion(self):
+        src = """
+        func fib(n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        func main(n) { return fib(n); }
+        """
+        assert run_src(src, args=[10]).return_value == 55
+
+    def test_builtins(self):
+        src = """
+        func main() {
+          return abs(-4) + min2(2, 9) + max2(2, 9) + clamp(15, 0, 10);
+        }
+        """
+        assert run_src(src).return_value == 4 + 2 + 9 + 10
+
+    def test_globals_and_stores(self):
+        src = """
+        global a[4] = {10, 20, 30, 40};
+        func main() {
+          a[1] = a[0] + a[2];
+          return a[1];
+        }
+        """
+        assert run_src(src).return_value == 40
+
+    def test_print_output_order(self):
+        src = """
+        func main() {
+          print(1, 2);
+          print(3);
+          return 0;
+        }
+        """
+        assert run_src(src).output == [(1, 2), (3,)]
+
+    def test_nested_loops(self):
+        src = """
+        func main(n) {
+          var s = 0;
+          for (var i = 0; i < n; i = i + 1) {
+            for (var j = 0; j < i; j = j + 1) {
+              s = s + 1;
+            }
+          }
+          return s;
+        }
+        """
+        assert run_src(src, args=[5]).return_value == 10
+
+    def test_if_with_both_branches_returning(self):
+        src = """
+        func main(x) {
+          if (x > 0) { return 1; } else { return 2; }
+        }
+        """
+        assert run_src(src, args=[1]).return_value == 1
+        assert run_src(src, args=[-1]).return_value == 2
+
+    def test_compiled_ir_validates(self):
+        src = """
+        global g[8];
+        func helper(a) { return a * 2; }
+        func main(n) {
+          var t = 0;
+          while (t < n && g[t] >= 0) { g[t] = helper(t); t = t + 1; }
+          return t;
+        }
+        """
+        validate_module(compile_program(src))

@@ -1,0 +1,82 @@
+"""Hot-path selection tests (§3 step 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiles import BLPath, PathProfile, coverage_of, select_hot_paths
+
+SIZES = {"a": 2, "b": 3, "c": 1, "d": 4}
+
+
+def profile():
+    prof = PathProfile()
+    prof.add(BLPath(("a", "b", "c")), 100)  # weight 5 -> 500 instructions
+    prof.add(BLPath(("a", "c")), 50)  # weight 2 -> 100
+    prof.add(BLPath(("b", "d")), 10)  # weight 3 -> 30
+    prof.add(BLPath(("c", "d")), 1)  # weight 1 -> 1
+    return prof
+
+
+class TestSelection:
+    def test_zero_coverage_selects_nothing(self):
+        assert select_hot_paths(profile(), SIZES, 0.0) == ()
+
+    def test_full_coverage_selects_everything(self):
+        assert len(select_hot_paths(profile(), SIZES, 1.0)) == 4
+
+    def test_hottest_first(self):
+        hot = select_hot_paths(profile(), SIZES, 0.5)
+        assert hot == (BLPath(("a", "b", "c")),)
+
+    def test_minimality(self):
+        # 500/631 ≈ 79%; two paths cover 600/631 ≈ 95%.
+        hot = select_hot_paths(profile(), SIZES, 0.9)
+        assert len(hot) == 2
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            select_hot_paths(profile(), SIZES, 1.5)
+
+    def test_empty_profile(self):
+        assert select_hot_paths(PathProfile(), SIZES, 0.97) == ()
+
+    def test_coverage_of(self):
+        prof = profile()
+        hot = select_hot_paths(prof, SIZES, 0.9)
+        assert coverage_of(hot, prof, SIZES) >= 0.9
+        assert coverage_of((), prof, SIZES) == 0.0
+
+    def test_deterministic_tie_break(self):
+        prof = PathProfile()
+        prof.add(BLPath(("a", "b")), 1)
+        prof.add(BLPath(("b", "c")), 1)
+        first = select_hot_paths(prof, {"a": 1, "b": 1}, 0.4)
+        second = select_hot_paths(prof, {"a": 1, "b": 1}, 0.4)
+        assert first == second and len(first) == 1
+
+
+class TestSelectionProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 20), st.integers(1, 100)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_coverage_goal_met_and_minimal(self, paths, ca):
+        prof = PathProfile()
+        sizes = {}
+        for i, (weight, count) in enumerate(paths):
+            sizes[f"v{i}"] = weight
+            prof.add(BLPath((f"v{i}", "end")), count)
+        hot = select_hot_paths(prof, sizes, ca)
+        total = prof.total_instructions(sizes)
+        covered = sum(p.weight(sizes) * prof.count(p) for p in hot)
+        assert covered >= ca * total - 1e-9
+        if len(hot) > 1:
+            # Dropping the least-weighted selected path breaks the goal.
+            reduced = sum(p.weight(sizes) * prof.count(p) for p in hot[:-1])
+            assert reduced < ca * total

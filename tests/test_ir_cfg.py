@@ -1,0 +1,190 @@
+"""Tests for CFG construction, traversal, dominators, and reducibility."""
+
+from hypothesis import given, settings
+
+from repro.ir import Cfg, ENTRY, EXIT, IRBuilder
+
+from conftest import random_cfgs
+
+
+def diamond() -> Cfg:
+    return Cfg(
+        edges=[
+            (ENTRY, "a"),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+            ("d", EXIT),
+        ]
+    )
+
+
+def loop_cfg() -> Cfg:
+    return Cfg(
+        edges=[
+            (ENTRY, "head"),
+            ("head", "body"),
+            ("body", "head"),
+            ("head", "tail"),
+            ("tail", EXIT),
+        ]
+    )
+
+
+def irreducible_cfg() -> Cfg:
+    """The classic two-entry loop: a->b, a->c, b<->c."""
+    return Cfg(
+        edges=[
+            (ENTRY, "a"),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+            ("c", "b"),
+            ("b", EXIT),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_virtual_vertices_always_present(self):
+        cfg = Cfg()
+        assert ENTRY in cfg and EXIT in cfg
+
+    def test_parallel_edges_collapse(self):
+        cfg = Cfg()
+        cfg.add_edge("a", "b")
+        cfg.add_edge("a", "b")
+        assert cfg.succs("a") == ("b",)
+
+    def test_succs_preds_symmetry(self):
+        cfg = diamond()
+        for u, v in cfg.edges:
+            assert v in cfg.succs(u)
+            assert u in cfg.preds(v)
+
+    def test_from_function_adds_entry_and_exit_edges(self):
+        b = IRBuilder("f")
+        b.block("start")
+        b.branch("c", "left", "right")
+        b.block("left")
+        b.ret()
+        b.block("right")
+        b.ret()
+        cfg = Cfg.from_function(b.finish())
+        assert cfg.succs(ENTRY) == ("start",)
+        assert set(cfg.preds(EXIT)) == {"left", "right"}
+
+    def test_real_vertices_excludes_virtual(self):
+        assert set(diamond().real_vertices()) == {"a", "b", "c", "d"}
+
+
+class TestTraversal:
+    def test_dfs_preorder_starts_at_entry(self):
+        order = diamond().dfs_preorder()
+        assert order[0] == ENTRY
+        assert set(order) == {ENTRY, "a", "b", "c", "d", EXIT}
+
+    def test_reachable_excludes_disconnected(self):
+        cfg = diamond()
+        cfg.add_vertex("orphan")
+        assert "orphan" not in cfg.reachable()
+
+    def test_retreating_edges_of_loop(self):
+        assert loop_cfg().retreating_edges() == (("body", "head"),)
+
+    def test_acyclic_graph_has_no_retreating_edges(self):
+        assert diamond().retreating_edges() == ()
+
+    def test_is_acyclic_without(self):
+        cfg = loop_cfg()
+        assert not cfg.is_acyclic_without([])
+        assert cfg.is_acyclic_without([("body", "head")])
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        idom = diamond().immediate_dominators()
+        assert idom["d"] == "a"
+        assert idom["b"] == "a"
+        assert idom["a"] == ENTRY
+        assert idom[ENTRY] == ENTRY
+
+    def test_dominates(self):
+        cfg = diamond()
+        assert cfg.dominates("a", "d")
+        assert not cfg.dominates("b", "d")
+        assert cfg.dominates(ENTRY, EXIT)
+
+    def test_loop_header_dominates_body(self):
+        assert loop_cfg().dominates("head", "body")
+
+
+class TestReducibility:
+    def test_natural_loop_is_reducible(self):
+        assert loop_cfg().is_reducible()
+
+    def test_diamond_is_reducible(self):
+        assert diamond().is_reducible()
+
+    def test_two_entry_loop_is_irreducible(self):
+        assert not irreducible_cfg().is_reducible()
+
+
+class TestRandomGraphProperties:
+    @given(random_cfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_removing_retreating_edges_acyclifies(self, cfg):
+        assert cfg.is_acyclic_without(cfg.retreating_edges())
+
+    @given(random_cfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_every_vertex_reachable(self, cfg):
+        # The generator promises a connected routine-shaped graph.
+        assert cfg.reachable() == set(cfg.vertices)
+
+    @given(random_cfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_entry_dominates_everything(self, cfg):
+        idom = cfg.immediate_dominators()
+        for v in cfg.vertices:
+            assert cfg.dominates(cfg.entry, v), v
+        assert set(idom) == set(cfg.vertices)
+
+    @given(random_cfgs())
+    @settings(max_examples=40, deadline=None)
+    def test_dfs_preorder_deterministic(self, cfg):
+        assert cfg.dfs_preorder() == cfg.dfs_preorder()
+
+
+class TestNaturalLoops:
+    def test_simple_loop_body(self):
+        loops = loop_cfg().natural_loops()
+        assert loops == {("body", "head"): frozenset({"head", "body"})}
+
+    def test_nested_loops(self):
+        cfg = Cfg(
+            edges=[
+                (ENTRY, "h1"),
+                ("h1", "h2"),
+                ("h2", "b"),
+                ("b", "h2"),
+                ("h2", "t1"),
+                ("t1", "h1"),
+                ("h1", EXIT),
+            ]
+        )
+        loops = cfg.natural_loops()
+        inner = loops[("b", "h2")]
+        outer = loops[("t1", "h1")]
+        assert inner == frozenset({"h2", "b"})
+        assert inner < outer
+        assert outer == frozenset({"h1", "h2", "b", "t1"})
+
+    def test_irreducible_retreating_edge_excluded(self):
+        loops = irreducible_cfg().natural_loops()
+        # b <-> c: neither header dominates the other's latch.
+        assert loops == {}
+
+    def test_acyclic_graph_has_no_loops(self):
+        assert diamond().natural_loops() == {}

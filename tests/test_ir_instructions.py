@@ -1,0 +1,182 @@
+"""Unit tests for IR operands and instructions."""
+
+import pytest
+
+from repro.ir import (
+    Assign,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    Store,
+    UnOp,
+    Var,
+    copy_instr,
+    copy_terminator,
+    eval_binop,
+    eval_unop,
+)
+from repro.ir.operands import operand_vars
+
+
+class TestOperands:
+    def test_const_str(self):
+        assert str(Const(42)) == "42"
+        assert str(Const(-7)) == "-7"
+
+    def test_var_str(self):
+        assert str(Var("x")) == "x"
+
+    def test_operands_hashable_and_equal(self):
+        assert Const(1) == Const(1)
+        assert Var("a") == Var("a")
+        assert Const(1) != Var("1")
+        assert len({Const(1), Const(1), Var("x")}) == 2
+
+    def test_operand_vars_filters_consts(self):
+        assert operand_vars(Const(1), Var("a"), Var("b"), Const(2)) == ("a", "b")
+
+
+class TestInstructionShape:
+    def test_assign_uses_and_dest(self):
+        instr = Assign("x", Var("y"))
+        assert instr.dest == "x"
+        assert instr.uses() == (Var("y"),)
+        assert instr.use_vars() == ("y",)
+        assert instr.is_pure and instr.produces_value
+
+    def test_binop_uses(self):
+        instr = BinOp("z", "add", Var("a"), Const(3))
+        assert instr.uses() == (Var("a"), Const(3))
+        assert instr.use_vars() == ("a",)
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("z", "frobnicate", Const(1), Const(2))
+
+    def test_unop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnOp("z", "sqrt", Const(1))
+
+    def test_load_is_impure_but_produces_value(self):
+        instr = Load("x", "arr", Var("i"))
+        assert not instr.is_pure
+        assert instr.produces_value
+        assert instr.uses() == (Var("i"),)
+
+    def test_store_has_no_dest(self):
+        instr = Store("arr", Const(0), Var("v"))
+        assert instr.dest is None
+        assert instr.uses() == (Const(0), Var("v"))
+
+    def test_call_with_and_without_dest(self):
+        with_dest = Call("r", "f", (Var("a"),))
+        without = Call(None, "f", (Var("a"),))
+        assert with_dest.dest == "r"
+        assert without.dest is None
+
+    def test_print_uses(self):
+        instr = Print((Var("a"), Const(1)))
+        assert instr.dest is None
+        assert instr.use_vars() == ("a",)
+
+
+class TestTerminators:
+    def test_jump_targets(self):
+        assert Jump("next").targets() == ("next",)
+
+    def test_branch_targets_and_uses(self):
+        term = Branch(Var("c"), "t", "f")
+        assert term.targets() == ("t", "f")
+        assert term.uses() == (Var("c"),)
+
+    def test_ret_targets_empty(self):
+        assert Ret(Var("x")).targets() == ()
+        assert Ret().uses() == ()
+
+    def test_retargeted_maps_labels(self):
+        term = Branch(Var("c"), "t", "f").retargeted({"t": "t2"})
+        assert term.targets() == ("t2", "f")
+        jump = Jump("a").retargeted({"a": "b"})
+        assert jump.target == "b"
+
+    def test_retargeted_is_a_copy(self):
+        original = Jump("a")
+        copy = original.retargeted({})
+        assert copy is not original and copy.target == "a"
+
+
+class TestCopying:
+    @pytest.mark.parametrize(
+        "instr",
+        [
+            Assign("x", Const(1)),
+            BinOp("x", "mul", Var("a"), Var("b")),
+            UnOp("x", "neg", Var("a")),
+            Load("x", "m", Const(0)),
+            Store("m", Const(0), Var("x")),
+            Call("r", "f", (Const(1),)),
+            Print((Var("x"),)),
+        ],
+    )
+    def test_copy_instr_round_trips(self, instr):
+        dup = copy_instr(instr)
+        assert dup is not instr
+        assert str(dup) == str(instr)
+        assert type(dup) is type(instr)
+
+    def test_copy_terminator(self):
+        term = Branch(Var("c"), "a", "b")
+        dup = copy_terminator(term)
+        assert dup is not term and dup.targets() == term.targets()
+
+    def test_copy_instr_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            copy_instr(object())
+
+
+class TestOperatorSemantics:
+    def test_c_style_division_truncates_toward_zero(self):
+        assert eval_binop("div", 7, 2) == 3
+        assert eval_binop("div", -7, 2) == -3
+        assert eval_binop("div", 7, -2) == -3
+        assert eval_binop("div", -7, -2) == 3
+
+    def test_c_style_mod_sign_follows_dividend(self):
+        assert eval_binop("mod", 7, 3) == 1
+        assert eval_binop("mod", -7, 3) == -1
+        assert eval_binop("mod", 7, -3) == 1
+
+    def test_division_by_zero_is_total(self):
+        assert eval_binop("div", 5, 0) == 0
+        assert eval_binop("mod", 5, 0) == 0
+
+    def test_div_mod_identity(self):
+        for a in range(-20, 21):
+            for b in list(range(-5, 0)) + list(range(1, 6)):
+                assert eval_binop("div", a, b) * b + eval_binop("mod", a, b) == a
+
+    def test_comparisons_produce_zero_or_one(self):
+        assert eval_binop("lt", 1, 2) == 1
+        assert eval_binop("ge", 1, 2) == 0
+        assert eval_binop("eq", 3, 3) == 1
+        assert eval_binop("ne", 3, 3) == 0
+
+    def test_shifts(self):
+        assert eval_binop("shl", 1, 4) == 16
+        assert eval_binop("shr", 16, 4) == 1
+        assert eval_binop("shr", -16, 2) == -4  # arithmetic shift
+
+    def test_unops(self):
+        assert eval_unop("neg", 5) == -5
+        assert eval_unop("not", 0) == -1
+        assert eval_unop("lnot", 0) == 1
+        assert eval_unop("lnot", 7) == 0
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError):
+            eval_binop("pow", 2, 3)

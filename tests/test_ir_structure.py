@@ -1,0 +1,164 @@
+"""Unit tests for basic blocks, functions, modules, and the builder."""
+
+import pytest
+
+from repro.ir import (
+    ArrayDecl,
+    Assign,
+    BasicBlock,
+    Const,
+    Function,
+    IRBuilder,
+    Jump,
+    Module,
+    Ret,
+    Var,
+)
+
+
+def simple_function() -> Function:
+    b = IRBuilder("f", ["n"])
+    b.block("entry")
+    b.assign("x", 1)
+    b.binop("y", "add", "x", "n")
+    b.jump("exit_block")
+    b.block("exit_block")
+    b.ret("y")
+    return b.finish()
+
+
+class TestBasicBlock:
+    def test_successors_from_terminator(self):
+        blk = BasicBlock("a", [], Jump("b"))
+        assert blk.successors() == ("b",)
+        assert BasicBlock("a").successors() == ()
+
+    def test_size_counts_terminator(self):
+        blk = BasicBlock("a", [Assign("x", Const(1))], Ret())
+        assert blk.size == 2
+
+    def test_value_sites(self):
+        blk = BasicBlock("a", [Assign("x", Const(1)), Assign("y", Var("x"))])
+        assert [i for i, _ in blk.value_sites()] == [0, 1]
+
+    def test_copy_is_deep(self):
+        blk = BasicBlock("a", [Assign("x", Const(1))], Jump("b"))
+        dup = blk.copy("a2")
+        assert dup.label == "a2"
+        dup.instrs.append(Assign("y", Const(2)))
+        assert len(blk.instrs) == 1
+
+    def test_str_renders_label_and_body(self):
+        text = str(BasicBlock("a", [Assign("x", Const(1))], Ret()))
+        assert text.splitlines() == ["a:", "  x = 1", "  ret"]
+
+
+class TestFunction:
+    def test_entry_defaults_to_first_block(self):
+        fn = simple_function()
+        assert fn.entry == "entry"
+
+    def test_duplicate_label_rejected(self):
+        fn = Function("f")
+        fn.add_block(BasicBlock("a"))
+        with pytest.raises(ValueError):
+            fn.add_block(BasicBlock("a"))
+
+    def test_variables_params_first(self):
+        fn = simple_function()
+        assert fn.variables()[0] == "n"
+        assert set(fn.variables()) == {"n", "x", "y"}
+
+    def test_size(self):
+        # entry: 2 instructions + jump; exit_block: ret.
+        assert simple_function().size == 4
+
+    def test_copy_is_independent(self):
+        fn = simple_function()
+        dup = fn.copy()
+        dup.blocks["entry"].instrs.clear()
+        assert len(fn.blocks["entry"].instrs) == 2
+
+    def test_return_blocks(self):
+        assert simple_function().return_blocks() == ("exit_block",)
+
+    def test_instructions_iterates_in_order(self):
+        fn = simple_function()
+        sites = list(fn.instructions())
+        assert [(s[0], s[1]) for s in sites] == [("entry", 0), ("entry", 1)]
+
+    def test_entry_of_empty_function_raises(self):
+        with pytest.raises(ValueError):
+            Function("f").entry
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.add_function(simple_function())
+        with pytest.raises(ValueError):
+            m.add_function(simple_function())
+
+    def test_duplicate_array_rejected(self):
+        m = Module()
+        m.add_array(ArrayDecl("a", 4))
+        with pytest.raises(ValueError):
+            m.add_array(ArrayDecl("a", 8))
+
+    def test_array_initial_contents_pads_with_zeros(self):
+        decl = ArrayDecl("a", 5, (1, 2))
+        assert decl.initial_contents() == [1, 2, 0, 0, 0]
+
+    def test_copy_is_deep(self):
+        m = Module()
+        m.add_array(ArrayDecl("a", 2, (9,)))
+        m.add_function(simple_function())
+        dup = m.copy()
+        dup.functions["f"].blocks["entry"].instrs.clear()
+        assert len(m.functions["f"].blocks["entry"].instrs) == 2
+
+
+class TestBuilder:
+    def test_unterminated_block_rejected_at_finish(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        with pytest.raises(RuntimeError):
+            b.finish()
+
+    def test_double_termination_rejected(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        b.ret()
+        with pytest.raises(RuntimeError):
+            b.current  # no current block after a terminator
+
+    def test_new_label_reserves_names(self):
+        b = IRBuilder("f")
+        first = b.new_label("x")
+        second = b.new_label("x")
+        assert first != second
+
+    def test_new_temp_unique(self):
+        b = IRBuilder("f")
+        assert b.new_temp() != b.new_temp()
+
+    def test_operand_coercion(self):
+        b = IRBuilder("f")
+        b.block("entry")
+        b.assign("x", 5)
+        b.assign("y", "x")
+        b.ret()
+        fn = b.finish()
+        instrs = fn.blocks["entry"].instrs
+        assert instrs[0].src == Const(5)
+        assert instrs[1].src == Var("x")
+
+    def test_switch_to_reopens_block(self):
+        b = IRBuilder("f")
+        b.block("a")
+        b.block("b")
+        b.ret()
+        b.switch_to("a")
+        b.jump("b")
+        fn = b.finish()
+        assert fn.blocks["a"].terminator.target == "b"

@@ -1,0 +1,121 @@
+"""Textual IR round-trip and parse-error tests."""
+
+import pytest
+
+from repro.ir import (
+    ArrayDecl,
+    IRBuilder,
+    IRSyntaxError,
+    Module,
+    parse_function,
+    parse_module,
+)
+
+FULL_MODULE = """\
+array data[16] = {1, 2, 3}
+
+array scratch[8]
+
+func helper(a, b) {
+entry:
+  t = add a, b
+  u = neg t
+  v = lnot u
+  ret v
+}
+
+func main(n) {
+entry:
+  i = 0
+  jump loop
+loop:
+  c = lt i, n
+  branch c, body, done
+body:
+  x = load data[i]
+  store scratch[0] = x
+  r = call helper(x, i)
+  call helper(x, i)
+  print r, x
+  i = add i, 1
+  jump loop
+done:
+  ret 0
+}
+"""
+
+
+class TestRoundTrip:
+    def test_module_round_trip(self):
+        module = parse_module(FULL_MODULE)
+        assert str(parse_module(str(module))) == str(module)
+
+    def test_every_instruction_survives(self):
+        module = parse_module(FULL_MODULE)
+        main = module.function("main")
+        body = main.blocks["body"]
+        kinds = [type(i).__name__ for i in body.instrs]
+        assert kinds == ["Load", "Store", "Call", "Call", "Print", "BinOp"]
+
+    def test_array_init_preserved(self):
+        module = parse_module(FULL_MODULE)
+        assert module.arrays["data"].init == (1, 2, 3)
+        assert module.arrays["scratch"].init == ()
+
+    def test_builder_output_parses(self):
+        b = IRBuilder("f", ["x"])
+        b.block("entry")
+        b.unop("y", "neg", "x")
+        b.binop("z", "shl", "y", 2)
+        b.branch("z", "a", "c")
+        b.block("a")
+        b.ret("z")
+        b.block("c")
+        b.ret()
+        fn = b.finish()
+        assert str(parse_function(str(fn))) == str(fn)
+
+    def test_negative_constants(self):
+        fn = parse_function("func f() {\nentry:\n  x = -5\n  ret x\n}")
+        assert fn.blocks["entry"].instrs[0].src.value == -5
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nfunc f() {\nentry:\n  # another\n  ret\n}\n"
+        fn = parse_function(text)
+        assert list(fn.blocks) == ["entry"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "func f() {\nentry:\n  ret\n",  # missing brace
+            "func f() {\n  ret\n}",  # instruction outside block
+            "func f() {\nentry:\n  ret\n  x = 1\n}",  # after terminator
+            "func f() {\nentry:\n  x ,= 1\n}",  # garbage instruction
+            "wibble",  # not a function
+        ],
+    )
+    def test_bad_function_raises(self, bad):
+        with pytest.raises(IRSyntaxError):
+            parse_function(bad)
+
+    def test_bad_module_top_level(self):
+        with pytest.raises(IRSyntaxError):
+            parse_module("not a declaration")
+
+    def test_trailing_garbage_after_function(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("func f() {\nentry:\n  ret\n}\ntrailing")
+
+    def test_no_function_found(self):
+        with pytest.raises(IRSyntaxError):
+            parse_function("# only a comment")
+
+
+class TestPrinting:
+    def test_module_str_includes_arrays(self):
+        m = Module()
+        m.add_array(ArrayDecl("a", 4, (7,)))
+        text = str(m)
+        assert "array a[4] = {7}" in text

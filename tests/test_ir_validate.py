@@ -1,0 +1,112 @@
+"""Tests for the IR validator."""
+
+import pytest
+
+from repro.ir import (
+    ArrayDecl,
+    BasicBlock,
+    Branch,
+    Call,
+    Const,
+    Function,
+    IRBuilder,
+    Jump,
+    Load,
+    Module,
+    Ret,
+    ValidationError,
+    Var,
+    validate_function,
+    validate_module,
+)
+
+
+def valid_module() -> Module:
+    m = Module()
+    m.add_array(ArrayDecl("data", 4))
+    b = IRBuilder("main", ["n"])
+    b.block("entry")
+    b.load("x", "data", 0)
+    b.call("r", "abs", "x")
+    b.ret("r")
+    m.add_function(b.finish())
+    return m
+
+
+def test_valid_module_passes():
+    validate_module(valid_module())
+
+
+def test_missing_main_rejected():
+    m = Module()
+    b = IRBuilder("helper")
+    b.block("entry")
+    b.ret()
+    m.add_function(b.finish())
+    with pytest.raises(ValidationError, match="main"):
+        validate_module(m)
+
+
+def test_empty_function_rejected():
+    with pytest.raises(ValidationError, match="no blocks"):
+        validate_function(Function("f"))
+
+
+def test_missing_terminator_rejected():
+    fn = Function("f", blocks=[BasicBlock("entry")])
+    with pytest.raises(ValidationError, match="terminator"):
+        validate_function(fn)
+
+
+def test_unknown_target_rejected():
+    fn = Function("f", blocks=[BasicBlock("entry", [], Jump("nowhere"))])
+    with pytest.raises(ValidationError, match="nowhere"):
+        validate_function(fn)
+
+
+def test_degenerate_branch_rejected():
+    fn = Function(
+        "f",
+        blocks=[
+            BasicBlock("entry", [], Branch(Var("c"), "next", "next")),
+            BasicBlock("next", [], Ret()),
+        ],
+    )
+    with pytest.raises(ValidationError, match="identical targets"):
+        validate_function(fn)
+
+
+def test_unreachable_block_rejected():
+    fn = Function(
+        "f",
+        blocks=[
+            BasicBlock("entry", [], Ret()),
+            BasicBlock("island", [], Ret()),
+        ],
+    )
+    with pytest.raises(ValidationError, match="unreachable"):
+        validate_function(fn)
+
+
+def test_unknown_array_rejected_with_module():
+    m = valid_module()
+    m.functions["main"].blocks["entry"].instrs[0] = Load("x", "ghost", Const(0))
+    with pytest.raises(ValidationError, match="ghost"):
+        validate_module(m)
+
+
+def test_unknown_callee_rejected_with_module():
+    m = valid_module()
+    m.functions["main"].blocks["entry"].instrs[1] = Call("r", "ghost", ())
+    with pytest.raises(ValidationError, match="ghost"):
+        validate_module(m)
+
+
+def test_builtin_callee_accepted():
+    validate_module(valid_module())  # calls abs
+
+
+def test_bad_entry_label_rejected():
+    fn = Function("f", blocks=[BasicBlock("entry", [], Ret())], entry="ghost")
+    with pytest.raises(ValidationError, match="entry"):
+        validate_function(fn)

@@ -1,0 +1,127 @@
+"""Lattice-law property tests for the constant and environment lattices."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    BOT,
+    TOP,
+    UNREACHABLE,
+    ConstEnv,
+    is_const,
+    leq_env,
+    leq_flat,
+    meet_env,
+    meet_flat,
+)
+
+flat_values = st.one_of(
+    st.just(TOP), st.just(BOT), st.integers(min_value=-5, max_value=5)
+)
+
+env_values = st.one_of(
+    st.just(UNREACHABLE),
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), flat_values, max_size=3
+    ).map(ConstEnv),
+)
+
+
+class TestFlatLattice:
+    @given(flat_values)
+    def test_meet_idempotent(self, a):
+        assert meet_flat(a, a) == a
+
+    @given(flat_values, flat_values)
+    def test_meet_commutative(self, a, b):
+        assert meet_flat(a, b) == meet_flat(b, a)
+
+    @given(flat_values, flat_values, flat_values)
+    def test_meet_associative(self, a, b, c):
+        assert meet_flat(meet_flat(a, b), c) == meet_flat(a, meet_flat(b, c))
+
+    @given(flat_values)
+    def test_top_is_identity(self, a):
+        assert meet_flat(TOP, a) == a
+
+    @given(flat_values)
+    def test_bot_is_absorbing(self, a):
+        assert meet_flat(BOT, a) is BOT
+
+    @given(flat_values, flat_values)
+    def test_meet_is_lower_bound(self, a, b):
+        m = meet_flat(a, b)
+        assert leq_flat(m, a) and leq_flat(m, b)
+
+    @given(flat_values)
+    def test_leq_reflexive(self, a):
+        assert leq_flat(a, a)
+
+    @given(flat_values, flat_values, flat_values)
+    def test_leq_transitive(self, a, b, c):
+        if leq_flat(a, b) and leq_flat(b, c):
+            assert leq_flat(a, c)
+
+    def test_distinct_constants_meet_to_bot(self):
+        assert meet_flat(1, 2) is BOT
+        assert meet_flat(3, 3) == 3
+
+    def test_is_const(self):
+        assert is_const(5) and not is_const(TOP) and not is_const(BOT)
+
+
+class TestConstEnv:
+    def test_absent_is_top(self):
+        assert ConstEnv().get("x") is TOP
+
+    def test_set_and_get(self):
+        env = ConstEnv().set("x", 3)
+        assert env.get("x") == 3
+        assert env.get("y") is TOP
+
+    def test_set_is_persistent(self):
+        base = ConstEnv().set("x", 1)
+        other = base.set("x", 2)
+        assert base.get("x") == 1 and other.get("x") == 2
+
+    def test_set_top_removes(self):
+        env = ConstEnv().set("x", 1).set("x", TOP)
+        assert env == ConstEnv()
+
+    def test_meet_pointwise(self):
+        a = ConstEnv({"x": 1, "y": 2})
+        b = ConstEnv({"x": 1, "y": 3})
+        m = a.meet(b)
+        assert m.get("x") == 1
+        assert m.get("y") is BOT
+
+    def test_constants_view(self):
+        env = ConstEnv({"x": 1, "y": BOT})
+        assert env.constants() == {"x": 1}
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(ConstEnv({"x": 1})) == hash(ConstEnv({"x": 1}))
+
+    @given(env_values, env_values)
+    @settings(max_examples=100)
+    def test_env_meet_commutative(self, a, b):
+        assert meet_env(a, b) == meet_env(b, a)
+
+    @given(env_values, env_values, env_values)
+    @settings(max_examples=100)
+    def test_env_meet_associative(self, a, b, c):
+        assert meet_env(meet_env(a, b), c) == meet_env(a, meet_env(b, c))
+
+    @given(env_values)
+    def test_unreachable_is_identity(self, a):
+        assert meet_env(UNREACHABLE, a) == a
+
+    @given(env_values, env_values)
+    @settings(max_examples=100)
+    def test_env_meet_is_lower_bound(self, a, b):
+        m = meet_env(a, b)
+        assert leq_env(m, a) and leq_env(m, b)
+
+    @given(env_values)
+    def test_env_leq_reflexive(self, a):
+        assert leq_env(a, a)

@@ -1,0 +1,256 @@
+"""Tests for the DOT exporter, block straightening, the MOP reference
+solver, and the graph-view adapter."""
+
+import pytest
+
+from repro.dataflow import (
+    BOT,
+    GraphView,
+    UNREACHABLE,
+    analyze,
+    leq_env,
+    mop_for_function,
+)
+from repro.interp import run_module
+from repro.ir import Cfg, IRBuilder, Module
+from repro.ir.dot import cfg_to_dot, traced_to_dot
+from repro.opt import straighten
+
+
+class TestDot:
+    def test_cfg_dot_contains_vertices_and_edges(self):
+        cfg = Cfg(edges=[("__entry__", "a"), ("a", "__exit__")])
+        dot = cfg_to_dot(cfg)
+        assert dot.startswith("digraph cfg {")
+        assert '"a"' in dot
+        assert '"__entry__" -> "a";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_recording_edges_dashed(self):
+        cfg = Cfg(edges=[("__entry__", "a"), ("a", "__exit__")])
+        dot = cfg_to_dot(cfg, recording=frozenset({("__entry__", "a")}))
+        assert '"__entry__" -> "a" [style=dashed];' in dot
+        assert '"a" -> "__exit__" [style=dashed];' not in dot
+
+    def test_traced_dot_names_duplicates(self, example_qualified):
+        dot = traced_to_dot(
+            example_qualified.hpg,
+            weights=example_qualified.reduction.weights,
+        )
+        assert "H@q" in dot
+        assert "style=dashed" in dot  # recording edges survive tracing
+        assert "lightgoldenrod" in dot  # weighted vertices highlighted
+
+    def test_quoting(self):
+        cfg = Cfg(edges=[("__entry__", 'we"ird'), ('we"ird', "__exit__")])
+        dot = cfg_to_dot(cfg)
+        assert '\\"' in dot
+
+
+class TestStraighten:
+    def _chain(self):
+        b = IRBuilder("main")
+        b.block("a")
+        b.assign("x", 1)
+        b.jump("b")
+        b.block("b")
+        b.binop("y", "add", "x", 1)
+        b.jump("c")
+        b.block("c")
+        b.ret("y")
+        m = Module()
+        m.add_function(b.finish())
+        return m
+
+    def test_chain_collapses_to_one_block(self):
+        m = self._chain()
+        straighten(m.functions["main"])
+        assert list(m.functions["main"].blocks) == ["a"]
+
+    def test_behaviour_preserved(self):
+        m = self._chain()
+        before = run_module(m, profile_mode=None)
+        straighten(m.functions["main"])
+        after = run_module(m, profile_mode=None)
+        assert after.return_value == before.return_value == 2
+        # The jump instructions disappear; cost cannot increase (the jumps
+        # were already free fall-throughs in this layout).
+        assert after.instr_count < before.instr_count
+        assert after.cost <= before.cost
+
+    def test_straighten_saves_cost_on_bad_layout(self):
+        b = IRBuilder("main")
+        b.block("a")
+        b.assign("x", 1)
+        b.jump("c")  # c is laid out last: a taken jump before straightening
+        b.block("b")
+        b.ret("y")
+        b.block("c")
+        b.binop("y", "add", "x", 1)
+        b.jump("b")
+        m = Module()
+        m.add_function(b.finish())
+        before = run_module(m, profile_mode=None)
+        straighten(m.functions["main"])
+        after = run_module(m, profile_mode=None)
+        assert after.return_value == before.return_value == 2
+        assert after.cost < before.cost
+
+    def test_multi_predecessor_target_kept(self):
+        b = IRBuilder("main", ["p"])
+        b.block("a")
+        b.branch("p", "l", "r")
+        b.block("l")
+        b.jump("join")
+        b.block("r")
+        b.jump("join")
+        b.block("join")
+        b.ret(0)
+        m = Module()
+        m.add_function(b.finish())
+        straighten(m.functions["main"])
+        assert "join" in m.functions["main"].blocks
+
+    def test_self_loop_kept(self):
+        b = IRBuilder("main")
+        b.block("a")
+        b.jump("spin")
+        b.block("spin")
+        b.jump("spin")
+        m = Module()
+        m.add_function(b.finish())
+        straighten(m.functions["main"])
+        assert "spin" in m.functions["main"].blocks
+
+    def test_entry_never_fused_away(self):
+        b = IRBuilder("main")
+        b.block("a")
+        b.jump("b")
+        b.block("b")
+        b.ret(0)
+        fn = b.finish()
+        straighten(fn)
+        assert fn.entry == "a"
+
+
+class TestMop:
+    def _diamond(self, left, right):
+        b = IRBuilder("f", ["p"])
+        b.block("entry")
+        b.branch("p", "l", "r")
+        b.block("l")
+        b.assign("x", left)
+        b.jump("join")
+        b.block("r")
+        b.assign("x", right)
+        b.jump("join")
+        b.block("join")
+        b.binop("y", "add", "x", 1)
+        b.ret("y")
+        return b.finish()
+
+    def test_mop_meets_env_at_join(self):
+        fn = self._diamond(5, 7)
+        view = GraphView.from_function(fn)
+        mop = mop_for_function(view)
+        assert mop["join"].get("x") is BOT
+
+    def test_mop_keeps_agreeing_constants(self):
+        fn = self._diamond(5, 5)
+        view = GraphView.from_function(fn)
+        mop = mop_for_function(view)
+        assert mop["join"].get("x") == 5
+
+    def test_iterative_below_mop_on_acyclic_graphs(self):
+        """Non-distributive constant propagation: the fixpoint is <= MOP."""
+        fn = self._diamond(5, 7)
+        view = GraphView.from_function(fn)
+        mop = mop_for_function(view)
+        wz = analyze(view)
+        for v in view.cfg.vertices:
+            assert leq_env(wz.input_env(v), mop[v]), v
+
+    def test_mop_is_non_distributivity_witness(self):
+        """x + y with (x,y) = (1,2) or (2,1): MOP over the two paths loses
+        the sum; per-path composition keeps it.  The fixpoint agrees with
+        MOP here, but a path-qualified analysis that separates the two paths
+        recovers z = 3 on each."""
+        b = IRBuilder("f", ["p"])
+        b.block("entry")
+        b.branch("p", "l", "r")
+        b.block("l")
+        b.assign("x", 1)
+        b.assign("y", 2)
+        b.jump("join")
+        b.block("r")
+        b.assign("x", 2)
+        b.assign("y", 1)
+        b.jump("join")
+        b.block("join")
+        b.binop("z", "add", "x", "y")
+        b.ret("z")
+        fn = b.finish()
+        view = GraphView.from_function(fn)
+        mop = mop_for_function(view)
+        # The meet of the two path envs loses x and y individually...
+        assert mop["join"].get("x") is BOT
+        # ...so even MOP cannot see that z is always 3.
+        out = analyze(view).site_values("join")
+        assert out[0] is BOT
+
+    def test_loop_bounded_unrolling(self):
+        b = IRBuilder("f", ["n"])
+        b.block("entry")
+        b.assign("i", 0)
+        b.jump("head")
+        b.block("head")
+        b.binop("c", "lt", "i", "n")
+        b.branch("c", "body", "out")
+        b.block("body")
+        b.binop("i", "add", "i", 1)
+        b.jump("head")
+        b.block("out")
+        b.ret("i")
+        view = GraphView.from_function(b.finish())
+        mop = mop_for_function(view, max_occurrences=3)
+        assert mop["head"].get("i") is BOT  # 0 meets 1 meets 2
+
+    def test_path_explosion_guarded(self):
+        b = IRBuilder("f", ["p"])
+        label = "entry"
+        b.block(label)
+        for i in range(20):
+            nxt_l, nxt_r, join = f"l{i}", f"r{i}", f"j{i}"
+            b.branch("p", nxt_l, nxt_r)
+            b.block(nxt_l)
+            b.jump(join)
+            b.block(nxt_r)
+            b.jump(join)
+            b.block(join)
+        b.ret(0)
+        view = GraphView.from_function(b.finish())
+        with pytest.raises(RuntimeError, match="paths"):
+            mop_for_function(view, max_paths=1000)
+
+
+class TestGraphView:
+    def test_from_function_identity_labels(self, example_module):
+        fn = example_module.function("work")
+        view = GraphView.from_function(fn)
+        assert view.label_of("H") == "H"
+        assert view.label_of("__entry__") is None
+        assert view.block_of("H") is fn.blocks["H"]
+        assert view.size() == len(fn.blocks)
+
+    def test_succ_for_label(self, example_module):
+        fn = example_module.function("work")
+        view = GraphView.from_function(fn)
+        assert view.succ_for_label("B", "C") == "C"
+        with pytest.raises(KeyError):
+            view.succ_for_label("B", "H")
+
+    def test_succ_for_label_on_traced_graph(self, example_qualified):
+        view = example_qualified.hpg.view()
+        for vertex in example_qualified.hpg.duplicates("B"):
+            succ = view.succ_for_label(vertex, "C")
+            assert succ[0] == "C"

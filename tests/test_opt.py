@@ -1,0 +1,268 @@
+"""Optimization-pass tests: materialization, folding, DCE, layout — all
+checked against interpreter behaviour."""
+
+import pytest
+
+from repro.core import run_qualified
+from repro.dataflow import GraphView, analyze
+from repro.interp import Interpreter, run_module
+from repro.ir import (
+    Assign,
+    Const,
+    IRBuilder,
+    Jump,
+    Module,
+    validate_function,
+    validate_module,
+)
+from repro.opt import (
+    eliminate_dead_code,
+    fold_function,
+    layout_function,
+    materialize,
+    remove_unreachable,
+    vertex_labels,
+)
+from repro.workloads.running_example import (
+    running_example_module,
+    training_run_inputs,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    module = running_example_module()
+    n, inputs = training_run_inputs()
+    run = Interpreter(module).run([n], inputs)
+    qa = run_qualified(module.function("work"), run.profiles["work"], ca=1.0)
+    return module, n, inputs, run, qa
+
+
+def swap_work(module, fn):
+    m = module.copy()
+    del m.functions["work"]
+    m.add_function(fn)
+    return m
+
+
+class TestMaterialize:
+    def test_unfolded_materialization_preserves_behaviour(self, pipeline):
+        module, n, inputs, run, qa = pipeline
+        dup = materialize(qa.reduced)
+        m = swap_work(module, dup)
+        validate_module(m)
+        result = run_module(m, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+        assert result.return_value == run.return_value
+        assert result.instr_count == run.instr_count  # same work, new labels
+
+    def test_hpg_materialization_also_equivalent(self, pipeline):
+        module, n, inputs, run, qa = pipeline
+        dup = materialize(qa.hpg)
+        m = swap_work(module, dup)
+        validate_module(m)
+        result = run_module(m, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+
+    def test_folded_materialization_preserves_behaviour(self, pipeline):
+        module, n, inputs, run, qa = pipeline
+        opt = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+        m = swap_work(module, opt)
+        validate_module(m)
+        result = run_module(m, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+
+    def test_folding_replaces_constant_sites(self, pipeline):
+        module, n, inputs, run, qa = pipeline
+        opt = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+        # Some duplicate of H must now assign x directly.
+        folded_assigns = [
+            instr
+            for label, block in opt.blocks.items()
+            if label.startswith("H")
+            for instr in block.instrs
+            if isinstance(instr, Assign) and instr.dest == "x"
+        ]
+        assert folded_assigns, "no folded x = const found"
+        assert {i.src.value for i in folded_assigns} <= {4, 5, 6}
+
+    def test_fold_requires_analysis(self, pipeline):
+        _, _, _, _, qa = pipeline
+        with pytest.raises(ValueError):
+            materialize(qa.reduced, None, fold=True)
+
+    def test_vertex_labels_unique(self, pipeline):
+        _, _, _, _, qa = pipeline
+        labels = vertex_labels(qa.reduced)
+        assert len(set(labels.values())) == len(labels)
+
+    def test_single_copy_keeps_original_label(self, pipeline):
+        _, _, _, _, qa = pipeline
+        labels = vertex_labels(qa.reduced)
+        a_labels = [l for v, l in labels.items() if v[0] == "A"]
+        assert a_labels == ["A"]
+
+
+class TestFoldFunction:
+    def test_branch_folding_removes_dead_leg(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.assign("c", 1)
+        b.branch("c", "live", "dead")
+        b.block("live")
+        b.ret(1)
+        b.block("dead")
+        b.ret(2)
+        fn = b.finish()
+        folded = fold_function(fn, analyze(GraphView.from_function(fn)))
+        assert isinstance(folded.blocks["entry"].terminator, Jump)
+        assert "dead" not in folded.blocks
+        validate_function(folded)
+        m = Module()
+        m.add_function(folded)
+        assert run_module(m).return_value == 1
+
+    def test_already_constant_assignments_untouched(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.assign("x", 5)
+        b.ret("x")
+        fn = b.finish()
+        folded = fold_function(fn, analyze(GraphView.from_function(fn)))
+        instr = folded.blocks["entry"].instrs[0]
+        assert isinstance(instr, Assign) and instr.src == Const(5)
+
+    def test_fold_is_idempotent(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.assign("x", 2)
+        b.binop("y", "mul", "x", 3)
+        b.ret("y")
+        fn = b.finish()
+        once = fold_function(fn, analyze(GraphView.from_function(fn)))
+        twice = fold_function(once, analyze(GraphView.from_function(once)))
+        assert str(once) == str(twice)
+
+
+class TestRemoveUnreachable:
+    def test_island_removed(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.ret()
+        b.block("island")
+        b.ret()
+        fn = b.finish()
+        remove_unreachable(fn)
+        assert list(fn.blocks) == ["entry"]
+
+
+class TestDce:
+    def test_dead_pure_code_removed(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.assign("dead", 42)
+        b.binop("alive", "add", 1, 2)
+        b.ret("alive")
+        fn = b.finish()
+        eliminate_dead_code(fn)
+        dests = [i.dest for i in fn.blocks["entry"].instrs]
+        assert dests == ["alive"]
+
+    def test_dce_cascades(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.assign("a", 1)
+        b.binop("b", "add", "a", 1)  # only used by dead c
+        b.binop("c", "add", "b", 1)  # dead
+        b.ret(0)
+        fn = b.finish()
+        eliminate_dead_code(fn)
+        assert fn.blocks["entry"].instrs == []
+
+    def test_impure_instructions_kept(self):
+        b = IRBuilder("main")
+        b.block("entry")
+        b.store("m", 0, 1)
+        b.call(None, "abs", 1)
+        b.call("unused", "abs", 1)
+        b.emit_print(3)
+        b.ret()
+        fn = b.finish()
+        before = len(fn.blocks["entry"].instrs)
+        eliminate_dead_code(fn)
+        assert len(fn.blocks["entry"].instrs) == before
+
+    def test_dce_preserves_behaviour(self, pipeline):
+        module, n, inputs, run, qa = pipeline
+        opt = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+        eliminate_dead_code(opt)
+        m = swap_work(module, opt)
+        validate_module(m)
+        result = run_module(m, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+
+    def test_dce_plus_fold_reduces_cost(self, pipeline):
+        module, n, inputs, run, qa = pipeline
+        opt = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+        eliminate_dead_code(opt)
+        m = swap_work(module, opt)
+        result = run_module(m, args=[n], inputs=inputs, profile_mode=None)
+        assert result.cost < run.cost
+
+
+class TestLayout:
+    def _chain_module(self):
+        b = IRBuilder("main", ["n"])
+        b.block("entry")
+        b.assign("i", 0)
+        b.jump("head")
+        b.block("head")
+        b.binop("c", "lt", "i", "n")
+        b.branch("c", "body", "done")
+        # Cold block placed between head and body on purpose.
+        b.block("done")
+        b.ret("i")
+        b.block("body")
+        b.binop("i", "add", "i", 1)
+        b.jump("head")
+        m = Module()
+        m.add_function(b.finish())
+        return m
+
+    def test_layout_moves_hot_successor_next(self):
+        m = self._chain_module()
+        freqs = {("head", "body"): 100, ("head", "done"): 1, ("body", "head"): 100}
+        layout_function(m.functions["main"], freqs)
+        order = list(m.functions["main"].blocks)
+        assert order.index("body") == order.index("head") + 1
+
+    def test_layout_preserves_behaviour_and_entry(self):
+        m = self._chain_module()
+        baseline = run_module(m, args=[10], profile_mode=None)
+        layout_function(
+            m.functions["main"], {("head", "body"): 100}
+        )
+        validate_module(m)
+        after = run_module(m, args=[10], profile_mode=None)
+        assert after.return_value == baseline.return_value
+
+    def test_layout_reduces_cost_on_hot_loop(self):
+        m = self._chain_module()
+        before = run_module(m, args=[200], profile_mode=None).cost
+        freqs = {("head", "body"): 100, ("body", "head"): 100}
+        layout_function(m.functions["main"], freqs)
+        after = run_module(m, args=[200], profile_mode=None).cost
+        assert after < before
+
+    def test_layout_without_frequencies_is_deterministic(self):
+        m1 = self._chain_module()
+        m2 = self._chain_module()
+        layout_function(m1.functions["main"])
+        layout_function(m2.functions["main"])
+        assert list(m1.functions["main"].blocks) == list(m2.functions["main"].blocks)
+
+    def test_all_blocks_survive_layout(self):
+        m = self._chain_module()
+        before = set(m.functions["main"].blocks)
+        layout_function(m.functions["main"], {})
+        assert set(m.functions["main"].blocks) == before

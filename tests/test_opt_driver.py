@@ -1,0 +1,70 @@
+"""Whole-module optimization driver tests."""
+
+from repro.interp import Interpreter, run_module
+from repro.opt import optimize_module
+from repro.workloads.running_example import (
+    running_example_module,
+    training_run_inputs,
+)
+
+
+def setup_run():
+    module = running_example_module()
+    n, inputs = training_run_inputs()
+    run = Interpreter(module).run([n], inputs)
+    return module, n, inputs, run
+
+
+class TestOptimizeModule:
+    def test_behaviour_preserved(self):
+        module, n, inputs, run = setup_run()
+        optimized, _ = optimize_module(module, run.profiles)
+        result = run_module(optimized, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+        assert result.return_value == run.return_value
+
+    def test_cost_improves(self):
+        module, n, inputs, run = setup_run()
+        optimized, _ = optimize_module(module, run.profiles, ca=1.0)
+        result = run_module(optimized, args=[n], inputs=inputs, profile_mode=None)
+        assert result.cost < run.cost
+
+    def test_input_module_untouched(self):
+        module, n, inputs, run = setup_run()
+        before = str(module)
+        optimize_module(module, run.profiles)
+        assert str(module) == before
+
+    def test_reports_cover_all_functions(self):
+        module, n, inputs, run = setup_run()
+        _, reports = optimize_module(module, run.profiles)
+        assert {r.name for r in reports} == set(module.functions)
+        work = next(r for r in reports if r.name == "work")
+        assert work.traced
+        assert work.hot_paths > 0
+        assert work.blocks_after >= work.blocks_before  # duplication
+
+    def test_missing_profile_falls_back_to_baseline(self):
+        module, n, inputs, run = setup_run()
+        optimized, reports = optimize_module(module, {})  # no profiles at all
+        for report in reports:
+            assert not report.traced
+        result = run_module(optimized, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+
+    def test_pass_toggles(self):
+        module, n, inputs, run = setup_run()
+        plain, _ = optimize_module(
+            module,
+            run.profiles,
+            dce=False,
+            straighten_blocks=False,
+            layout=False,
+        )
+        result = run_module(plain, args=[n], inputs=inputs, profile_mode=None)
+        assert result.output == run.output
+
+    def test_arrays_carried_over(self):
+        module, n, inputs, run = setup_run()
+        optimized, _ = optimize_module(module, run.profiles)
+        assert set(optimized.arrays) == set(module.arrays)

@@ -1,0 +1,180 @@
+"""Cross-cutting properties of the full pipeline, checked on randomly
+generated MiniC programs: semantics preservation through trace → reduce →
+fold → DCE, profile-translation weight conservation, and the qualified
+solution never being less precise than the baseline.
+
+This is the reproduction's strongest evidence: for *any* program the
+generator can express, the paper's transformation stack must not change
+observable behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_qualified
+from repro.dataflow.lattice import leq_env, meet_env, UNREACHABLE
+from repro.frontend import compile_program
+from repro.interp import Interpreter, run_module
+from repro.ir import validate_module
+from repro.opt import eliminate_dead_code, materialize
+
+
+@st.composite
+def minic_programs(draw):
+    """A random MiniC `main(a, b)` built from nested ifs and bounded loops
+    over two scalar inputs and one input array."""
+    rng_depth = draw(st.integers(1, 3))
+    lines: list[str] = []
+    declared = ["a", "b"]
+    protected: set[str] = set()  # active loop counters; never reassigned
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        name = f"v{counter[0]}"
+        return name
+
+    def expr() -> str:
+        choices = ["const", "var", "binop", "load"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "const":
+            return str(draw(st.integers(-4, 9)))
+        if kind == "var":
+            return draw(st.sampled_from(declared))
+        if kind == "load":
+            idx = draw(st.sampled_from(declared + ["3"]))
+            return f"data[({idx}) & 7]"  # & keeps indexes non-negative
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"({expr()} {op} {expr()})"
+
+    def emit_block(depth: int, indent: str) -> None:
+        n_stmts = draw(st.integers(1, 3))
+        for _ in range(n_stmts):
+            kind = draw(
+                st.sampled_from(
+                    ["decl", "assign", "if", "loop", "print"]
+                    if depth > 0
+                    else ["decl", "assign", "print"]
+                )
+            )
+            if kind == "decl":
+                name = fresh()
+                lines.append(f"{indent}var {name} = {expr()};")
+                declared.append(name)
+            elif kind == "assign":
+                assignable = [v for v in declared if v not in protected]
+                if not assignable:
+                    continue
+                name = draw(st.sampled_from(assignable))
+                lines.append(f"{indent}{name} = {expr()};")
+            elif kind == "print":
+                lines.append(f"{indent}print({expr()});")
+            elif kind == "if":
+                lines.append(f"{indent}if ({expr()} > {expr()}) {{")
+                mark = len(declared)
+                emit_block(depth - 1, indent + "  ")
+                del declared[mark:]  # conditional decls may never execute
+                if draw(st.booleans()):
+                    lines.append(f"{indent}}} else {{")
+                    emit_block(depth - 1, indent + "  ")
+                    del declared[mark:]
+                lines.append(f"{indent}}}")
+            else:  # bounded loop
+                i = fresh()
+                declared.append(i)
+                protected.add(i)  # clobbering the counter could diverge
+                bound = draw(st.integers(1, 4))
+                lines.append(
+                    f"{indent}for (var {i} = 0; {i} < {bound}; {i} = {i} + 1) {{"
+                )
+                mark = len(declared)
+                emit_block(depth - 1, indent + "  ")
+                del declared[mark:]  # body decls may never execute
+                protected.discard(i)
+                lines.append(f"{indent}}}")
+
+    emit_block(rng_depth, "  ")
+    body = "\n".join(lines)
+    ret = draw(st.sampled_from(declared))
+    source = (
+        "global data[8];\n"
+        f"func main(a, b) {{\n{body}\n  return {ret} % 997;\n}}\n"
+    )
+    args = (draw(st.integers(0, 7)), draw(st.integers(0, 7)))
+    data = [draw(st.integers(-3, 6)) for _ in range(8)]
+    return source, args, data
+
+
+@given(minic_programs(), st.sampled_from([0.75, 0.97, 1.0]))
+@settings(max_examples=15, deadline=None)
+def test_pipeline_preserves_semantics(program, ca):
+    source, args, data = program
+    module = compile_program(source)
+    validate_module(module)
+    inputs = {"data": data}
+    baseline = Interpreter(module, profile_mode="bl").run(args, inputs)
+    qa = run_qualified(
+        module.function("main"), baseline.profiles["main"], ca=ca
+    )
+    if not qa.traced:
+        return
+    optimized = materialize(qa.reduced, qa.reduced_analysis, fold=True)
+    eliminate_dead_code(optimized)
+    new_module = module.copy()
+    del new_module.functions["main"]
+    new_module.add_function(optimized)
+    validate_module(new_module)
+    result = run_module(new_module, args=args, inputs=inputs, profile_mode=None)
+    assert result.output == baseline.output
+    assert result.return_value == baseline.return_value
+
+
+@given(minic_programs())
+@settings(max_examples=10, deadline=None)
+def test_profile_translation_conserves_weight(program):
+    source, args, data = program
+    module = compile_program(source)
+    run = Interpreter(module, profile_mode="bl").run(args, {"data": data})
+    qa = run_qualified(module.function("main"), run.profiles["main"], ca=1.0)
+    if not qa.traced:
+        return
+    profile = run.profiles["main"]
+    assert qa.hpg_profile.total_count == profile.total_count
+    assert qa.reduced_profile.total_count == profile.total_count
+    sizes = qa.block_sizes
+    orig_weight = profile.total_instructions(sizes)
+    hpg_sizes = {v: sizes.get(v[0], 0) for v in qa.hpg.cfg.vertices}
+    red_sizes = {v: sizes.get(v[0], 0) for v in qa.reduced.cfg.vertices}
+    assert qa.hpg_profile.total_instructions(hpg_sizes) == orig_weight
+    assert qa.reduced_profile.total_instructions(red_sizes) == orig_weight
+
+
+@given(minic_programs())
+@settings(max_examples=10, deadline=None)
+def test_qualified_never_less_precise_than_baseline(program):
+    """§1.1: the qualified solution is never lower in the lattice.  We check
+    the per-vertex corollary: the meet of the qualified solutions over v's
+    executable duplicates is >= the baseline solution at v."""
+    source, args, data = program
+    module = compile_program(source)
+    run = Interpreter(module, profile_mode="bl").run(args, {"data": data})
+    qa = run_qualified(module.function("main"), run.profiles["main"], ca=1.0)
+    if not qa.traced:
+        return
+    for v in qa.cfg.vertices:
+        duplicates = qa.hpg.duplicates(v)
+        if not duplicates:
+            continue
+        met = UNREACHABLE
+        for dup in duplicates:
+            met = meet_env(met, qa.hpg_analysis.input_env(dup))
+        assert leq_env(qa.baseline.input_env(v), met), v
+
+
+@given(minic_programs())
+@settings(max_examples=10, deadline=None)
+def test_profilers_agree_on_random_programs(program):
+    source, args, data = program
+    module = compile_program(source)
+    run = Interpreter(module, profile_mode="both").run(args, {"data": data})
+    assert run.profiles == run.trace_profiles

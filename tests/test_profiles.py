@@ -1,0 +1,171 @@
+"""Tests for recording edges, Ball–Larus paths, profiles, and trace
+splitting."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.ir import Cfg, ENTRY, EXIT
+from repro.profiles import (
+    BLPath,
+    PathProfile,
+    path_start_vertices,
+    profile_from_traces,
+    recording_edges,
+    split_trace,
+)
+
+from conftest import random_cfgs
+
+
+def loop_cfg() -> Cfg:
+    return Cfg(
+        edges=[
+            (ENTRY, "a"),
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "b"),
+            ("b", "d"),
+            ("d", EXIT),
+        ]
+    )
+
+
+class TestRecordingEdges:
+    def test_minimum_set(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        assert (ENTRY, "a") in rec  # edge from entry
+        assert ("d", EXIT) in rec  # edge into exit
+        assert ("c", "b") in rec  # retreating edge
+        assert ("a", "b") not in rec
+
+    def test_extra_recording_edges(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg, extra=[("a", "b")])
+        assert ("a", "b") in rec
+
+    def test_extra_must_be_an_edge(self):
+        with pytest.raises(ValueError):
+            recording_edges(loop_cfg(), extra=[("a", "zzz")])
+
+    def test_removal_acyclifies(self):
+        cfg = loop_cfg()
+        assert cfg.is_acyclic_without(recording_edges(cfg))
+
+    def test_path_start_vertices(self):
+        cfg = loop_cfg()
+        starts = path_start_vertices(cfg, recording_edges(cfg))
+        assert set(starts) == {"a", "b"}  # targets of recording edges, not exit
+
+    @given(random_cfgs())
+    @settings(max_examples=60, deadline=None)
+    def test_random_graphs_acyclify(self, cfg):
+        assert cfg.is_acyclic_without(recording_edges(cfg))
+
+
+class TestBLPath:
+    def test_requires_two_vertices(self):
+        with pytest.raises(ValueError):
+            BLPath(("a",))
+
+    def test_edges_and_interior(self):
+        p = BLPath(("a", "b", "c"))
+        assert p.edges() == (("a", "b"), ("b", "c"))
+        assert p.interior() == ("a", "b")
+        assert p.start == "a" and p.end == "c"
+        assert len(p) == 3
+
+    def test_weight_counts_interior_only(self):
+        p = BLPath(("a", "b", "c"))
+        sizes = {"a": 2, "b": 3, "c": 100}
+        assert p.weight(sizes) == 5
+
+    def test_str(self):
+        assert str(BLPath(("a", "b"))) == "[• a b]"
+
+
+class TestPathProfile:
+    def test_counts_accumulate(self):
+        prof = PathProfile()
+        p = BLPath(("a", "b"))
+        prof.add(p)
+        prof.add(p, 2)
+        assert prof.count(p) == 3
+        assert prof.total_count == 3
+        assert prof.num_distinct == 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PathProfile().add(BLPath(("a", "b")), -1)
+
+    def test_block_frequencies_partition_trace(self):
+        # Two paths sharing vertex b: b is interior of one, terminal of the
+        # other, so its frequency counts each execution exactly once.
+        prof = PathProfile()
+        prof.add(BLPath(("a", "b")), 4)  # b terminal: belongs to next path
+        prof.add(BLPath(("b", "c", "d")), 4)
+        freq = prof.block_frequencies()
+        assert freq == {"a": 4, "b": 4, "c": 4}
+
+    def test_edge_frequencies(self):
+        prof = PathProfile()
+        prof.add(BLPath(("a", "b", "c")), 2)
+        assert prof.edge_frequencies() == {("a", "b"): 2, ("b", "c"): 2}
+
+    def test_merged_with(self):
+        a = PathProfile({BLPath(("a", "b")): 1})
+        b = PathProfile({BLPath(("a", "b")): 2, BLPath(("b", "c")): 1})
+        merged = a.merged_with(b)
+        assert merged.count(BLPath(("a", "b"))) == 3
+        assert a.count(BLPath(("a", "b"))) == 1  # original untouched
+
+    def test_equality(self):
+        assert PathProfile({BLPath(("a", "b")): 1}) == PathProfile(
+            {BLPath(("a", "b")): 1}
+        )
+        assert PathProfile() != PathProfile({BLPath(("a", "b")): 1})
+
+
+class TestSplitTrace:
+    def test_straight_trace(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        trace = [ENTRY, "a", "b", "d", EXIT]
+        paths = split_trace(trace, rec)
+        assert paths == [BLPath(("a", "b", "d", EXIT))]
+
+    def test_looping_trace_cuts_at_backedge(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        trace = [ENTRY, "a", "b", "c", "b", "c", "b", "d", EXIT]
+        paths = split_trace(trace, rec)
+        assert paths == [
+            BLPath(("a", "b", "c", "b")),
+            BLPath(("b", "c", "b")),
+            BLPath(("b", "d", EXIT)),
+        ]
+
+    def test_interior_vertices_partition_the_trace(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        trace = [ENTRY, "a", "b", "c", "b", "d", EXIT]
+        paths = split_trace(trace, rec)
+        interiors = [v for p in paths for v in p.interior()]
+        assert interiors == ["a", "b", "c", "b", "d"]
+
+    def test_bad_trace_start(self):
+        with pytest.raises(ValueError):
+            split_trace(["a", "b"], frozenset({("b", "c")}))
+
+    def test_incomplete_trace_rejected(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        with pytest.raises(ValueError, match="middle"):
+            split_trace([ENTRY, "a", "b"], rec)
+
+    def test_profile_from_traces(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        trace = [ENTRY, "a", "b", "d", EXIT]
+        prof = profile_from_traces([trace, trace], rec)
+        assert prof.count(BLPath(("a", "b", "d", EXIT))) == 2

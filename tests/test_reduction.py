@@ -1,0 +1,169 @@
+"""Reduction tests (§5): hot-vertex selection, compatibility, refinement,
+collapse, and the preservation guarantees."""
+
+import pytest
+
+from repro.core import (
+    reduce_hpg,
+    reduce_profile,
+    run_qualified,
+    select_hot_vertices,
+)
+from repro.core.reduction import nonlocal_constant_sites, vertex_weights
+from repro.dataflow import analyze
+
+
+class TestHotVertexSelection:
+    def test_zero_cr_selects_nothing(self):
+        assert select_hot_vertices({("a", 0): 10}, 0.0) == ()
+
+    def test_full_cr_selects_all_weighted(self):
+        weights = {("a", 0): 10, ("b", 0): 5, ("c", 0): 0}
+        hot = select_hot_vertices(weights, 1.0)
+        assert set(hot) == {("a", 0), ("b", 0)}
+
+    def test_descending_order(self):
+        weights = {("a", 0): 1, ("b", 0): 100, ("c", 0): 10}
+        hot = select_hot_vertices(weights, 1.0)
+        assert hot == (("b", 0), ("c", 0), ("a", 0))
+
+    def test_partial_cutoff(self):
+        weights = {("a", 0): 90, ("b", 0): 9, ("c", 0): 1}
+        assert select_hot_vertices(weights, 0.9) == (("a", 0),)
+
+    def test_bad_cr_rejected(self):
+        with pytest.raises(ValueError):
+            select_hot_vertices({}, 1.5)
+
+    def test_all_zero_weights(self):
+        assert select_hot_vertices({("a", 0): 0}, 0.95) == ()
+
+
+class TestReductionOnRunningExample:
+    def test_weights_match_the_papers_narration(self, example_qualified):
+        """The paper's §5: H12 weighs 30, H13 ~100, H14 140, H15 60, I17 70
+        (our H13 weighs 105 because the narration rounds; see the workload
+        docstring)."""
+        qa = example_qualified
+        weights = qa.reduction.weights
+        h_weights = sorted(
+            w for v, w in weights.items() if v[0] == "H" and w > 0
+        )
+        assert h_weights == [30, 60, 105, 140]
+        i_weights = [w for v, w in weights.items() if v[0] == "I" and w > 0]
+        assert i_weights == [70]
+
+    def test_hot_vertices_preserve_their_constants(self, example_qualified):
+        """Every constant at a hot traced vertex survives into the reduced
+        graph at its representative."""
+        qa = example_qualified
+        reduction = qa.reduction
+        reduced = reduction.reduced
+        for hot in reduction.hot_vertices:
+            rep = reduced.representative_of[hot]
+            before = qa.hpg_analysis.pure_constant_sites(hot)
+            after = qa.reduced_analysis.pure_constant_sites(rep)
+            for idx, value in before.items():
+                assert after.get(idx) == value, (hot, idx)
+
+    def test_reduced_no_larger_than_hpg(self, example_qualified):
+        qa = example_qualified
+        assert qa.reduced_size <= qa.hpg_size
+        assert qa.reduced_size >= qa.original_size
+
+    def test_classes_partition_hpg_vertices(self, example_qualified):
+        qa = example_qualified
+        members = [v for block in qa.reduction.refined for v in block]
+        assert sorted(map(repr, members)) == sorted(
+            map(repr, qa.hpg.cfg.vertices)
+        )
+
+    def test_classes_are_per_original_vertex(self, example_qualified):
+        for block in example_qualified.reduction.refined:
+            assert len({v[0] for v in block}) == 1
+
+    def test_quotient_closed_under_labels(self, example_qualified):
+        qa = example_qualified
+        rep = qa.reduction.reduced.representative_of
+        for block in qa.reduction.refined:
+            for label in {s[0] for m in block for s in qa.hpg.cfg.succs(m)}:
+                targets = set()
+                for member in block:
+                    for succ in qa.hpg.cfg.succs(member):
+                        if succ[0] == label:
+                            targets.add(rep[succ])
+                assert len(targets) == 1
+
+    def test_refinement_only_splits_compatibility(self, example_qualified):
+        qa = example_qualified
+        compat_class_of = {}
+        for i, block in enumerate(qa.reduction.compatibility):
+            for v in block:
+                compat_class_of[v] = i
+        for block in qa.reduction.refined:
+            assert len({compat_class_of[v] for v in block}) == 1
+
+    def test_recording_edges_well_defined(self, example_qualified):
+        """An edge between representatives is recording iff its original
+        edge is — consistent across all member edges."""
+        qa = example_qualified
+        reduced = qa.reduction.reduced
+        for (u, v) in reduced.cfg.edges:
+            original = (u[0], v[0])
+            assert ((u, v) in reduced.recording) == (
+                original in qa.recording
+            )
+
+    def test_reduced_profile_preserves_weight(self, example_qualified):
+        qa = example_qualified
+        assert qa.reduced_profile.total_count == qa.hpg_profile.total_count
+        hpg_sizes = {
+            v: qa.block_sizes.get(v[0], 0) for v in qa.hpg.cfg.vertices
+        }
+        red_sizes = {
+            v: qa.block_sizes.get(v[0], 0)
+            for v in qa.reduction.reduced.cfg.vertices
+        }
+        assert qa.reduced_profile.total_instructions(red_sizes) == (
+            qa.hpg_profile.total_instructions(hpg_sizes)
+        )
+
+    def test_lower_cr_merges_more(self, example_module, example_profile):
+        """With a lower benefit cutoff, fewer vertices are hot and more
+        duplicates merge — the paper's example keeps only H13/H14 hot."""
+        fn = example_module.function("work")
+        full = run_qualified(fn, example_profile, ca=1.0, cr=0.95)
+        low = run_qualified(fn, example_profile, ca=1.0, cr=0.6)
+        assert len(low.reduction.hot_vertices) < len(
+            full.reduction.hot_vertices
+        )
+        assert low.reduced_size <= full.reduced_size
+
+    def test_recording_edges_acyclify_reduced_graph(self, example_qualified):
+        reduced = example_qualified.reduction.reduced
+        assert reduced.cfg.is_acyclic_without(reduced.recording)
+
+    def test_nonlocal_sites_exclude_local(self, example_qualified):
+        qa = example_qualified
+        for vertex in qa.hpg.cfg.vertices:
+            if vertex[0] != "H":
+                continue
+            sites = nonlocal_constant_sites(qa.hpg_analysis, vertex)
+            # The store (index 1) and load (index 3) can never be constant;
+            # the locally-constant assignments don't appear either.
+            assert all(idx in (0, 2) for idx in sites)
+
+    def test_vertex_weights_zero_without_profile(self, example_qualified):
+        from repro.profiles import PathProfile
+
+        qa = example_qualified
+        weights = vertex_weights(qa.hpg, qa.hpg_analysis, PathProfile())
+        assert all(w == 0 for w in weights.values())
+
+
+class TestReductionEffectiveness:
+    def test_reduction_shrinks_vortex(self, vortex_run):
+        """On a real workload the reduced graph is strictly smaller than the
+        hot-path graph (the paper: an order of magnitude less growth)."""
+        orig, hpg, red = vortex_run.graph_sizes(0.97)
+        assert orig < red < hpg

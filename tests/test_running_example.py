@@ -1,0 +1,151 @@
+"""The paper's running example, end to end (Figures 1–8).
+
+These tests pin the reproduction to the paper's own numbers: the Figure 2
+profile, the constants the paper reports for its Figure 5 hot-path graph
+(x = a+b is 6, 5 or 4 at different duplicates of H; i++ is 1 at the
+first-iteration copies; n is 1 at the hot copy of I), and the §5 weights.
+"""
+
+import pytest
+
+from repro.core import run_qualified
+from repro.dataflow import BOT
+from repro.ir import EXIT, validate_module
+from repro.profiles import BLPath
+
+
+class TestFigure2Profile:
+    def test_profile_counts(self, example_profile):
+        expected = {
+            ("A", "B", "C", "E", "F", "H", "I", EXIT): 70,
+            ("A", "B", "D", "E", "F", "H", "B"): 30,
+            ("B", "D", "E", "G", "H", "B"): 105,
+            ("B", "D", "E", "F", "H", "I", EXIT): 30,
+        }
+        actual = {p.vertices: c for p, c in example_profile.items()}
+        assert actual == expected
+
+    def test_profilers_agree(self, example_run):
+        assert example_run.profiles["work"] == example_run.trace_profiles["work"]
+
+    def test_module_validates(self, example_module):
+        validate_module(example_module)
+
+
+class TestBaseline:
+    def test_wz_finds_only_the_assignments(self, example_qualified):
+        """'Without path qualification, only the assignments of constants
+        are constant instructions.'"""
+        qa = example_qualified
+        consts = {
+            v: qa.baseline.pure_constant_sites(v)
+            for v in qa.cfg.vertices
+            if qa.baseline.pure_constant_sites(v)
+        }
+        assert consts == {
+            "A": {0: 0},  # i = 0
+            "C": {0: 2},  # a = 2
+            "D": {0: 1},  # a = 1
+            "F": {0: 4},  # b = 4
+            "G": {0: 3},  # b = 3
+        }
+
+    def test_x_is_unknown_at_h(self, example_qualified):
+        qa = example_qualified
+        assert qa.baseline.site_values("H")[0] is BOT  # x = a + b
+        assert qa.baseline.site_values("H")[2] is BOT  # i = i + 1
+
+
+class TestHotPathGraphConstants:
+    def test_the_papers_constants_appear(self, example_qualified):
+        """x = a+b is 6 at one duplicate of H, 5 at two, 4 at one; i++ is 1
+        at the two first-iteration duplicates; n = 1 at one duplicate of I."""
+        qa = example_qualified
+        x_values = sorted(
+            consts[0]
+            for v in qa.hpg.cfg.vertices
+            if v[0] == "H" and 0 in (consts := qa.hpg_analysis.pure_constant_sites(v))
+        )
+        assert x_values == [4, 5, 5, 6]
+
+        i_plus_plus = [
+            consts[2]
+            for v in qa.hpg.cfg.vertices
+            if v[0] == "H" and 2 in (consts := qa.hpg_analysis.pure_constant_sites(v))
+        ]
+        assert i_plus_plus == [1, 1]
+
+        n_values = [
+            consts[0]
+            for v in qa.hpg.cfg.vertices
+            if v[0] == "I" and 0 in (consts := qa.hpg_analysis.pure_constant_sites(v))
+        ]
+        assert n_values == [1]
+
+    def test_four_hot_paths_selected_at_full_coverage(self, example_qualified):
+        assert len(example_qualified.hot_paths) == 4
+
+    def test_hpg_growth_is_modest(self, example_qualified):
+        """9 original blocks; the traced graph isolates 4 hot paths without
+        exploding (the paper's Figure 5 is similarly sized)."""
+        qa = example_qualified
+        assert qa.original_size == 9
+        assert 9 < qa.hpg_size <= 30
+
+    def test_qualified_solution_never_below_baseline(self, example_qualified):
+        """Theorem 1's corollary: meeting the qualified solutions over the
+        duplicates of v is never less precise than... and in particular any
+        baseline constant is still a constant at every duplicate."""
+        qa = example_qualified
+        for v in qa.cfg.vertices:
+            base = qa.baseline.pure_constant_sites(v)
+            for dup in qa.hpg.duplicates(v):
+                if not qa.hpg_analysis.is_executable(dup):
+                    continue
+                dup_consts = qa.hpg_analysis.pure_constant_sites(dup)
+                for idx, value in base.items():
+                    assert dup_consts.get(idx) == value
+
+
+class TestFigure8Reduction:
+    def test_paper_example_cutoff(self, example_module, example_profile):
+        """With CR chosen so only the two heaviest H copies are hot (the
+        paper picks H13/H14), low-value duplicates of H merge."""
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=1.0, cr=0.6)
+        hot_originals = [v[0] for v in qa.reduction.hot_vertices]
+        assert hot_originals == ["H", "H"]  # the 140- and 105-weight copies
+        h_class_sizes = sorted(
+            len(c) for c in qa.reduction.refined if c[0][0] == "H"
+        )
+        assert sum(h_class_sizes) == len(qa.hpg.duplicates("H"))
+        assert len(h_class_sizes) < len(qa.hpg.duplicates("H"))
+
+    def test_both_hot_h_constants_survive(self, example_module, example_profile):
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=1.0, cr=0.6)
+        surviving_x = sorted(
+            consts[0]
+            for v in qa.reduced.cfg.vertices
+            if v[0] == "H"
+            and 0 in (consts := qa.reduced_analysis.pure_constant_sites(v))
+        )
+        # 6 (H14-analogue) and 4 (H13-analogue) must survive; the 5s may merge.
+        assert 6 in surviving_x and 4 in surviving_x
+
+
+class TestCa0Degenerates:
+    def test_ca_zero_is_plain_wz(self, example_module, example_profile):
+        fn = example_module.function("work")
+        qa = run_qualified(fn, example_profile, ca=0.0)
+        assert not qa.traced
+        assert qa.hot_paths == ()
+        assert qa.final_analysis() is qa.baseline
+        assert qa.hpg_size == qa.original_size == qa.reduced_size
+
+    def test_empty_profile_degenerates(self, example_module):
+        from repro.profiles import PathProfile
+
+        fn = example_module.function("work")
+        qa = run_qualified(fn, PathProfile(), ca=0.97)
+        assert not qa.traced

@@ -1,0 +1,120 @@
+"""Scale guards: the pipeline must stay tractable on routines an order of
+magnitude larger than the workloads (complexity regressions show up here
+long before they hurt the benchmarks)."""
+
+import time
+
+from repro.core import run_qualified
+from repro.frontend import compile_program
+from repro.interp import Interpreter
+from repro.ir import validate_module
+from repro.opt import optimize_module
+
+
+def big_dispatch_source(cases: int = 60) -> str:
+    """A dispatch routine with ``cases`` arms (several hundred blocks)."""
+    arms = []
+    for i in range(cases):
+        arms.append(
+            f"if (op == {i}) {{ w = {i % 7 + 1}; u = {i % 5 + 2}; }} else {{"
+        )
+    chain = "\n    ".join(arms) + " w = 1; u = 1; " + "}" * cases
+    return f"""
+global stream[4096];
+
+func dispatch(n) {{
+  var pc = 0;
+  var acc = 0;
+  while (pc < n) {{
+    var op = stream[pc];
+    var w; var u;
+    {chain}
+    acc = acc + w * 8 + u;
+    pc = pc + 1;
+  }}
+  print(acc);
+  return acc;
+}}
+
+func main(n) {{ return dispatch(n); }}
+"""
+
+
+class TestScale:
+    def test_pipeline_on_a_large_routine(self):
+        source = big_dispatch_source(60)
+        module = compile_program(source)
+        validate_module(module)
+        # Skewed stream: a few opcodes dominate, like real dispatch loops.
+        stream = [(i * 7) % 8 for i in range(1200)]
+
+        t0 = time.perf_counter()
+        run = Interpreter(module, track_sites=False).run([1200], {"stream": stream})
+        interp_seconds = time.perf_counter() - t0
+
+        fn = module.function("dispatch")
+        assert len(fn.blocks) > 150
+
+        t0 = time.perf_counter()
+        qa = run_qualified(fn, run.profiles["dispatch"], ca=0.97)
+        pipeline_seconds = time.perf_counter() - t0
+
+        assert qa.traced
+        assert qa.hpg_size > qa.original_size
+        # Generous ceilings: catching quadratic blowups, not timing noise.
+        assert interp_seconds < 30
+        assert pipeline_seconds < 30
+
+    def test_whole_module_optimization_scales(self):
+        source = big_dispatch_source(40)
+        module = compile_program(source)
+        stream = [(i * 5) % 6 for i in range(800)]
+        run = Interpreter(module, track_sites=False).run([800], {"stream": stream})
+
+        t0 = time.perf_counter()
+        optimized, reports = optimize_module(module, run.profiles, ca=0.97)
+        seconds = time.perf_counter() - t0
+        assert seconds < 60
+
+        check = Interpreter(optimized, profile_mode=None, track_sites=False).run(
+            [800], {"stream": stream}
+        )
+        assert check.output == run.output
+        assert check.cost < run.cost  # hot arms folded
+
+    def test_many_paths_routine_traces_without_blowup(self):
+        """A go-like routine with 2^8 static paths per activation: the HPG
+        stays linear in the number of *hot* paths, not potential paths."""
+        conds = "\n  ".join(
+            f"var c{i} = data[(x + {i}) & 63];\n"
+            f"  if (c{i} > 0) {{ s = s + {i + 1}; }} else {{ s = s - 1; }}"
+            for i in range(8)
+        )
+        source = f"""
+global data[64];
+func f(x) {{
+  var s = 0;
+  {conds}
+  return s;
+}}
+func main(n) {{
+  var i = 0;
+  var t = 0;
+  while (i < n) {{
+    t = t + f(i);
+    i = i + 1;
+  }}
+  print(t);
+  return t;
+}}
+"""
+        module = compile_program(source)
+        data = [1 if (i * 31) % 3 else -1 for i in range(64)]
+        run = Interpreter(module, track_sites=False).run([200], {"data": data})
+        fn = module.function("f")
+        profile = run.profiles["f"]
+        qa = run_qualified(fn, profile, ca=0.97)
+        assert qa.traced
+        # Linear-ish growth: bounded by (hot paths) x (max path length).
+        max_len = max(len(p) for p in qa.hot_paths)
+        assert qa.hpg_size <= len(fn.blocks) + len(qa.hot_paths) * max_len

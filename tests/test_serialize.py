@@ -1,0 +1,92 @@
+"""Profile serialization round-trip and error tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiles import (
+    BLPath,
+    PathProfile,
+    ProfileFormatError,
+    dumps_profiles,
+    loads_profiles,
+)
+
+
+def sample_profiles():
+    work = PathProfile()
+    work.add(BLPath(("A", "B", "C")), 70)
+    work.add(BLPath(("B", "D", "__exit__")), 30)
+    main = PathProfile()
+    main.add(BLPath(("entry", "loop")), 1)
+    return {"work": work, "main": main}
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self):
+        profiles = sample_profiles()
+        assert loads_profiles(dumps_profiles(profiles)) == profiles
+
+    def test_round_trip_from_real_run(self, example_run):
+        profiles = dict(example_run.profiles)
+        assert loads_profiles(dumps_profiles(profiles)) == profiles
+
+    def test_output_is_sorted_and_stable(self):
+        a = dumps_profiles(sample_profiles())
+        b = dumps_profiles(sample_profiles())
+        assert a == b
+
+    def test_empty_profile_serializes(self):
+        text = dumps_profiles({"f": PathProfile()})
+        assert loads_profiles(text) == {"f": PathProfile()}
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["f", "g"]),
+            st.dictionaries(
+                st.tuples(
+                    st.sampled_from(["a", "b", "c"]),
+                    st.sampled_from(["d", "e", "__exit__"]),
+                ).map(BLPath),
+                st.integers(1, 1000),
+                max_size=4,
+            ).map(PathProfile),
+            max_size=2,
+        )
+    )
+    @settings(max_examples=50)
+    def test_random_round_trip(self, profiles):
+        assert loads_profiles(dumps_profiles(profiles)) == profiles
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(ProfileFormatError, match="header"):
+            loads_profiles("routine f\n")
+
+    def test_path_before_routine(self):
+        with pytest.raises(ProfileFormatError, match="before any routine"):
+            loads_profiles("# repro path profile v1\npath 1 a b\n")
+
+    def test_bad_count(self):
+        with pytest.raises(ProfileFormatError, match="bad count"):
+            loads_profiles("# repro path profile v1\nroutine f\npath x a b\n")
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ProfileFormatError, match=">= 2"):
+            loads_profiles("# repro path profile v1\nroutine f\npath 1 a\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ProfileFormatError, match="unknown directive"):
+            loads_profiles("# repro path profile v1\nwibble\n")
+
+    def test_duplicate_routine(self):
+        with pytest.raises(ProfileFormatError, match="duplicate"):
+            loads_profiles(
+                "# repro path profile v1\nroutine f\nroutine f\n"
+            )
+
+    def test_comments_and_blanks_tolerated(self):
+        text = "# repro path profile v1\n\n# comment\nroutine f\npath 2 a b\n"
+        profiles = loads_profiles(text)
+        assert profiles["f"].count(BLPath(("a", "b"))) == 2

@@ -1,0 +1,123 @@
+"""Property test: textual IR round-trips for arbitrary generated modules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    ArrayDecl,
+    IRBuilder,
+    Module,
+    parse_module,
+)
+from repro.ir.ops import BINOPS, UNOPS
+
+_VARS = ["x", "y", "z", "acc", "%t1", "%t2", "p0"]
+_ARRAYS = ["mem", "buf"]
+
+
+@st.composite
+def random_modules(draw):
+    """A random, label-consistent module exercising every instruction kind."""
+    module_arrays = [
+        ArrayDecl(
+            name,
+            draw(st.integers(1, 16)),
+            tuple(
+                draw(
+                    st.lists(st.integers(-99, 99), max_size=4)
+                )
+            ),
+        )
+        for name in _ARRAYS
+    ]
+
+    n_blocks = draw(st.integers(1, 5))
+    labels = [f"b{i}" for i in range(n_blocks)]
+
+    def operand():
+        if draw(st.booleans()):
+            return draw(st.integers(-100, 100))
+        return draw(st.sampled_from(_VARS))
+
+    b = IRBuilder("main", ["p0"])
+    for i, label in enumerate(labels):
+        b.block(label)
+        for _ in range(draw(st.integers(0, 4))):
+            kind = draw(
+                st.sampled_from(
+                    ["assign", "binop", "unop", "load", "store", "call", "print"]
+                )
+            )
+            dest = draw(st.sampled_from(_VARS))
+            if kind == "assign":
+                b.assign(dest, operand())
+            elif kind == "binop":
+                op = draw(st.sampled_from(sorted(BINOPS)))
+                b.binop(dest, op, operand(), operand())
+            elif kind == "unop":
+                op = draw(st.sampled_from(sorted(UNOPS)))
+                b.unop(dest, op, operand())
+            elif kind == "load":
+                b.load(dest, draw(st.sampled_from(_ARRAYS)), operand())
+            elif kind == "store":
+                b.store(draw(st.sampled_from(_ARRAYS)), operand(), operand())
+            elif kind == "call":
+                n_args = draw(st.integers(0, 3))
+                callee = draw(st.sampled_from(["main", "abs"]))
+                target = dest if draw(st.booleans()) else None
+                b.call(target, callee, *[operand() for _ in range(n_args)])
+            else:
+                n_args = draw(st.integers(1, 3))
+                b.emit_print(*[operand() for _ in range(n_args)])
+        # Terminator: jump/branch forward (or anywhere), or return.
+        choice = draw(st.sampled_from(["jump", "branch", "ret", "ret_void"]))
+        if choice == "jump":
+            b.jump(draw(st.sampled_from(labels)))
+        elif choice == "branch":
+            if len(labels) < 2:
+                b.ret(operand())
+            else:
+                t = draw(st.sampled_from(labels))
+                f = draw(st.sampled_from([l for l in labels if l != t]))
+                b.branch(operand(), t, f)
+        elif choice == "ret":
+            b.ret(operand())
+        else:
+            b.ret()
+
+    module = Module()
+    for decl in module_arrays:
+        module.add_array(decl)
+    module.add_function(b.finish())
+    return module
+
+
+@given(random_modules())
+@settings(max_examples=120, deadline=None)
+def test_text_round_trip_is_identity(module):
+    text = str(module)
+    reparsed = parse_module(text)
+    assert str(reparsed) == text
+    # And a second round trip is stable too.
+    assert str(parse_module(str(reparsed))) == text
+
+
+@given(random_modules())
+@settings(max_examples=60, deadline=None)
+def test_round_trip_preserves_structure(module):
+    reparsed = parse_module(str(module))
+    fn = module.function("main")
+    fn2 = reparsed.function("main")
+    assert list(fn.blocks) == list(fn2.blocks)
+    assert fn.params == fn2.params
+    for label in fn.blocks:
+        a, b = fn.blocks[label], fn2.blocks[label]
+        assert len(a.instrs) == len(b.instrs)
+        assert type(a.terminator) is type(b.terminator)
+        for ia, ib in zip(a.instrs, b.instrs):
+            assert type(ia) is type(ib)
+            assert ia.dest == ib.dest
+            assert ia.uses() == ib.uses()
+    for name in module.arrays:
+        assert module.arrays[name].size == reparsed.arrays[name].size
+        assert module.arrays[name].init == tuple(reparsed.arrays[name].init)

@@ -1,0 +1,191 @@
+"""Data-flow tracing tests: Figure 4's algorithm, Theorem 3, recording-edge
+marking (Lemmas 1–2), and profile translation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automaton import QualificationAutomaton
+from repro.core import trace, translate_path, translate_profile
+from repro.interp.profiler import TraceProfiler
+from repro.ir import Cfg, ENTRY, EXIT, IRBuilder
+from repro.profiles import (
+    BLPath,
+    PathProfile,
+    recording_edges,
+    select_hot_paths,
+    split_trace,
+)
+
+from conftest import random_cfgs, random_walks
+
+
+def loop_function():
+    b = IRBuilder("f", ["n"])
+    b.block("a")
+    b.assign("i", 0)
+    b.jump("b")
+    b.block("b")
+    b.binop("c", "lt", "i", "n")
+    b.branch("c", "body", "out")
+    b.block("body")
+    b.binop("i", "add", "i", 1)
+    b.jump("b")
+    b.block("out")
+    b.ret("i")
+    return b.finish()
+
+
+def traced_loop(hot_paths=None):
+    fn = loop_function()
+    cfg = Cfg.from_function(fn)
+    rec = recording_edges(cfg)
+    if hot_paths is None:
+        hot_paths = [BLPath(("a", "b", "body", "b"))]
+    automaton = QualificationAutomaton(rec, hot_paths)
+    return fn, cfg, rec, automaton, trace(fn, cfg, rec, automaton)
+
+
+class TestTracedStructure:
+    def test_entry_and_exit_states_are_q_dot(self):
+        _, cfg, _, automaton, hpg = traced_loop()
+        assert hpg.cfg.entry == (ENTRY, automaton.q_dot)
+        assert hpg.cfg.exit == (EXIT, automaton.q_dot)
+
+    def test_all_recording_targets_are_q_dot(self):
+        _, _, _, automaton, hpg = traced_loop()
+        for _, target in hpg.recording:
+            assert target[1] == automaton.q_dot
+
+    def test_recording_edges_correspond_to_original(self):
+        _, _, rec, _, hpg = traced_loop()
+        for (u, v) in hpg.cfg.edges:
+            original_edge = (u[0], v[0])
+            assert (((u, v) in hpg.recording) == (original_edge in rec))
+
+    def test_hot_path_is_isolated(self):
+        """The spine of the hot path gets dedicated duplicates."""
+        _, _, _, automaton, hpg = traced_loop()
+        b_copies = hpg.duplicates("b")
+        assert len(b_copies) >= 2  # (b, on-spine) and (b, off-spine)
+
+    def test_each_vertex_has_one_successor_per_original_edge(self):
+        _, cfg, _, _, hpg = traced_loop()
+        for vertex in hpg.cfg.vertices:
+            orig_succs = [s[0] for s in hpg.cfg.succs(vertex)]
+            assert len(orig_succs) == len(set(orig_succs))
+            assert set(orig_succs) <= set(cfg.succs(vertex[0]))
+
+    def test_view_maps_blocks_and_labels(self):
+        fn, _, _, _, hpg = traced_loop()
+        view = hpg.view()
+        for vertex in hpg.cfg.vertices:
+            if vertex[0] in fn.blocks:
+                assert view.block_of(vertex) is fn.blocks[vertex[0]]
+                assert view.label_of(vertex) == vertex[0]
+            else:
+                assert view.block_of(vertex) is None
+
+    def test_num_real_vertices_excludes_virtual(self):
+        fn, _, _, _, hpg = traced_loop()
+        reals = [v for v in hpg.cfg.vertices if v[0] in fn.blocks]
+        assert hpg.num_real_vertices == len(reals)
+
+    def test_growth_over(self):
+        fn, _, _, _, hpg = traced_loop()
+        growth = hpg.growth_over(len(fn.blocks))
+        assert growth >= 0.0
+
+    def test_tracing_may_produce_irreducible_graph(self, example_module, example_profile):
+        """The paper: 'the HPG in Figure 5 is not [reducible]'."""
+        from repro.core import run_qualified
+
+        qa = run_qualified(
+            example_module.function("work"), example_profile, ca=1.0
+        )
+        assert not qa.hpg.cfg.is_reducible()
+
+
+class TestTheorem3:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_traced_pairs_iff_reachable_by_real_paths(self, data):
+        """(v, q) is traced iff some entry path drives the automaton to q at
+        v — checked by enumerating bounded random walks."""
+        cfg = data.draw(random_cfgs(max_blocks=5))
+        rec = recording_edges(cfg)
+        # Derive hot paths from a few random walks, like a real profile.
+        walk = data.draw(random_walks(cfg))
+        profile = PathProfile()
+        for p in split_trace(walk, rec):
+            profile.add(p)
+        hot = select_hot_paths(profile, {v: 1 for v in cfg.vertices}, 1.0)
+        automaton = QualificationAutomaton(rec, hot)
+
+        fn = loop_function()  # any function works; tracing uses only the cfg
+        hpg = trace(fn, cfg, rec, automaton)
+
+        # Direction 1: walk any random trace through the automaton; every
+        # visited (v, q) pair must be a traced vertex.
+        for _ in range(3):
+            t = data.draw(random_walks(cfg))
+            state = automaton.q_dot
+            assert (t[0], state) in hpg.cfg.vertices
+            prev = t[0]
+            for v in t[1:]:
+                state = automaton.transition(state, (prev, v))
+                assert (v, state) in hpg.cfg.vertices
+                prev = v
+
+        # Direction 2: every traced vertex is reachable in the traced graph
+        # (the worklist construction only adds reachable pairs).
+        assert set(hpg.cfg.vertices) == hpg.cfg.reachable()
+
+
+class TestProfileTranslation:
+    def test_lemma2_unique_traced_path(self):
+        fn, cfg, rec, automaton, hpg = traced_loop()
+        original = BLPath(("a", "b", "body", "b"))
+        traced_path = translate_path(original, hpg)
+        assert [v[0] for v in traced_path.vertices] == list(original.vertices)
+        assert traced_path.vertices[0][1] == automaton.q_dot
+
+    def test_recording_edges_preserved_positionally(self):
+        """Lemma 1: a Ball–Larus path begins at edge k in the original walk
+        iff one begins at edge k in the traced walk."""
+        fn, cfg, rec, automaton, hpg = traced_loop()
+        walk = [ENTRY, "a", "b", "body", "b", "body", "b", "out", EXIT]
+        original_paths = split_trace(walk, rec)
+        # Drive the traced graph along the same walk.
+        state = automaton.q_dot
+        traced_walk = [(walk[0], state)]
+        prev = walk[0]
+        for v in walk[1:]:
+            state = automaton.transition(state, (prev, v))
+            traced_walk.append((v, state))
+            prev = v
+        traced_paths = split_trace(traced_walk, hpg.recording)
+        assert len(traced_paths) == len(original_paths)
+        for op, tp in zip(original_paths, traced_paths):
+            assert [v[0] for v in tp.vertices] == list(op.vertices)
+
+    def test_translation_preserves_counts_and_weights(self):
+        fn, cfg, rec, automaton, hpg = traced_loop()
+        profile = PathProfile()
+        profile.add(BLPath(("a", "b", "body", "b")), 10)
+        profile.add(BLPath(("b", "out", EXIT)), 10)
+        translated = translate_profile(profile, hpg)
+        assert translated.total_count == profile.total_count
+        sizes = {label: blk.size for label, blk in fn.blocks.items()}
+        traced_sizes = {
+            v: sizes.get(v[0], 0) for v in hpg.cfg.vertices
+        }
+        assert translated.total_instructions(traced_sizes) == (
+            profile.total_instructions(sizes)
+        )
+
+    def test_untraceable_path_rejected(self):
+        import pytest
+
+        fn, cfg, rec, automaton, hpg = traced_loop()
+        with pytest.raises(ValueError, match="does not exist"):
+            translate_path(BLPath(("out", "a")), hpg)  # not a CFG edge

@@ -1,0 +1,88 @@
+"""Context tupling (§4.3): equivalence with data-flow tracing.
+
+Tracing and tupling solve the same qualified equations — one in the graph,
+one in the lattice — so their solutions must coincide pointwise: the tupled
+``q`` component at ``v`` equals the traced solution at ``(v, q)``, and the
+reachable (vertex, state) pairs are exactly the traced vertices.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import run_qualified
+from repro.core.tupling import tupled_analyze
+from repro.dataflow.lattice import UNREACHABLE
+
+from test_pipeline_properties import minic_programs
+
+
+def _tupled_for(qa):
+    return tupled_analyze(qa.function, qa.cfg, qa.recording, qa.automaton)
+
+
+class TestRunningExampleEquivalence:
+    def test_reachable_pairs_match_traced_vertices(self, example_qualified):
+        qa = example_qualified
+        tupled = _tupled_for(qa)
+        traced_pairs = {
+            (v[0], v[1]) for v in qa.hpg.cfg.vertices
+        }
+        tupled_pairs = {
+            (v, q)
+            for v in tupled.in_values
+            for q in tupled.states_at(v)
+        }
+        # Tupling only visits WZ-executable pairs; tracing visits all
+        # reachable pairs, so tupled ⊆ traced.
+        assert tupled_pairs <= traced_pairs
+
+    def test_solutions_coincide_pointwise(self, example_qualified):
+        qa = example_qualified
+        tupled = _tupled_for(qa)
+        for vertex in qa.hpg.cfg.vertices:
+            v, q = vertex
+            traced_env = qa.hpg_analysis.input_env(vertex)
+            tupled_env = tupled.solution(v, q)
+            assert traced_env == tupled_env, vertex
+
+    def test_papers_constants_via_tupling(self, example_qualified):
+        """The tupled solution finds x = a + b constant at the same states
+        tracing does."""
+        qa = example_qualified
+        tupled = _tupled_for(qa)
+        values = set()
+        for q in tupled.states_at("H"):
+            env = tupled.solution("H", q)
+            if env is UNREACHABLE:
+                continue
+            a, b = env.get("a"), env.get("b")
+            if isinstance(a, int) and isinstance(b, int):
+                values.add(a + b)
+        assert values == {4, 5, 6}
+
+    def test_merged_solution_matches_baseline_or_better(self, example_qualified):
+        from repro.dataflow.lattice import leq_env
+
+        qa = example_qualified
+        tupled = _tupled_for(qa)
+        for v in qa.cfg.vertices:
+            merged = tupled.merged_solution(v)
+            assert leq_env(qa.baseline.input_env(v), merged), v
+
+
+class TestRandomEquivalence:
+    @given(minic_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_tracing_equals_tupling(self, program):
+        from repro.frontend import compile_program
+        from repro.interp import Interpreter
+
+        source, args, data = program
+        module = compile_program(source)
+        run = Interpreter(module, profile_mode="bl").run(args, {"data": data})
+        qa = run_qualified(module.function("main"), run.profiles["main"], ca=1.0)
+        if not qa.traced:
+            return
+        tupled = _tupled_for(qa)
+        for vertex in qa.hpg.cfg.vertices:
+            v, q = vertex
+            assert qa.hpg_analysis.input_env(vertex) == tupled.solution(v, q)

@@ -1,0 +1,96 @@
+"""Workload sanity tests: all seven SPEC95-like programs compile, validate,
+run deterministically, and exhibit the control-flow character claimed for
+them."""
+
+import pytest
+
+from repro.frontend import compile_program
+from repro.interp import Interpreter
+from repro.ir import validate_module
+from repro.workloads import WORKLOAD_NAMES, all_workloads, get_workload
+from repro.workloads.running_example import running_example_module
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return all_workloads()
+
+
+class TestRegistry:
+    def test_seven_workloads(self):
+        assert len(WORKLOAD_NAMES) == 7
+        assert set(WORKLOAD_NAMES) == {
+            "compress95",
+            "go95",
+            "ijpeg95",
+            "li95",
+            "m88ksim95",
+            "perl95",
+            "vortex95",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("gcc95")
+
+    def test_factories_return_fresh_objects(self):
+        assert get_workload("li95") is not get_workload("li95")
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_compiles_and_validates(self, name, workloads):
+        module = compile_program(workloads[name].source)
+        validate_module(module)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_train_and_ref_run_clean(self, name, workloads):
+        wl = workloads[name]
+        module = compile_program(wl.source)
+        interp = Interpreter(module, profile_mode="bl", track_sites=False)
+        train = interp.run(wl.train_args, wl.train_inputs)
+        ref = interp.run(wl.ref_args, wl.ref_inputs)
+        assert train.instr_count > 1000
+        assert ref.instr_count > train.instr_count  # ref is the bigger input
+        assert train.output and ref.output  # observable behaviour exists
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic(self, name):
+        a = get_workload(name)
+        b = get_workload(name)
+        assert a.source == b.source
+        assert a.train_inputs == b.train_inputs
+        assert a.ref_inputs == b.ref_inputs
+        module = compile_program(a.source)
+        interp = Interpreter(module, profile_mode="bl", track_sites=False)
+        r1 = interp.run(a.train_args, a.train_inputs)
+        r2 = interp.run(a.train_args, a.train_inputs)
+        assert r1.output == r2.output and r1.cost == r2.cost
+        assert r1.profiles == r2.profiles
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_train_and_ref_inputs_differ(self, name, workloads):
+        wl = workloads[name]
+        assert wl.train_inputs != wl.ref_inputs
+
+
+class TestCharacter:
+    def test_go_is_the_path_outlier(self, workloads):
+        """The paper's go executed far more paths than the others; our go95
+        must dominate every other workload's executed-path count."""
+        counts = {}
+        for name, wl in workloads.items():
+            module = compile_program(wl.source)
+            run = Interpreter(module, track_sites=False).run(
+                wl.train_args, wl.train_inputs
+            )
+            counts[name] = sum(p.num_distinct for p in run.profiles.values())
+        go = counts.pop("go95")
+        assert go > max(counts.values())
+
+    def test_compress_is_hot_path_concentrated(self, compress_run):
+        """A tiny set of paths covers 97% of compress's execution."""
+        assert compress_run.hot_path_count(0.97) <= 4
+
+    def test_running_example_module_validates(self):
+        validate_module(running_example_module())
