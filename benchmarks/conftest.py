@@ -4,6 +4,13 @@ Each ``bench_*.py`` regenerates one of the paper's tables or figures.  The
 seven workload runs are built once per session and shared; per-coverage
 pipeline results are cached inside each :class:`WorkloadRun`.
 
+With ``--repro-cache-dir DIR`` (or the ``REPRO_CACHE_DIR`` environment
+variable) the runs additionally go through the content-addressed artifact
+cache of :mod:`repro.pipeline`, so the Figure 9/11/12 sweeps reuse compiled
+modules, profiling runs, and per-coverage pipelines across *sessions* — a
+warm second benchmark run performs zero recompiles and zero reprofiles (the
+differential tests in ``tests/test_pipeline_cache.py`` assert exactly this).
+
 Every bench both *prints* its table (run pytest with ``-s`` to see it
 inline) and writes it under ``benchmarks/results/`` so the artifacts survive
 the run.
@@ -11,19 +18,36 @@ the run.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.evaluation import WorkloadRun
+from repro.pipeline import ArtifactCache, CachedWorkloadRun
 from repro.workloads import WORKLOAD_NAMES, get_workload
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR") or None,
+        help="persist pipeline artifacts here and reuse them across sessions",
+    )
+
+
 @pytest.fixture(scope="session")
-def runs() -> dict[str, WorkloadRun]:
+def runs(request) -> dict[str, WorkloadRun]:
     """All seven profiled workloads (the expensive shared fixture)."""
+    cache_dir = request.config.getoption("--repro-cache-dir")
+    if cache_dir:
+        cache = ArtifactCache(cache_dir)
+        return {
+            name: CachedWorkloadRun(get_workload(name), cache)
+            for name in WORKLOAD_NAMES
+        }
     return {name: WorkloadRun(get_workload(name)) for name in WORKLOAD_NAMES}
 
 

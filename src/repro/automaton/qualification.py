@@ -31,6 +31,11 @@ class _Dot:
     def __repr__(self) -> str:
         return "•"
 
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (artifact cache,
+        # process-pool workers).
+        return "DOT"
+
 
 DOT = _Dot()
 

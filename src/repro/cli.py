@@ -9,6 +9,7 @@ analyzes and optimizes) as subcommands::
     python -m repro optimize prog.mc --profile prog.prof --ca 0.97 --cr 0.95
     python -m repro dot      prog.mc --function work --profile prog.prof
     python -m repro report   m88ksim95
+    python -m repro bench    --jobs 4 --cache-dir .repro-cache --out results/
 
 All subcommands are pure functions of their inputs, so they are unit-tested
 by invoking :func:`main` directly.
@@ -158,6 +159,49 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .pipeline import ParallelDriver
+    from .workloads import WORKLOAD_NAMES
+
+    workloads = tuple(args.workloads) if args.workloads else WORKLOAD_NAMES
+    unknown = [w for w in workloads if w not in WORKLOAD_NAMES]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload(s) {unknown}; choose from {WORKLOAD_NAMES}"
+        )
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.cache_dir:
+        import os
+
+        if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
+            raise SystemExit(f"--cache-dir {args.cache_dir!r} is not a directory")
+    ca_values = tuple(args.ca) if args.ca else None
+    driver = ParallelDriver(jobs=args.jobs, cache_dir=args.cache_dir, cr=args.cr)
+    if ca_values is None:
+        result = driver.sweep(workloads)
+    else:
+        result = driver.sweep(workloads, ca_values)
+    artifacts = result.artifacts()
+    if args.out:
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        for name, text in artifacts.items():
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w") as f:
+                f.write(text + "\n")
+            print(f"# wrote {path}", file=sys.stderr)
+    else:
+        for name, text in artifacts.items():
+            print(text)
+            print()
+    print(f"# jobs          : {args.jobs}", file=sys.stderr)
+    print(f"# cache         : {args.cache_dir or '(in-memory)'}", file=sys.stderr)
+    print(f"# cache activity: {result.cache_stats.summary()}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +243,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ca", type=float, default=0.97)
     p.add_argument("--cr", type=float, default=0.95)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="coverage sweep over workloads (parallel, cached); "
+        "emits the figure/table artifacts",
+    )
+    p.add_argument(
+        "--workloads", nargs="*", metavar="NAME", help="subset (default: all)"
+    )
+    p.add_argument(
+        "--ca",
+        type=float,
+        nargs="*",
+        metavar="CA",
+        help="coverage levels (default: the paper's Figure 9/11/12 sweep)",
+    )
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--jobs", type=int, default=1, help="process-pool width (1 = serial)"
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache (omit for in-memory only)",
+    )
+    p.add_argument("--out", metavar="DIR", help="write artifacts here")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -1,7 +1,14 @@
 """Data-flow analysis: lattices, the monotone framework, the iterative
 solver, and Wegman–Zadek conditional constant propagation."""
 
-from .framework import DataflowProblem, Solution, solve
+from .framework import (
+    DataflowProblem,
+    Solution,
+    SolverBudgetExceeded,
+    SolverStats,
+    priority_order,
+    solve,
+)
 from .graph_view import GraphView
 from .lattice import (
     BOT,
@@ -31,6 +38,9 @@ __all__ = [
     "analyze",
     "block_site_values",
     "BOT",
+    "priority_order",
+    "SolverBudgetExceeded",
+    "SolverStats",
     "CondConstResult",
     "ConstEnv",
     "DataflowProblem",

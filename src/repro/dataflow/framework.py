@@ -11,12 +11,31 @@ Problems are written against a :class:`~repro.dataflow.graph_view.GraphView`,
 so every instance runs unchanged on hot-path graphs: that is the qualified
 analysis of Definition 6, where the traced problem keeps the lattice and
 transfer functions of the original and only the graph changes.
+
+Three worklist strategies are available behind the same :func:`solve`
+signature:
+
+* ``"rpo"`` (default) — a priority worklist ordered by reverse postorder in
+  the direction of the analysis.  On the irreducible, retreating-edge-heavy
+  hot-path graphs tracing produces, processing a vertex only after its
+  forward predecessors cuts revisits dramatically relative to a LIFO stack.
+* ``"lifo"`` — the historical stack-based worklist, kept for comparison.
+* ``"round_robin"`` — chaotic iteration: full sweeps over all vertices until
+  a sweep changes nothing.  Deliberately simple; it is the reference
+  implementation the property-based tests compare the others against.
+
+Every strategy handles the start vertex uniformly inside the loop: its input
+is always ``boundary() ⊓ (meet of predecessor outputs)``, so a start vertex
+with predecessors — possible on hot-path graphs, e.g. a retreating edge back
+to the entry copy — never consumes a stale input computed before iteration
+began.
 """
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Generic, Hashable, Optional, TypeVar
 
 from ..ir.basic_block import BasicBlock
@@ -24,6 +43,8 @@ from .graph_view import GraphView
 
 L = TypeVar("L")
 Vertex = Hashable
+
+SOLVER_STRATEGIES = ("rpo", "lifo", "round_robin")
 
 
 class DataflowProblem(ABC, Generic[L]):
@@ -55,6 +76,39 @@ class DataflowProblem(ABC, Generic[L]):
         return a == b
 
 
+class SolverBudgetExceeded(RuntimeError):
+    """A vertex exceeded the solver's per-vertex visit budget.
+
+    Monotone problems over finite lattices always converge, so hitting the
+    budget means either a non-monotone transfer function, an ``equal`` that
+    never stabilizes, or an infinite-ascending-chain lattice — all contract
+    violations worth failing loudly on rather than spinning forever.
+    """
+
+
+@dataclass
+class SolverStats:
+    """Work accounting for one :func:`solve` call."""
+
+    strategy: str
+    #: Vertices popped (or swept) and relaxed, total.
+    visits: int = 0
+    #: Relaxations per vertex.
+    visits_by_vertex: dict = field(default_factory=dict)
+    #: Largest worklist observed (sweep width for round_robin).
+    peak_worklist: int = 0
+
+    def count(self, v: Vertex) -> int:
+        self.visits += 1
+        n = self.visits_by_vertex.get(v, 0) + 1
+        self.visits_by_vertex[v] = n
+        return n
+
+    @property
+    def max_visits_per_vertex(self) -> int:
+        return max(self.visits_by_vertex.values(), default=0)
+
+
 @dataclass
 class Solution(Generic[L]):
     """Fixpoint solution: values at vertex entry and exit.
@@ -66,14 +120,69 @@ class Solution(Generic[L]):
 
     value_in: dict[Vertex, L]
     value_out: dict[Vertex, L]
+    #: Present when :func:`solve` was asked to collect work accounting.
+    stats: Optional[SolverStats] = None
 
 
-def solve(problem: DataflowProblem[L], view: GraphView) -> Solution[L]:
-    """Iterate ``problem`` over ``view`` to its greatest fixpoint."""
+def priority_order(cfg, forward: bool = True) -> dict[Vertex, int]:
+    """Reverse-postorder priority of every vertex, in the analysis direction.
+
+    Forward problems get RPO from the entry over successor edges; backward
+    problems get RPO from the exit over predecessor edges.  Vertices
+    unreachable in that direction (possible on hot-path graphs and on raw
+    test graphs) are appended after the reachable ones in insertion order,
+    so every vertex has a priority and none is starved.
+    """
+    start = cfg.entry if forward else cfg.exit
+    next_of = cfg.succs if forward else cfg.preds
+    post: list[Vertex] = []
+    color: dict[Vertex, int] = {start: 1}
+    stack: list[tuple[Vertex, int]] = [(start, 0)]
+    while stack:
+        v, i = stack[-1]
+        succs = next_of(v)
+        if i < len(succs):
+            stack[-1] = (v, i + 1)
+            w = succs[i]
+            if color.get(w, 0) == 0:
+                color[w] = 1
+                stack.append((w, 0))
+        else:
+            color[v] = 2
+            post.append(v)
+            stack.pop()
+    order = list(reversed(post))
+    placed = set(order)
+    for v in cfg.vertices:
+        if v not in placed:
+            order.append(v)
+    return {v: i for i, v in enumerate(order)}
+
+
+def solve(
+    problem: DataflowProblem[L],
+    view: GraphView,
+    *,
+    strategy: str = "rpo",
+    max_visits: Optional[int] = None,
+    collect_stats: bool = False,
+) -> Solution[L]:
+    """Iterate ``problem`` over ``view`` to its greatest fixpoint.
+
+    ``strategy`` picks the worklist discipline (see the module docstring);
+    ``max_visits`` caps relaxations per vertex (a divergence safety valve —
+    :class:`SolverBudgetExceeded` is raised when exceeded); with
+    ``collect_stats`` the returned :class:`Solution` carries a
+    :class:`SolverStats` describing the work done.
+    """
     cfg = view.cfg
     forward = problem.direction == "forward"
     if not forward and problem.direction != "backward":
         raise ValueError(f"bad direction {problem.direction!r}")
+    if strategy not in SOLVER_STRATEGIES:
+        raise ValueError(
+            f"bad strategy {strategy!r}; choose from {SOLVER_STRATEGIES}"
+        )
 
     start = cfg.entry if forward else cfg.exit
     next_of = cfg.succs if forward else cfg.preds
@@ -85,26 +194,72 @@ def solve(problem: DataflowProblem[L], view: GraphView) -> Solution[L]:
         value_in[v] = problem.top()
         value_out[v] = problem.top()
     value_in[start] = problem.boundary()
-    value_out[start] = problem.transfer(start, view.block_of(start), value_in[start])
 
-    worklist = list(cfg.vertices)
-    on_list = set(worklist)
-    while worklist:
-        v = worklist.pop()
-        on_list.discard(v)
+    stats = SolverStats(strategy=strategy)
+
+    def relax(v: Vertex) -> bool:
+        """Recompute ``v``'s input and output; True if the output changed."""
+        if max_visits is not None and stats.count(v) > max_visits:
+            raise SolverBudgetExceeded(
+                f"vertex {v!r} relaxed more than {max_visits} times "
+                f"(strategy={strategy})"
+            )
+        if max_visits is None:
+            stats.count(v)
         preds = prev_of(v)
-        if preds:
+        if v == start:
+            # The boundary always contributes, and so does every predecessor
+            # — a start vertex with a self-loop or other incoming edge gets
+            # both, on the first relaxation and on every later one.
+            acc = problem.boundary()
+            for p in preds:
+                acc = problem.meet(acc, value_out[p])
+            value_in[v] = acc
+        elif preds:
             acc = value_out[preds[0]]
             for p in preds[1:]:
                 acc = problem.meet(acc, value_out[p])
-            if v == start:
-                acc = problem.meet(acc, problem.boundary())
             value_in[v] = acc
         new_out = problem.transfer(v, view.block_of(v), value_in[v])
-        if not problem.equal(new_out, value_out[v]):
-            value_out[v] = new_out
-            for w in next_of(v):
-                if w not in on_list:
-                    worklist.append(w)
-                    on_list.add(w)
-    return Solution(value_in, value_out)
+        if problem.equal(new_out, value_out[v]):
+            return False
+        value_out[v] = new_out
+        return True
+
+    if strategy == "round_robin":
+        order = list(cfg.vertices)
+        stats.peak_worklist = len(order)
+        changed = True
+        while changed:
+            changed = False
+            for v in order:
+                if relax(v):
+                    changed = True
+    elif strategy == "lifo":
+        worklist = list(cfg.vertices)
+        on_list = set(worklist)
+        while worklist:
+            stats.peak_worklist = max(stats.peak_worklist, len(worklist))
+            v = worklist.pop()
+            on_list.discard(v)
+            if relax(v):
+                for w in next_of(v):
+                    if w not in on_list:
+                        worklist.append(w)
+                        on_list.add(w)
+    else:  # rpo priority worklist
+        prio = priority_order(cfg, forward)
+        heap: list[tuple[int, Vertex]] = [(prio[v], v) for v in cfg.vertices]
+        heapq.heapify(heap)
+        on_list = set(cfg.vertices)
+        while heap:
+            stats.peak_worklist = max(stats.peak_worklist, len(heap))
+            _, v = heapq.heappop(heap)
+            on_list.discard(v)
+            if relax(v):
+                for w in next_of(v):
+                    if w not in on_list:
+                        heapq.heappush(heap, (prio[w], w))
+                        on_list.add(w)
+
+    return Solution(value_in, value_out, stats if collect_stats else None)

@@ -18,11 +18,17 @@ from typing import Iterator, Mapping, Union
 
 
 class _Top:
-    """Singleton: optimistic "no information yet"."""
+    """Singleton: optimistic "no evidence yet"."""
 
     __slots__ = ()
 
     def __repr__(self) -> str:
+        return "TOP"
+
+    def __reduce__(self):
+        # Pickle as a reference to the module-level singleton, so identity
+        # checks (`v is TOP`) still hold on values loaded from the artifact
+        # cache or shipped across process-pool boundaries.
         return "TOP"
 
 
@@ -32,6 +38,9 @@ class _Bot:
     __slots__ = ()
 
     def __repr__(self) -> str:
+        return "BOT"
+
+    def __reduce__(self):
         return "BOT"
 
 
@@ -138,6 +147,9 @@ class _Unreachable:
     __slots__ = ()
 
     def __repr__(self) -> str:
+        return "UNREACHABLE"
+
+    def __reduce__(self):
         return "UNREACHABLE"
 
 

@@ -6,6 +6,7 @@ states ("the technique can be applied to any data-flow problem").
 """
 
 from .available_exprs import ALL, AvailableExpressions
+from .const_prop import ConstantPropagation
 from .copy_prop import CopyPropagation
 from .liveness import LiveVariables
 from .signs import NEG, POS, ZERO, SignAnalysis
@@ -15,6 +16,7 @@ from .reaching_defs import ReachingDefinitions
 __all__ = [
     "ALL",
     "AvailableExpressions",
+    "ConstantPropagation",
     "CopyPropagation",
     "LiveVariables",
     "NEG",

@@ -24,6 +24,11 @@ class _All:
     def __repr__(self) -> str:
         return "ALL"
 
+    def __reduce__(self):
+        # Preserve singleton identity across pickling (artifact cache,
+        # process-pool workers).
+        return "ALL"
+
 
 ALL = _All()
 ExprSet = Union[frozenset, _All]

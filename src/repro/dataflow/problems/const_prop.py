@@ -1,0 +1,55 @@
+"""Plain constant propagation as a generic framework instance.
+
+The Wegman–Zadek module implements *conditional* constant propagation with
+its own SSA-less worklist; this is the textbook unconditional variant over
+the same flat lattice and abstract evaluator, packaged as a
+:class:`~repro.dataflow.framework.DataflowProblem` so it can run on any
+graph view (including hot-path graphs) and serve as a differential-testing
+counterpart for the solver strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ...ir.basic_block import BasicBlock
+from ..framework import DataflowProblem
+from ..lattice import BOT, ConstEnv, EnvValue, UNREACHABLE, meet_env
+from ..transfer import transfer_block
+
+Vertex = Hashable
+
+
+class ConstantPropagation(DataflowProblem[EnvValue]):
+    """Forward must-analysis: which variables are compile-time constants.
+
+    The lattice point is either :data:`UNREACHABLE` (the environment-lattice
+    top, for vertices no iteration has reached yet) or a
+    :class:`~repro.dataflow.lattice.ConstEnv`.  Parameters are
+    :data:`~repro.dataflow.lattice.BOT` at the boundary, matching the
+    interpreter's taint model.
+    """
+
+    direction = "forward"
+
+    def __init__(self, params: tuple[str, ...] = ()) -> None:
+        self.params = params
+
+    def top(self) -> EnvValue:
+        return UNREACHABLE
+
+    def meet(self, a: EnvValue, b: EnvValue) -> EnvValue:
+        return meet_env(a, b)
+
+    def boundary(self) -> EnvValue:
+        env = ConstEnv()
+        for p in self.params:
+            env = env.set(p, BOT)
+        return env
+
+    def transfer(
+        self, vertex: Vertex, block: Optional[BasicBlock], value: EnvValue
+    ) -> EnvValue:
+        if value is UNREACHABLE or block is None:
+            return value
+        return transfer_block(block, value)

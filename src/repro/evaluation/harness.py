@@ -73,26 +73,52 @@ class Table2Row:
 
 
 class WorkloadRun:
-    """Compiled, profiled workload with cached per-coverage pipelines."""
+    """Compiled, profiled workload with cached per-coverage pipelines.
+
+    The expensive steps — compilation, the train and ref profiling runs, and
+    the per-coverage qualified pipelines — are factored into overridable
+    methods so subclasses (notably
+    :class:`repro.pipeline.CachedWorkloadRun`) can memoize them across
+    processes and sessions without re-implementing any of the metrics below.
+    """
 
     def __init__(self, workload: Workload) -> None:
         self.workload = workload
         t0 = time.perf_counter()
-        self.module: Module = compile_program(workload.source)
+        self.module: Module = self._compile_module()
         validate_module(self.module)
         self.compile_time = time.perf_counter() - t0
 
-        self.train: RunResult = Interpreter(
-            self.module, profile_mode="bl", track_sites=False
-        ).run(workload.train_args, workload.train_inputs)
-        self.ref: RunResult = Interpreter(
-            self.module, profile_mode="bl", track_sites=True
-        ).run(workload.ref_args, workload.ref_inputs)
+        self.train: RunResult = self._run_train()
+        self.ref: RunResult = self._run_ref()
 
         self._qualified: dict[tuple[float, float], dict[str, QualifiedAnalysis]] = {}
         self._classified: dict[
             tuple[float, float], dict[str, ConstantClassification]
         ] = {}
+
+    # -- overridable pipeline steps ---------------------------------------
+
+    def _compile_module(self) -> Module:
+        return compile_program(self.workload.source)
+
+    def _run_train(self) -> RunResult:
+        return Interpreter(self.module, profile_mode="bl", track_sites=False).run(
+            self.workload.train_args, self.workload.train_inputs
+        )
+
+    def _run_ref(self) -> RunResult:
+        return Interpreter(self.module, profile_mode="bl", track_sites=True).run(
+            self.workload.ref_args, self.workload.ref_inputs
+        )
+
+    def _compute_qualified(
+        self, ca: float, cr: float
+    ) -> dict[str, QualifiedAnalysis]:
+        return {
+            name: run_qualified(fn, self.train_profile(name), ca, cr)
+            for name, fn in self.module.functions.items()
+        }
 
     # -- analysis ---------------------------------------------------------
 
@@ -112,10 +138,7 @@ class WorkloadRun:
         """Per-routine pipeline results at the given coverage, cached."""
         key = (ca, cr)
         if key not in self._qualified:
-            self._qualified[key] = {
-                name: run_qualified(fn, self.train_profile(name), ca, cr)
-                for name, fn in self.module.functions.items()
-            }
+            self._qualified[key] = self._compute_qualified(ca, cr)
         return self._qualified[key]
 
     def classification(

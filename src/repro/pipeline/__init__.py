@@ -1,0 +1,40 @@
+"""Parallel, cached analysis pipeline.
+
+The production-facing layer over the evaluation harness: a content-addressed
+:class:`ArtifactCache` that memoizes compiled modules, profiling runs, and
+qualified-analysis bundles across coverage sweeps / processes / sessions,
+and a :class:`ParallelDriver` that fans workload × coverage jobs over a
+process pool with a deterministic serial fallback.  See ``docs/PIPELINE.md``.
+"""
+
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    COMPILE_PROFILE_KINDS,
+    KIND_MODULE,
+    KIND_QUALIFIED,
+    KIND_REF_RUN,
+    KIND_TRAIN_RUN,
+    SCHEMA_VERSION,
+    content_key,
+)
+from .cached_run import CachedWorkloadRun, make_run
+from .driver import ParallelDriver, SweepCell, SweepResult, WorkloadSummary
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CachedWorkloadRun",
+    "COMPILE_PROFILE_KINDS",
+    "content_key",
+    "KIND_MODULE",
+    "KIND_QUALIFIED",
+    "KIND_REF_RUN",
+    "KIND_TRAIN_RUN",
+    "make_run",
+    "ParallelDriver",
+    "SCHEMA_VERSION",
+    "SweepCell",
+    "SweepResult",
+    "WorkloadSummary",
+]

@@ -1,0 +1,217 @@
+"""Content-addressed artifact cache for the analysis pipeline.
+
+Every expensive pipeline artifact — compiled modules, Ball–Larus profiling
+runs, qualification automata / hot-path graphs (inside
+:class:`~repro.core.qualified.QualifiedAnalysis` bundles) — is memoized
+under a key derived *only* from content: the module source text, the input
+data, the coverage parameters, and (for derived artifacts) the canonical
+profile fingerprint.  Identical inputs therefore share artifacts across
+coverage sweeps, across processes of a parallel run, and across sessions.
+
+Keys are SHA-256 over a canonical JSON rendering of the key parts plus a
+schema version; bumping :data:`SCHEMA_VERSION` invalidates every persisted
+artifact at once (the invalidation story is documented in
+``docs/PIPELINE.md``).  Values are stored in a two-level hierarchy: an
+in-process dictionary in front of an optional on-disk store
+(``<root>/<kind>/<hash>.pkl``, written atomically via a temp file +
+``os.replace`` so concurrent workers never observe partial artifacts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
+
+#: Bump to invalidate all persisted artifacts (e.g. on IR format changes).
+SCHEMA_VERSION = 1
+
+#: Artifact kinds the pipeline stores; each gets its own subdirectory and
+#: its own row in the hit/miss statistics.
+KIND_MODULE = "module"
+KIND_TRAIN_RUN = "train-run"
+KIND_REF_RUN = "ref-run"
+KIND_QUALIFIED = "qualified"
+
+#: The kinds whose recomputation means "we compiled or profiled again".
+COMPILE_PROFILE_KINDS = (KIND_MODULE, KIND_TRAIN_RUN, KIND_REF_RUN)
+
+
+def _canonical(part: Any) -> Any:
+    """Reduce a key part to canonically-JSON-serializable data."""
+    if isinstance(part, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(part.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(part, (list, tuple)):
+        return [_canonical(v) for v in part]
+    if isinstance(part, (str, int, float, bool)) or part is None:
+        return part
+    return repr(part)
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 content hash of the given key parts (order-sensitive)."""
+    h = hashlib.sha256()
+    h.update(f"repro-pipeline-v{SCHEMA_VERSION}".encode())
+    for part in parts:
+        h.update(b"\x00")
+        h.update(
+            json.dumps(
+                _canonical(part), sort_keys=True, separators=(",", ":")
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counts per artifact kind.
+
+    ``misses[kind]`` equals the number of times the underlying computation
+    actually ran — the differential tests assert a warm cache performs zero
+    compiles and zero profiling runs by checking exactly these counters.
+    """
+
+    hits: dict[str, int] = field(default_factory=dict)
+    misses: dict[str, int] = field(default_factory=dict)
+    stores: dict[str, int] = field(default_factory=dict)
+
+    def record_hit(self, kind: str) -> None:
+        self.hits[kind] = self.hits.get(kind, 0) + 1
+
+    def record_miss(self, kind: str) -> None:
+        self.misses[kind] = self.misses.get(kind, 0) + 1
+
+    def record_store(self, kind: str) -> None:
+        self.stores[kind] = self.stores.get(kind, 0) + 1
+
+    def computations(self, kinds: Iterable[str]) -> int:
+        """How many times the computations behind ``kinds`` actually ran."""
+        return sum(self.misses.get(kind, 0) for kind in kinds)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another stats object (e.g. from a worker process) into this."""
+        for kind, n in other.hits.items():
+            self.hits[kind] = self.hits.get(kind, 0) + n
+        for kind, n in other.misses.items():
+            self.misses[kind] = self.misses.get(kind, 0) + n
+        for kind, n in other.stores.items():
+            self.stores[kind] = self.stores.get(kind, 0) + n
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(dict(self.hits), dict(self.misses), dict(self.stores))
+
+    def diff(self, earlier: "CacheStats") -> "CacheStats":
+        """Counts accumulated since ``earlier`` (a previous :meth:`copy`)."""
+        out = CacheStats()
+        for kind in set(self.hits) | set(earlier.hits):
+            n = self.hits.get(kind, 0) - earlier.hits.get(kind, 0)
+            if n:
+                out.hits[kind] = n
+        for kind in set(self.misses) | set(earlier.misses):
+            n = self.misses.get(kind, 0) - earlier.misses.get(kind, 0)
+            if n:
+                out.misses[kind] = n
+        for kind in set(self.stores) | set(earlier.stores):
+            n = self.stores.get(kind, 0) - earlier.stores.get(kind, 0)
+            if n:
+                out.stores[kind] = n
+        return out
+
+    def summary(self) -> str:
+        kinds = sorted(set(self.hits) | set(self.misses))
+        parts = [
+            f"{kind}: {self.hits.get(kind, 0)} hit / "
+            f"{self.misses.get(kind, 0)} computed"
+            for kind in kinds
+        ]
+        return "; ".join(parts) if parts else "empty"
+
+
+class ArtifactCache:
+    """Two-level (memory, disk) content-addressed store.
+
+    ``root=None`` gives a purely in-process cache — the deterministic
+    fallback when no ``--cache-dir`` is configured.  All artifacts are plain
+    Python object graphs (IR modules, run results, analysis bundles), so the
+    on-disk format is pickle; the *keys* carry all the invalidation logic.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root: Optional[Path] = Path(root) if root is not None else None
+        self.stats = CacheStats()
+        self._memory: dict[tuple[str, str], Any] = {}
+
+    # -- core protocol -----------------------------------------------------
+
+    def memo(self, kind: str, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``(kind, key)``, computing on miss."""
+        mem_key = (kind, key)
+        if mem_key in self._memory:
+            self.stats.record_hit(kind)
+            return self._memory[mem_key]
+        value = self._load(kind, key)
+        if value is not None:
+            self.stats.record_hit(kind)
+            self._memory[mem_key] = value
+            return value
+        self.stats.record_miss(kind)
+        value = compute()
+        self._memory[mem_key] = value
+        self._store(kind, key, value)
+        return value
+
+    def contains(self, kind: str, key: str) -> bool:
+        if (kind, key) in self._memory:
+            return True
+        return self.root is not None and self._path(kind, key).exists()
+
+    # -- disk layer --------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        assert self.root is not None
+        return self.root / kind / f"{key}.pkl"
+
+    def _load(self, kind: str, key: str) -> Optional[Any]:
+        if self.root is None:
+            return None
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            # A truncated or stale artifact is a miss, never an error: the
+            # recomputation overwrites it atomically below.
+            return None
+
+    def _store(self, kind: str, key: str, value: Any) -> None:
+        if self.root is None:
+            return
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.record_store(kind)

@@ -1,0 +1,85 @@
+"""A :class:`~repro.evaluation.harness.WorkloadRun` backed by the artifact
+cache.
+
+Key derivation (see ``docs/PIPELINE.md`` for the full rules):
+
+* compiled module — hash of the MiniC source text alone;
+* train / ref profiling runs — hash of (source, args, input arrays), so a
+  new data set re-profiles but a new coverage level does not;
+* qualified pipelines — hash of (source, canonical *profile fingerprint*,
+  CA, CR): the derived artifacts depend on the training profile's content,
+  not on how it was collected, so any run reproducing the same profile
+  shares the automata and hot-path graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.qualified import QualifiedAnalysis
+from ..evaluation.harness import Workload, WorkloadRun
+from ..interp.interpreter import RunResult
+from ..ir.function import Module
+from ..profiles.serialize import fingerprint_profiles
+from .cache import (
+    ArtifactCache,
+    KIND_MODULE,
+    KIND_QUALIFIED,
+    KIND_REF_RUN,
+    KIND_TRAIN_RUN,
+    content_key,
+)
+
+
+def _inputs_part(inputs: Mapping[str, Sequence[int]]) -> dict[str, list[int]]:
+    return {name: list(values) for name, values in inputs.items()}
+
+
+class CachedWorkloadRun(WorkloadRun):
+    """Workload run whose expensive steps go through an :class:`ArtifactCache`."""
+
+    def __init__(self, workload: Workload, cache: ArtifactCache) -> None:
+        self.cache = cache
+        super().__init__(workload)
+
+    # -- pipeline steps, memoized -----------------------------------------
+
+    def _compile_module(self) -> Module:
+        key = content_key("module", self.workload.source)
+        return self.cache.memo(KIND_MODULE, key, super()._compile_module)
+
+    def _run_train(self) -> RunResult:
+        w = self.workload
+        key = content_key(
+            "train", w.source, list(w.train_args), _inputs_part(w.train_inputs)
+        )
+        return self.cache.memo(KIND_TRAIN_RUN, key, super()._run_train)
+
+    def _run_ref(self) -> RunResult:
+        w = self.workload
+        key = content_key(
+            "ref", w.source, list(w.ref_args), _inputs_part(w.ref_inputs)
+        )
+        return self.cache.memo(KIND_REF_RUN, key, super()._run_ref)
+
+    def _compute_qualified(
+        self, ca: float, cr: float
+    ) -> dict[str, QualifiedAnalysis]:
+        key = content_key(
+            "qualified",
+            self.workload.source,
+            fingerprint_profiles(self.train.profiles),
+            ca,
+            cr,
+        )
+        return self.cache.memo(
+            KIND_QUALIFIED, key, lambda: super(CachedWorkloadRun, self)._compute_qualified(ca, cr)
+        )
+
+
+def make_run(workload: Workload, cache_dir=None) -> WorkloadRun:
+    """Build a run, cached when a cache directory (or cache) is given."""
+    if cache_dir is None:
+        return WorkloadRun(workload)
+    cache = cache_dir if isinstance(cache_dir, ArtifactCache) else ArtifactCache(cache_dir)
+    return CachedWorkloadRun(workload, cache)

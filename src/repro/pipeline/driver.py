@@ -1,0 +1,355 @@
+"""Fan workload × coverage sweep jobs out over a process pool.
+
+The serial evaluation harness recomputes each figure's sweep in one
+process; :class:`ParallelDriver` instead treats every ``(workload, CA)``
+pair — plus one Table-2 summary per workload — as an independent job.  Jobs
+run over :mod:`concurrent.futures` (``jobs > 1``) or inline in a
+deterministic serial fallback (``jobs == 1``); either way the results are
+assembled in canonical workload/coverage order, so the rendered figure and
+table artifacts are byte-identical regardless of the job count or the
+completion order.
+
+All numbers flowing through a job are deterministic (counts, cycle costs,
+ratios of counts).  Wall-clock analysis time is measured and carried on each
+cell for reporting, but deliberately kept out of the rendered artifacts so
+they stay comparable across machines and job counts.
+
+With a shared ``cache_dir`` the jobs cooperate through the content-addressed
+artifact cache: the first job to need a compiled module or profiling run
+persists it, and every other job (and every later session) reuses it —
+worker processes additionally keep a per-process run table so a worker that
+already built a workload serves all its coverage levels from memory.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..evaluation.harness import CA_SWEEP, DEFAULT_CA, DEFAULT_CR, WorkloadRun
+from ..evaluation.figures import render_series
+from ..evaluation.tables import format_table
+from ..workloads import WORKLOAD_NAMES, get_workload
+from .cache import ArtifactCache, CacheStats
+from .cached_run import make_run
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Deterministic metrics for one (workload, coverage) point."""
+
+    workload: str
+    ca: float
+    cr: float
+    #: Figure 9: relative increase in dynamic constant instructions.
+    constant_increase: float
+    #: Figure 11: (original, traced, reduced) real-vertex totals.
+    sizes: tuple[int, int, int]
+    #: Table 1: hot paths needed to reach this coverage.
+    hot_paths: int
+    #: Figure 12 raw material (wall-clock; excluded from rendered artifacts).
+    analysis_time: float
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Per-workload scalars (Table 1 structure, Table 2 costs)."""
+
+    workload: str
+    cfg_nodes: int
+    executed_paths: int
+    hot_paths_default: int
+    base_cost: int
+    optimized_cost: int
+
+    @property
+    def speedup(self) -> float:
+        if self.optimized_cost == 0:
+            return 1.0
+        return self.base_cost / self.optimized_cost
+
+
+@dataclass
+class SweepResult:
+    """Everything a figure/table renderer needs, in canonical order."""
+
+    workloads: tuple[str, ...]
+    ca_values: tuple[float, ...]
+    cr: float
+    default_ca: float
+    cells: dict[tuple[str, float], SweepCell]
+    summaries: dict[str, WorkloadSummary]
+    #: Cache statistics merged across all jobs (and worker processes).
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    # -- renderers ---------------------------------------------------------
+
+    def artifacts(self) -> dict[str, str]:
+        """Rendered figure/table texts, keyed by artifact name.
+
+        Byte-identical for identical inputs regardless of ``jobs``: every
+        value here is a deterministic function of the workload definitions.
+        """
+        return {
+            "fig9": self._fig9(),
+            "fig11": self._fig11(),
+            "table1": self._table1(),
+            "table2": self._table2(),
+        }
+
+    def _ca_headers(self) -> list[str]:
+        return [f"CA={ca:g}" for ca in self.ca_values]
+
+    def _fig9(self) -> str:
+        series = {
+            name: [self.cells[(name, ca)].constant_increase for ca in self.ca_values]
+            for name in self.workloads
+        }
+        rows = [
+            [name] + [f"{v:+.1%}" for v in values]
+            for name, values in series.items()
+        ]
+        return (
+            format_table(
+                ["Program"] + self._ca_headers(),
+                rows,
+                title=(
+                    "Figure 9: increase in dynamic constant instructions vs "
+                    "coverage (baseline CA = 0)"
+                ),
+            )
+            + "\n\n"
+            + render_series(
+                series, [f"{ca:g}" for ca in self.ca_values], title="shape:"
+            )
+        )
+
+    def _fig11(self) -> str:
+        before_rows = []
+        after_rows = []
+        for name in self.workloads:
+            sizes = [self.cells[(name, ca)].sizes for ca in self.ca_values]
+            orig = sizes[0][0]
+            before_rows.append(
+                [name] + [f"{(hpg - orig) / orig:+.0%}" for (_, hpg, _) in sizes]
+            )
+            after_rows.append(
+                [name] + [f"{(red - orig) / orig:+.0%}" for (_, _, red) in sizes]
+            )
+        header = ["Program"] + self._ca_headers()
+        return (
+            format_table(
+                header,
+                before_rows,
+                title="Figure 11 (a/c): CFG-node growth BEFORE reduction vs coverage",
+            )
+            + "\n\n"
+            + format_table(
+                header,
+                after_rows,
+                title="Figure 11 (b/d): CFG-node growth AFTER reduction vs coverage",
+            )
+        )
+
+    def _table1(self) -> str:
+        rows = [
+            [
+                s.workload,
+                s.cfg_nodes,
+                s.executed_paths,
+                s.hot_paths_default,
+            ]
+            for s in (self.summaries[name] for name in self.workloads)
+        ]
+        return format_table(
+            [
+                "Program",
+                "CFG nodes",
+                "Executed paths",
+                f"Hot paths (CA={self.default_ca:g})",
+            ],
+            rows,
+            title="Table 1: workload statistics",
+        )
+
+    def _table2(self) -> str:
+        rows = [
+            [s.workload, s.base_cost, s.optimized_cost, f"{s.speedup:.3f}x"]
+            for s in (self.summaries[name] for name in self.workloads)
+        ]
+        return format_table(
+            ["Program", "Base (cycles)", "Optimized (cycles)", "Speedup"],
+            rows,
+            title="Table 2: running cost after constant propagation (ref input)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# job bodies — module level so they pickle into worker processes
+# ---------------------------------------------------------------------------
+
+#: Per-process memo of built runs, so a pool worker that already compiled
+#: and profiled a workload serves its remaining coverage jobs from memory.
+_RUN_TABLE: dict[tuple[str, Optional[str]], WorkloadRun] = {}
+
+
+def _obtain_run(name: str, cache_dir: Optional[str]) -> WorkloadRun:
+    key = (name, cache_dir)
+    run = _RUN_TABLE.get(key)
+    if run is None:
+        run = make_run(get_workload(name), cache_dir)
+        _RUN_TABLE[key] = run
+    return run
+
+
+def _cell_from_run(run: WorkloadRun, ca: float, cr: float) -> SweepCell:
+    return SweepCell(
+        workload=run.workload.name,
+        ca=ca,
+        cr=cr,
+        constant_increase=run.aggregate_classification(ca, cr).constant_increase,
+        sizes=run.graph_sizes(ca, cr),
+        hot_paths=run.hot_path_count(ca),
+        analysis_time=run.analysis_time(ca, cr),
+    )
+
+
+def _summary_from_run(
+    run: WorkloadRun, default_ca: float, cr: float
+) -> WorkloadSummary:
+    row = run.table2(default_ca, cr)
+    return WorkloadSummary(
+        workload=run.workload.name,
+        cfg_nodes=run.cfg_nodes,
+        executed_paths=run.executed_paths,
+        hot_paths_default=run.hot_path_count(default_ca),
+        base_cost=row.base_cost,
+        optimized_cost=row.optimized_cost,
+    )
+
+
+def _stats_of(run: WorkloadRun) -> CacheStats:
+    cache = getattr(run, "cache", None)
+    return cache.stats if isinstance(cache, ArtifactCache) else CacheStats()
+
+
+#: Per-process snapshot of stats already reported back by earlier jobs, so a
+#: worker serving several jobs for one workload never double-reports counts.
+_REPORTED: dict[tuple[str, Optional[str]], CacheStats] = {}
+
+
+def _stats_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> CacheStats:
+    key = (name, cache_dir)
+    current = _stats_of(run)
+    delta = current.diff(_REPORTED.get(key, CacheStats()))
+    _REPORTED[key] = current.copy()
+    return delta
+
+
+def _cell_job(
+    name: str, ca: float, cr: float, cache_dir: Optional[str]
+) -> tuple[str, float, SweepCell, CacheStats]:
+    run = _obtain_run(name, cache_dir)
+    cell = _cell_from_run(run, ca, cr)
+    return name, ca, cell, _stats_delta(name, cache_dir, run)
+
+
+def _summary_job(
+    name: str, default_ca: float, cr: float, cache_dir: Optional[str]
+) -> tuple[str, WorkloadSummary, CacheStats]:
+    run = _obtain_run(name, cache_dir)
+    summary = _summary_from_run(run, default_ca, cr)
+    return name, summary, _stats_delta(name, cache_dir, run)
+
+
+class ParallelDriver:
+    """Runs coverage sweeps serially or over a process pool.
+
+    ``jobs == 1`` is the deterministic in-process fallback; ``jobs > 1``
+    fans out over :class:`concurrent.futures.ProcessPoolExecutor`.  Both
+    paths produce identical :class:`SweepResult` values (and therefore
+    byte-identical :meth:`SweepResult.artifacts`).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Union[str, None] = None,
+        cr: float = DEFAULT_CR,
+        default_ca: float = DEFAULT_CA,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.cr = cr
+        self.default_ca = default_ca
+
+    def sweep(
+        self,
+        workloads: Sequence[str] = WORKLOAD_NAMES,
+        ca_values: Sequence[float] = CA_SWEEP,
+    ) -> SweepResult:
+        workloads = tuple(workloads)
+        ca_values = tuple(ca_values)
+        result = SweepResult(
+            workloads=workloads,
+            ca_values=ca_values,
+            cr=self.cr,
+            default_ca=self.default_ca,
+            cells={},
+            summaries={},
+        )
+        if self.jobs == 1:
+            self._sweep_serial(result)
+        else:
+            self._sweep_parallel(result)
+        missing = [
+            (name, ca)
+            for name in workloads
+            for ca in ca_values
+            if (name, ca) not in result.cells
+        ]
+        if missing or set(result.summaries) != set(workloads):
+            raise RuntimeError(f"sweep incomplete: missing {missing}")
+        return result
+
+    # -- serial fallback ---------------------------------------------------
+
+    def _sweep_serial(self, result: SweepResult) -> None:
+        for name in result.workloads:
+            run = make_run(get_workload(name), self.cache_dir)
+            for ca in result.ca_values:
+                result.cells[(name, ca)] = _cell_from_run(run, ca, self.cr)
+            result.summaries[name] = _summary_from_run(
+                run, self.default_ca, self.cr
+            )
+            result.cache_stats.merge(_stats_of(run))
+
+    # -- process-pool fan-out ----------------------------------------------
+
+    def _sweep_parallel(self, result: SweepResult) -> None:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs
+        ) as pool:
+            futures = [
+                pool.submit(_cell_job, name, ca, self.cr, self.cache_dir)
+                for name in result.workloads
+                for ca in result.ca_values
+            ]
+            futures += [
+                pool.submit(
+                    _summary_job, name, self.default_ca, self.cr, self.cache_dir
+                )
+                for name in result.workloads
+            ]
+            for future in concurrent.futures.as_completed(futures):
+                payload = future.result()
+                if len(payload) == 4:
+                    name, ca, cell, stats = payload
+                    result.cells[(name, ca)] = cell
+                else:
+                    name, summary, stats = payload
+                    result.summaries[name] = summary
+                result.cache_stats.merge(stats)

@@ -51,6 +51,22 @@ def dumps_profiles(profiles: Mapping[str, PathProfile]) -> str:
     return buffer.getvalue()
 
 
+def fingerprint_profiles(profiles: Mapping[str, PathProfile]) -> str:
+    """A stable content digest of per-routine profiles.
+
+    The digest is the SHA-256 of the canonical text serialization with
+    routines emitted in sorted order, so two profiles with the same paths and
+    counts fingerprint identically regardless of collection order.  The
+    pipeline cache uses this to key derived artifacts (automata, hot-path
+    graphs, analyses) by *profile content* rather than by how the profile was
+    produced.
+    """
+    import hashlib
+
+    ordered = {name: profiles[name] for name in sorted(profiles, key=str)}
+    return hashlib.sha256(dumps_profiles(ordered).encode()).hexdigest()
+
+
 def load_profiles(source: TextIO) -> dict[str, PathProfile]:
     """Parse the text format back into per-routine profiles."""
     lines = source.read().splitlines()

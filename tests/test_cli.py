@@ -180,3 +180,41 @@ class TestReport:
         out = capsys.readouterr().out
         assert "qualified non-local constants" in out
         assert "speedup" in out
+
+
+class TestBench:
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--workloads", "gcc95"])
+
+    def test_bench_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        rc = main(
+            [
+                "bench",
+                "--workloads",
+                "compress95",
+                "--ca",
+                "0.0",
+                "0.97",
+                "--jobs",
+                "1",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert rc == 0
+        written = {p.name for p in out_dir.iterdir()}
+        assert written == {"fig9.txt", "fig11.txt", "table1.txt", "table2.txt"}
+        err = capsys.readouterr().err
+        assert "# cache activity" in err
+
+    def test_bench_prints_to_stdout(self, capsys):
+        rc = main(
+            ["bench", "--workloads", "compress95", "--ca", "0.97", "--jobs", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compress95" in out

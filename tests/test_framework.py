@@ -186,3 +186,51 @@ class TestSolverGenerality:
             assert problem.transfer(v, view.block_of(v), sol.value_in[v]) == (
                 sol.value_out[v]
             )
+
+
+class TestEntryVertexWithPredecessors:
+    """Regression: a start vertex with incoming edges (possible on hot-path
+    graphs, where the analysis runs from a real block) must fold the back
+    edge's contribution into its own input.  The old solver precomputed the
+    start vertex's input from the boundary alone and never revisited it, so
+    definitions flowing around a self-loop were dropped."""
+
+    @staticmethod
+    def _self_loop_view():
+        from repro.ir.cfg import EXIT, Cfg
+
+        b = IRBuilder("f", ["p"])
+        b.block("loop")
+        b.assign("x", 1)
+        b.jump("loop")
+        fn = b.finish()
+
+        cfg = Cfg(entry="loop")
+        cfg.add_vertex("loop")
+        cfg.add_vertex(EXIT)
+        cfg.add_edge("loop", "loop")
+        cfg.add_edge("loop", EXIT)
+        return fn, GraphView(cfg, fn.params, {"loop": fn.blocks["loop"]})
+
+    def test_back_edge_reaches_entry_input(self):
+        fn, view = self._self_loop_view()
+        problem = ReachingDefinitions(fn.params, "loop")
+        sol = solve(problem, view)
+        # The boundary (parameter) definition...
+        assert ("loop", -1, "p") in sol.value_in["loop"]
+        # ...and the definition of x flowing around the self-loop.
+        assert any(d[2] == "x" for d in sol.value_in["loop"])
+
+    def test_entry_input_is_a_fixpoint(self):
+        fn, view = self._self_loop_view()
+        problem = ReachingDefinitions(fn.params, "loop")
+        for strategy in ("rpo", "lifo", "round_robin"):
+            sol = solve(problem, view, strategy=strategy)
+            merged = problem.boundary()
+            for p in view.cfg.preds("loop"):
+                merged = problem.meet(merged, sol.value_out[p])
+            assert problem.equal(merged, sol.value_in["loop"]), strategy
+            assert problem.equal(
+                problem.transfer("loop", view.block_of("loop"), merged),
+                sol.value_out["loop"],
+            ), strategy

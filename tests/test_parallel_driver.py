@@ -1,0 +1,70 @@
+"""Parallel-vs-serial equivalence for the sweep driver.
+
+``ParallelDriver`` must be a pure speed knob: running the coverage sweep with
+a process pool (``jobs=4``) yields byte-identical figure and table artifacts
+to the deterministic serial path (``jobs=1``).  The full-workload check is
+marked ``slow``; a two-workload variant keeps the property in the fast tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import ArtifactCache, ParallelDriver
+from repro.workloads import WORKLOAD_NAMES
+
+FAST_WORKLOADS = ("compress95", "li95")
+FAST_CAS = (0.0, 0.97)
+
+
+def _artifacts(jobs, workloads, cas, cache_dir=None):
+    driver = ParallelDriver(jobs=jobs, cache_dir=cache_dir)
+    return driver.sweep(workloads, cas).artifacts()
+
+
+def test_rejects_nonpositive_jobs():
+    with pytest.raises(ValueError):
+        ParallelDriver(jobs=0)
+
+
+def test_sweep_emits_all_artifacts():
+    artifacts = _artifacts(1, FAST_WORKLOADS, FAST_CAS)
+    assert set(artifacts) == {"fig9", "fig11", "table1", "table2"}
+    for name, text in artifacts.items():
+        assert text.strip(), name
+        for workload in FAST_WORKLOADS:
+            assert workload in text, (name, workload)
+
+
+def test_parallel_matches_serial_on_fast_subset(tmp_path):
+    serial = _artifacts(1, FAST_WORKLOADS, FAST_CAS, tmp_path / "s")
+    parallel = _artifacts(2, FAST_WORKLOADS, FAST_CAS, tmp_path / "p")
+    assert parallel == serial
+
+
+def test_parallel_reuses_a_shared_cache(tmp_path):
+    cache_dir = tmp_path / "shared"
+    first = _artifacts(2, FAST_WORKLOADS, FAST_CAS, cache_dir)
+    # The second sweep over the same cache must be compute-free for the
+    # compile/profile stages and still produce the same bytes.
+    driver = ParallelDriver(jobs=2, cache_dir=cache_dir)
+    result = driver.sweep(FAST_WORKLOADS, FAST_CAS)
+    assert result.artifacts() == first
+    assert result.cache_stats.misses.get("module", 0) == 0
+    assert result.cache_stats.misses.get("train-run", 0) == 0
+    assert result.cache_stats.misses.get("ref-run", 0) == 0
+
+
+def test_uncached_parallel_matches_cached_serial(tmp_path):
+    assert _artifacts(2, FAST_WORKLOADS, FAST_CAS) == _artifacts(
+        1, FAST_WORKLOADS, FAST_CAS, tmp_path
+    )
+
+
+@pytest.mark.slow
+def test_full_sweep_parallel_matches_serial(tmp_path):
+    """The acceptance check: jobs=4 vs jobs=1 over every seed workload."""
+    cas = (0.0, 0.97, 1.0)
+    serial = _artifacts(1, WORKLOAD_NAMES, cas, tmp_path / "serial")
+    parallel = _artifacts(4, WORKLOAD_NAMES, cas, tmp_path / "parallel")
+    assert parallel == serial
