@@ -1,0 +1,119 @@
+"""Interpreter engine throughput — the perf trajectory of the hot path.
+
+Every figure and table above replays the workloads through the interpreter,
+so its instructions-per-second is the number that bounds the whole harness.
+This bench runs the ``li95`` ref input and the running example through both
+execution engines, reports throughput, asserts the block-compiled fast path
+is at least 3x the tree-walking reference on ``li95``, and writes
+``BENCH_interp.json`` so future PRs can track the trajectory mechanically.
+"""
+
+import time
+
+from repro.evaluation import format_table
+from repro.frontend import compile_program
+from repro.interp import Interpreter
+from repro.workloads import (
+    get_workload,
+    running_example_module,
+    training_run_inputs,
+)
+
+from conftest import once
+
+ENGINES = ("reference", "compiled")
+MIN_LI95_SPEEDUP = 3.0
+
+
+def _best_of(n, fn):
+    """Best wall-clock of ``n`` runs (discards scheduler noise)."""
+    best = None
+    result = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _measure(module, args, inputs, engine):
+    interp = Interpreter(
+        module, profile_mode="bl", track_sites=True, engine=engine
+    )
+    seconds, result = _best_of(3, lambda: interp.run(args, inputs))
+    return {
+        "engine": engine,
+        "seconds": seconds,
+        "instructions": result.instr_count,
+        "instructions_per_second": result.instr_count / seconds,
+        "compile_seconds": interp.engine_compile_time,
+    }
+
+
+def compute_bench_interp():
+    cases = {}
+    li95 = get_workload("li95")
+    li95_module = compile_program(li95.source)
+    cases["li95"] = [
+        _measure(li95_module, li95.ref_args, li95.ref_inputs, engine)
+        for engine in ENGINES
+    ]
+    n, inputs = training_run_inputs()
+    cases["running_example"] = [
+        _measure(running_example_module(), [n], inputs, engine)
+        for engine in ENGINES
+    ]
+    for rows in cases.values():
+        by_engine = {r["engine"]: r for r in rows}
+        speedup = (
+            by_engine["compiled"]["instructions_per_second"]
+            / by_engine["reference"]["instructions_per_second"]
+        )
+        for r in rows:
+            r["speedup_vs_reference"] = (
+                r["instructions_per_second"]
+                / by_engine["reference"]["instructions_per_second"]
+            )
+        by_engine["compiled"]["speedup"] = speedup
+    return cases
+
+
+def test_bench_interp(benchmark, record, record_json):
+    cases = once(benchmark, compute_bench_interp)
+    rows = []
+    for case, measurements in cases.items():
+        for m in measurements:
+            rows.append(
+                [
+                    case,
+                    m["engine"],
+                    m["instructions"],
+                    f"{m['seconds'] * 1000:.1f}",
+                    f"{m['instructions_per_second'] / 1e6:.2f}",
+                    f"{m['speedup_vs_reference']:.2f}x",
+                ]
+            )
+    record(
+        "BENCH_interp",
+        format_table(
+            [
+                "workload",
+                "engine",
+                "instructions",
+                "best ms",
+                "M instr/s",
+                "speedup",
+            ],
+            rows,
+            title="Interpreter engine throughput (best of 3)",
+        ),
+    )
+    record_json("BENCH_interp", cases)
+    li95 = {m["engine"]: m for m in cases["li95"]}
+    assert li95["compiled"]["speedup"] >= MIN_LI95_SPEEDUP, (
+        f"compiled engine is only "
+        f"{li95['compiled']['speedup']:.2f}x the reference on li95 "
+        f"(need >= {MIN_LI95_SPEEDUP}x)"
+    )

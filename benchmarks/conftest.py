@@ -63,6 +63,24 @@ def record():
     return _record
 
 
+@pytest.fixture(scope="session")
+def record_json():
+    """Persist machine-readable results under benchmarks/results/.
+
+    Perf-trajectory benchmarks (``bench_interp.py``) emit JSON so future PRs
+    can diff numbers mechanically rather than re-parsing rendered tables.
+    """
+    import json
+
+    def _record_json(name: str, payload) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n# wrote {path}\n")
+
+    return _record_json
+
+
 def once(benchmark, fn, *args):
     """Run ``fn`` exactly once under pytest-benchmark's timer.
 

@@ -60,7 +60,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     module = _load_module(args.file)
-    interp = Interpreter(module, profile_mode="bl")
+    interp = Interpreter(module, profile_mode="bl", engine=args.engine)
     result = interp.run(args.args, _parse_inputs(args.input))
     for values in result.output:
         print(" ".join(str(v) for v in values))
@@ -134,25 +134,29 @@ def cmd_report(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown workload {args.workload!r}; choose from {WORKLOAD_NAMES}"
         )
-    run = WorkloadRun(get_workload(args.workload))
+    run = WorkloadRun(get_workload(args.workload), engine=args.engine)
     agg = run.aggregate_classification(args.ca, args.cr)
     orig, hpg, red = run.graph_sizes(args.ca, args.cr)
     row = run.table2(args.ca, args.cr)
+    rows = [
+        ["CFG nodes", run.cfg_nodes],
+        ["executed paths (train)", run.executed_paths],
+        [f"hot paths (CA={args.ca})", run.hot_path_count(args.ca)],
+        ["traced vertices", hpg],
+        ["reduced vertices", red],
+        ["WZ non-local constants", agg.iterative_nonlocal],
+        ["qualified non-local constants", agg.qualified_nonlocal],
+        ["base cost", row.base_cost],
+        ["optimized cost", row.optimized_cost],
+        ["speedup", f"{row.speedup:.3f}x"],
+        ["engine", run.engine],
+    ]
+    for stage, seconds in run.timings.items():
+        rows.append([f"{stage} time", f"{seconds * 1000:.1f} ms"])
     print(
         format_table(
             ["metric", "value"],
-            [
-                ["CFG nodes", run.cfg_nodes],
-                ["executed paths (train)", run.executed_paths],
-                [f"hot paths (CA={args.ca})", run.hot_path_count(args.ca)],
-                ["traced vertices", hpg],
-                ["reduced vertices", red],
-                ["WZ non-local constants", agg.iterative_nonlocal],
-                ["qualified non-local constants", agg.qualified_nonlocal],
-                ["base cost", row.base_cost],
-                ["optimized cost", row.optimized_cost],
-                ["speedup", f"{row.speedup:.3f}x"],
-            ],
+            rows,
             title=f"{args.workload} @ CA={args.ca}, CR={args.cr}",
         )
     )
@@ -219,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--args", type=int, nargs="*", default=[])
     p.add_argument("--input", action="append", default=[], metavar="NAME=V1,V2")
     p.add_argument("--save-profile", metavar="FILE")
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine (compiled = block-compiled fast path)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("optimize", help="path-qualified optimization")
@@ -242,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--ca", type=float, default=0.97)
     p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine for the profiling runs",
+    )
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(

@@ -82,20 +82,36 @@ class WorkloadRun:
     processes and sessions without re-implementing any of the metrics below.
     """
 
-    def __init__(self, workload: Workload) -> None:
+    def __init__(self, workload: Workload, engine: str = "compiled") -> None:
+        if engine not in ("reference", "compiled"):
+            raise ValueError(f"bad engine {engine!r}")
         self.workload = workload
+        self.engine = engine
+        #: Wall-clock seconds per stage, mirroring the per-phase dict of
+        #: :func:`repro.core.qualified.run_qualified` (keys: ``compile``,
+        #: ``train_run``, ``ref_run``).
+        self.timings: dict[str, float] = {}
         t0 = time.perf_counter()
         self.module: Module = self._compile_module()
         validate_module(self.module)
-        self.compile_time = time.perf_counter() - t0
+        self.timings["compile"] = time.perf_counter() - t0
 
+        t0 = time.perf_counter()
         self.train: RunResult = self._run_train()
+        self.timings["train_run"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
         self.ref: RunResult = self._run_ref()
+        self.timings["ref_run"] = time.perf_counter() - t0
 
         self._qualified: dict[tuple[float, float], dict[str, QualifiedAnalysis]] = {}
         self._classified: dict[
             tuple[float, float], dict[str, ConstantClassification]
         ] = {}
+
+    @property
+    def compile_time(self) -> float:
+        """Seconds spent compiling the workload (alias of ``timings``)."""
+        return self.timings["compile"]
 
     # -- overridable pipeline steps ---------------------------------------
 
@@ -103,14 +119,14 @@ class WorkloadRun:
         return compile_program(self.workload.source)
 
     def _run_train(self) -> RunResult:
-        return Interpreter(self.module, profile_mode="bl", track_sites=False).run(
-            self.workload.train_args, self.workload.train_inputs
-        )
+        return Interpreter(
+            self.module, profile_mode="bl", track_sites=False, engine=self.engine
+        ).run(self.workload.train_args, self.workload.train_inputs)
 
     def _run_ref(self) -> RunResult:
-        return Interpreter(self.module, profile_mode="bl", track_sites=True).run(
-            self.workload.ref_args, self.workload.ref_inputs
-        )
+        return Interpreter(
+            self.module, profile_mode="bl", track_sites=True, engine=self.engine
+        ).run(self.workload.ref_args, self.workload.ref_inputs)
 
     def _compute_qualified(
         self, ca: float, cr: float
@@ -277,12 +293,12 @@ class WorkloadRun:
         """
         base = self.build_base_module()
         optimized = self.build_optimized_module(ca, cr)
-        base_run = Interpreter(base, profile_mode=None, track_sites=False).run(
-            self.workload.ref_args, self.workload.ref_inputs
-        )
-        opt_run = Interpreter(optimized, profile_mode=None, track_sites=False).run(
-            self.workload.ref_args, self.workload.ref_inputs
-        )
+        base_run = Interpreter(
+            base, profile_mode=None, track_sites=False, engine=self.engine
+        ).run(self.workload.ref_args, self.workload.ref_inputs)
+        opt_run = Interpreter(
+            optimized, profile_mode=None, track_sites=False, engine=self.engine
+        ).run(self.workload.ref_args, self.workload.ref_inputs)
         if (
             base_run.output != self.ref.output
             or opt_run.output != self.ref.output

@@ -1,5 +1,6 @@
 """IR interpreter with cost accounting, path profiling, and dynamic taint."""
 
+from .compiled import CompiledModule
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .interpreter import (
     ExecutionLimit,
@@ -14,6 +15,7 @@ from .profiler import BallLarusProfiler, NullProfiler, TraceProfiler
 
 __all__ = [
     "BallLarusProfiler",
+    "CompiledModule",
     "CostModel",
     "DEFAULT_COST_MODEL",
     "ExecutionLimit",

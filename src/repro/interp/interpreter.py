@@ -19,6 +19,7 @@ estimated as the dynamic executions whose result is tainted.
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -38,6 +39,7 @@ from ..ir.instructions import (
 )
 from ..ir.operands import Const, Operand, Var
 from ..ir.ops import eval_binop, eval_unop
+from ..profiles.ball_larus import BallLarusNumbering
 from ..profiles.path_profile import PathProfile
 from ..profiles.recording import recording_edges
 from .cost import DEFAULT_COST_MODEL, CostModel
@@ -106,7 +108,20 @@ class RunResult:
 
 
 class Interpreter:
-    """Executes a module; construct once, :meth:`run` any number of times."""
+    """Executes a module; construct once, :meth:`run` any number of times.
+
+    Two execution engines share this front door:
+
+    * ``engine="reference"`` — the tree-walking interpreter below, kept as
+      the obviously-correct oracle;
+    * ``engine="compiled"`` — the block-compiling fast path of
+      :mod:`repro.interp.compiled`, which lowers each function once to a
+      flat register-machine form and is several times faster on profiling
+      runs (see ``docs/PERFORMANCE.md``).
+
+    Both produce equal :class:`RunResult` values for every run that
+    completes.
+    """
 
     def __init__(
         self,
@@ -115,17 +130,21 @@ class Interpreter:
         max_steps: int = 50_000_000,
         profile_mode: Optional[str] = "bl",
         track_sites: bool = True,
+        engine: str = "reference",
     ) -> None:
         """``profile_mode`` is ``"bl"`` (efficient profiler), ``"trace"``
         (oracle), ``"both"`` (cross-validating), or ``None`` (no profiling).
         """
         if profile_mode not in (None, "bl", "trace", "both"):
             raise ValueError(f"bad profile_mode {profile_mode!r}")
+        if engine not in ("reference", "compiled"):
+            raise ValueError(f"bad engine {engine!r}")
         self.module = module
         self.cost_model = cost_model
         self.max_steps = max_steps
         self.profile_mode = profile_mode
         self.track_sites = track_sites
+        self.engine = engine
         self._cfgs: dict[str, Cfg] = {}
         self._recording: dict[str, frozenset] = {}
         self._fallthrough: dict[str, dict[str, Optional[str]]] = {}
@@ -138,6 +157,35 @@ class Interpreter:
                 label: labels[i + 1] if i + 1 < len(labels) else None
                 for i, label in enumerate(labels)
             }
+        #: One numbering per (cfg, recording), shared by every run and by
+        #: both engines instead of being rebuilt per activation set.
+        self._numberings: dict[str, BallLarusNumbering] = {}
+        self._compiled = None
+        #: Seconds spent lowering the module for the compiled engine.
+        self.engine_compile_time = 0.0
+        if engine == "compiled":
+            from .compiled import CompiledModule
+
+            t0 = time.perf_counter()
+            self._compiled = CompiledModule(
+                module,
+                cost_model,
+                track_sites,
+                self._cfgs,
+                self._recording,
+                {name: self.numbering(name) for name in module.functions},
+            )
+            self.engine_compile_time = time.perf_counter() - t0
+
+    def numbering(self, name: str) -> BallLarusNumbering:
+        """The Ball–Larus numbering of one routine (constructed once)."""
+        numbering = self._numberings.get(name)
+        if numbering is None:
+            numbering = BallLarusNumbering.for_cfg(
+                self._cfgs[name], self._recording[name]
+            )
+            self._numberings[name] = numbering
+        return numbering
 
     # -- public API -----------------------------------------------------------
 
@@ -154,9 +202,23 @@ class Interpreter:
         """
         # Each interpreted call nests a few Python frames; make sure the
         # interpreter's own depth limit (200) is reached before Python's.
-        if sys.getrecursionlimit() < 5000:
+        # The previous limit is restored on exit so embedding code never
+        # observes a changed global.
+        saved_limit = sys.getrecursionlimit()
+        if saved_limit < 5000:
             sys.setrecursionlimit(5000)
-        state = _RunState(self, inputs or {})
+        try:
+            return self._run(args, inputs or {}, entry_function)
+        finally:
+            if saved_limit < 5000:
+                sys.setrecursionlimit(saved_limit)
+
+    def _run(
+        self,
+        args: Sequence[int],
+        inputs: Mapping[str, Sequence[int]],
+        entry_function: str,
+    ) -> RunResult:
         fn = self.module.functions.get(entry_function)
         if fn is None:
             raise Trap(f"no function named {entry_function!r}")
@@ -164,6 +226,11 @@ class Interpreter:
             raise Trap(
                 f"{entry_function} expects {len(fn.params)} args, got {len(args)}"
             )
+        if self._compiled is not None:
+            return self._compiled.run(
+                args, inputs, entry_function, self.profile_mode, self.max_steps
+            )
+        state = _RunState(self, inputs)
         ret = state.call(fn, [(int(a), True) for a in args])
         profiles: dict[str, PathProfile] = {}
         trace_profiles: dict[str, PathProfile] = {}
@@ -220,7 +287,9 @@ class _RunState:
         if mode in ("bl", "both"):
             if name not in self.bl_profilers:
                 self.bl_profilers[name] = BallLarusProfiler(
-                    self.interp._cfgs[name], self.interp._recording[name]
+                    self.interp._cfgs[name],
+                    self.interp._recording[name],
+                    numbering=self.interp.numbering(name),
                 )
             result.append(self.bl_profilers[name])
         if mode in ("trace", "both"):

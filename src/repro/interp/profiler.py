@@ -17,7 +17,8 @@ entry/exit edges), then :meth:`leave`.
 
 from __future__ import annotations
 
-from typing import Hashable
+from collections import defaultdict
+from typing import Hashable, Optional
 
 from ..ir.cfg import Cfg, Edge
 from ..profiles.ball_larus import BallLarusNumbering
@@ -57,12 +58,24 @@ class TraceProfiler:
 class BallLarusProfiler:
     """Efficient profiler: path register plus per-edge increments."""
 
-    def __init__(self, cfg: Cfg, recording: frozenset[Edge]) -> None:
+    def __init__(
+        self,
+        cfg: Cfg,
+        recording: frozenset[Edge],
+        numbering: Optional[BallLarusNumbering] = None,
+    ) -> None:
         self.cfg = cfg
         self.recording = recording
-        self.numbering = BallLarusNumbering(cfg, recording)
+        # The numbering is a pure function of (cfg, recording); callers that
+        # run many activations (the Interpreter) pass a shared instance so
+        # it is computed once per routine, not once per profiler.
+        self.numbering = (
+            numbering
+            if numbering is not None
+            else BallLarusNumbering.for_cfg(cfg, recording)
+        )
         #: (start vertex, path id) -> count
-        self._counts: dict[tuple[Vertex, int], int] = {}
+        self._counts: defaultdict[tuple[Vertex, int], int] = defaultdict(int)
         self._start: Vertex | None = None
         self._register = 0
 
@@ -74,8 +87,7 @@ class BallLarusProfiler:
         if (u, v) in self.recording:
             if self._start is not None:
                 pid = self._register + self.numbering.final_offset((u, v))
-                key = (self._start, pid)
-                self._counts[key] = self._counts.get(key, 0) + 1
+                self._counts[(self._start, pid)] += 1
             self._start = v
             self._register = 0
         else:

@@ -36,11 +36,18 @@ def _inputs_part(inputs: Mapping[str, Sequence[int]]) -> dict[str, list[int]]:
 
 
 class CachedWorkloadRun(WorkloadRun):
-    """Workload run whose expensive steps go through an :class:`ArtifactCache`."""
+    """Workload run whose expensive steps go through an :class:`ArtifactCache`.
 
-    def __init__(self, workload: Workload, cache: ArtifactCache) -> None:
+    Cache keys hash the run's *inputs* (source, args, data sets), not the
+    execution engine — both engines produce equal :class:`RunResult` values,
+    so artifacts cached by one remain valid for the other.
+    """
+
+    def __init__(
+        self, workload: Workload, cache: ArtifactCache, engine: str = "compiled"
+    ) -> None:
         self.cache = cache
-        super().__init__(workload)
+        super().__init__(workload, engine=engine)
 
     # -- pipeline steps, memoized -----------------------------------------
 
@@ -77,9 +84,11 @@ class CachedWorkloadRun(WorkloadRun):
         )
 
 
-def make_run(workload: Workload, cache_dir=None) -> WorkloadRun:
+def make_run(
+    workload: Workload, cache_dir=None, engine: str = "compiled"
+) -> WorkloadRun:
     """Build a run, cached when a cache directory (or cache) is given."""
     if cache_dir is None:
-        return WorkloadRun(workload)
+        return WorkloadRun(workload, engine=engine)
     cache = cache_dir if isinstance(cache_dir, ArtifactCache) else ArtifactCache(cache_dir)
-    return CachedWorkloadRun(workload, cache)
+    return CachedWorkloadRun(workload, cache, engine=engine)

@@ -51,6 +51,22 @@ class BallLarusNumbering:
         self._edge_inc, self._final_offset = self._compute_increments()
         self.start_vertices = path_start_vertices(cfg, recording)
 
+    @classmethod
+    def for_cfg(cls, cfg: Cfg, recording: frozenset[Edge]) -> "BallLarusNumbering":
+        """A numbering for ``(cfg, recording)``, cached on the cfg.
+
+        The numbering is deterministic given its inputs, so every consumer
+        of the same cfg (train run, ref run, both engines, cached sweeps)
+        can share one instance instead of recomputing the DAG recursion.
+        """
+        cache = cfg.__dict__.setdefault("_numbering_cache", {})
+        key = recording
+        numbering = cache.get(key)
+        if numbering is None:
+            numbering = cls(cfg, recording)
+            cache[key] = numbering
+        return numbering
+
     # -- numbering ----------------------------------------------------------
 
     def _compute_num_paths(self) -> dict[Vertex, int]:

@@ -303,3 +303,85 @@ class TestTaint:
         assert both.profiles["main"] == both.trace_profiles["main"]
         with pytest.raises(ValueError):
             run_module(m, profile_mode="wibble")
+
+
+def loop_module():
+    b = IRBuilder("main", ["n"])
+    b.block("entry")
+    b.assign("i", 0)
+    b.jump("loop")
+    b.block("loop")
+    b.binop("c", "lt", "i", "n")
+    b.branch("c", "body", "done")
+    b.block("body")
+    b.binop("i", "add", "i", 1)
+    b.jump("loop")
+    b.block("done")
+    b.ret()
+    return module_of(b.finish())
+
+
+class TestRecursionLimit:
+    def test_limit_restored_after_run(self):
+        import sys
+
+        b = IRBuilder("main")
+        b.block("entry")
+        b.ret()
+        m = module_of(b.finish())
+        saved = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(1500)
+            run_module(m)
+            assert sys.getrecursionlimit() == 1500
+        finally:
+            sys.setrecursionlimit(saved)
+
+    def test_limit_restored_after_trap(self):
+        import sys
+
+        b = IRBuilder("main")
+        b.block("entry")
+        b.binop("x", "add", "ghost", 1)
+        b.ret("x")
+        m = module_of(b.finish())
+        saved = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(1500)
+            with pytest.raises(Trap):
+                run_module(m)
+            assert sys.getrecursionlimit() == 1500
+        finally:
+            sys.setrecursionlimit(saved)
+
+    def test_higher_existing_limit_untouched(self):
+        import sys
+
+        b = IRBuilder("main")
+        b.block("entry")
+        b.ret()
+        m = module_of(b.finish())
+        saved = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(9000)
+            run_module(m)
+            assert sys.getrecursionlimit() == 9000
+        finally:
+            sys.setrecursionlimit(saved)
+
+
+class TestProfileCrossValidation:
+    def test_both_mode_agrees_on_retreating_edge(self):
+        # The loop's back edge is a retreating (recording) edge, so each
+        # iteration terminates one Ball-Larus path; the efficient profiler
+        # must agree with the trace-splitting oracle path-for-path.
+        from repro.ir.cfg import Cfg
+        from repro.profiles import recording_edges
+
+        m = loop_module()
+        cfg = Cfg.from_function(m.functions["main"])
+        assert ("body", "loop") in recording_edges(cfg)
+        result = run_module(m, args=[3], profile_mode="both")
+        assert result.profiles["main"] == result.trace_profiles["main"]
+        assert result.profiles["main"].num_distinct >= 3
+        assert result.profiles["main"].total_count >= 4

@@ -4,6 +4,7 @@ splitting."""
 import pytest
 from hypothesis import given, settings
 
+from repro.interp import BallLarusProfiler
 from repro.ir import Cfg, ENTRY, EXIT
 from repro.profiles import (
     BLPath,
@@ -13,6 +14,7 @@ from repro.profiles import (
     recording_edges,
     split_trace,
 )
+from repro.profiles.ball_larus import BallLarusNumbering
 
 from conftest import random_cfgs
 
@@ -169,3 +171,58 @@ class TestSplitTrace:
         trace = [ENTRY, "a", "b", "d", EXIT]
         prof = profile_from_traces([trace, trace], rec)
         assert prof.count(BLPath(("a", "b", "d", EXIT))) == 2
+
+
+class TestBallLarusProfilerEdgeCases:
+    def test_leave_with_no_edges_traversed(self):
+        # An activation that enters and leaves without traversing any edge
+        # (e.g. it trapped before the virtual entry edge) records nothing.
+        cfg = loop_cfg()
+        prof = BallLarusProfiler(cfg, recording_edges(cfg))
+        prof.enter()
+        prof.leave()
+        assert prof.raw_counts() == {}
+        assert prof.profile() == PathProfile()
+
+    def test_activation_trapping_mid_path(self):
+        # An activation aborted between recording edges (a trap mid-path)
+        # keeps every completed path but discards the one in flight.
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        prof = BallLarusProfiler(cfg, rec)
+        prof.enter()
+        prof.edge(ENTRY, "a")  # recording: opens the first path
+        prof.edge("a", "b")
+        prof.edge("b", "c")
+        prof.edge("c", "b")  # retreating (recording): flushes a-b-c-b
+        prof.edge("b", "c")  # a new path is in flight...
+        prof.leave()  # ...when the activation dies
+        profile = prof.profile()
+        assert profile.total_count == 1
+        assert profile.count(BLPath(("a", "b", "c", "b"))) == 1
+        # The profiler is reusable for the next activation afterwards.
+        prof.enter()
+        prof.edge(ENTRY, "a")
+        prof.edge("a", "b")
+        prof.edge("b", "d")
+        prof.edge("d", EXIT)
+        prof.leave()
+        assert prof.profile().count(BLPath(("a", "b", "d", EXIT))) == 1
+
+    def test_first_edge_must_be_recording(self):
+        cfg = loop_cfg()
+        prof = BallLarusProfiler(cfg, recording_edges(cfg))
+        prof.enter()
+        with pytest.raises(ValueError, match="non-recording"):
+            prof.edge("a", "b")
+
+    def test_shared_numbering_is_used_and_cached(self):
+        cfg = loop_cfg()
+        rec = recording_edges(cfg)
+        numbering = BallLarusNumbering.for_cfg(cfg, rec)
+        # for_cfg memoizes per (cfg, recording)...
+        assert BallLarusNumbering.for_cfg(cfg, rec) is numbering
+        # ...an explicitly passed numbering is adopted as-is...
+        assert BallLarusProfiler(cfg, rec, numbering=numbering).numbering is numbering
+        # ...and the default constructor path hits the same cache.
+        assert BallLarusProfiler(cfg, rec).numbering is numbering
