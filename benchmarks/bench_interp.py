@@ -13,6 +13,7 @@ import time
 from repro.evaluation import format_table
 from repro.frontend import compile_program
 from repro.interp import Interpreter
+from repro.obs import capture
 from repro.workloads import (
     get_workload,
     running_example_module,
@@ -23,6 +24,12 @@ from conftest import once
 
 ENGINES = ("reference", "compiled")
 MIN_LI95_SPEEDUP = 3.0
+#: The disabled-observability default (what every test and benchmark runs
+#: under) may cost at most this fraction of throughput relative to a run
+#: with full tracing+metrics enabled.  Disabled instrumentation being *no
+#: faster* than enabled bounds its overhead from above: the per-run span
+#: and counter work is the only difference between the two configurations.
+MAX_OBS_OFF_REGRESSION = 0.05
 
 
 def _best_of(n, fn):
@@ -80,6 +87,28 @@ def compute_bench_interp():
     return cases
 
 
+def compute_bench_obs_overhead():
+    """Compiled-engine li95 throughput with observability disabled (the
+    process default) vs. enabled (a full tracer + registry installed)."""
+    li95 = get_workload("li95")
+    module = compile_program(li95.source)
+
+    def measure():
+        return _measure(module, li95.ref_args, li95.ref_inputs, "compiled")
+
+    disabled = measure()
+    with capture():
+        enabled = measure()
+    return {
+        "disabled": disabled,
+        "enabled": enabled,
+        "disabled_over_enabled": (
+            disabled["instructions_per_second"]
+            / enabled["instructions_per_second"]
+        ),
+    }
+
+
 def test_bench_interp(benchmark, record, record_json):
     cases = once(benchmark, compute_bench_interp)
     rows = []
@@ -116,4 +145,16 @@ def test_bench_interp(benchmark, record, record_json):
         f"compiled engine is only "
         f"{li95['compiled']['speedup']:.2f}x the reference on li95 "
         f"(need >= {MIN_LI95_SPEEDUP}x)"
+    )
+
+
+def test_bench_obs_overhead(benchmark, record_json):
+    data = once(benchmark, compute_bench_obs_overhead)
+    record_json("BENCH_obs_overhead", data)
+    off = data["disabled"]["instructions_per_second"]
+    on = data["enabled"]["instructions_per_second"]
+    assert off >= (1 - MAX_OBS_OFF_REGRESSION) * on, (
+        f"disabled observability runs at {off / 1e6:.2f} M instr/s vs "
+        f"{on / 1e6:.2f} M instr/s enabled — the off-by-default "
+        f"instrumentation costs more than {MAX_OBS_OFF_REGRESSION:.0%}"
     )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from .core import run_qualified
@@ -28,6 +29,22 @@ from .ir import validate_module
 from .ir.dot import cfg_to_dot, traced_to_dot
 from .opt.driver import optimize_module
 from .profiles.serialize import dumps_profiles, loads_profiles
+
+
+@contextmanager
+def _trace_capture(args: argparse.Namespace):
+    """Honor ``--trace-out``: run the command body under enabled
+    observability globals and dump the trace as JSONL afterwards."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        yield
+        return
+    from .obs import capture, write_trace_jsonl
+
+    with capture() as (tracer, registry):
+        yield
+    write_trace_jsonl(trace_out, tracer, registry)
+    print(f"# trace written to {trace_out}", file=sys.stderr)
 
 
 def _parse_inputs(pairs: Sequence[str]) -> dict[str, list[int]]:
@@ -59,9 +76,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    module = _load_module(args.file)
-    interp = Interpreter(module, profile_mode="bl", engine=args.engine)
-    result = interp.run(args.args, _parse_inputs(args.input))
+    with _trace_capture(args):
+        module = _load_module(args.file)
+        interp = Interpreter(module, profile_mode="bl", engine=args.engine)
+        result = interp.run(args.args, _parse_inputs(args.input))
     for values in result.output:
         print(" ".join(str(v) for v in values))
     print(f"# return value : {result.return_value}", file=sys.stderr)
@@ -128,16 +146,18 @@ def cmd_dot(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     from .evaluation import WorkloadRun, format_table
+    from .obs import render_span_tree
     from .workloads import WORKLOAD_NAMES, get_workload
 
     if args.workload not in WORKLOAD_NAMES:
         raise SystemExit(
             f"unknown workload {args.workload!r}; choose from {WORKLOAD_NAMES}"
         )
-    run = WorkloadRun(get_workload(args.workload), engine=args.engine)
-    agg = run.aggregate_classification(args.ca, args.cr)
-    orig, hpg, red = run.graph_sizes(args.ca, args.cr)
-    row = run.table2(args.ca, args.cr)
+    with _trace_capture(args):
+        run = WorkloadRun(get_workload(args.workload), engine=args.engine)
+        agg = run.aggregate_classification(args.ca, args.cr)
+        orig, hpg, red = run.graph_sizes(args.ca, args.cr)
+        row = run.table2(args.ca, args.cr)
     rows = [
         ["CFG nodes", run.cfg_nodes],
         ["executed paths (train)", run.executed_paths],
@@ -151,8 +171,6 @@ def cmd_report(args: argparse.Namespace) -> int:
         ["speedup", f"{row.speedup:.3f}x"],
         ["engine", run.engine],
     ]
-    for stage, seconds in run.timings.items():
-        rows.append([f"{stage} time", f"{seconds * 1000:.1f} ms"])
     print(
         format_table(
             ["metric", "value"],
@@ -160,6 +178,11 @@ def cmd_report(args: argparse.Namespace) -> int:
             title=f"{args.workload} @ CA={args.ca}, CR={args.cr}",
         )
     )
+    # Stage timings come from the run's spans now, rendered by the shared
+    # exporter rather than ad-hoc rows.
+    print()
+    print("stage spans:")
+    print(render_span_tree(run.tracer.spans(), top=3))
     return 0
 
 
@@ -182,10 +205,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(f"--cache-dir {args.cache_dir!r} is not a directory")
     ca_values = tuple(args.ca) if args.ca else None
     driver = ParallelDriver(jobs=args.jobs, cache_dir=args.cache_dir, cr=args.cr)
-    if ca_values is None:
-        result = driver.sweep(workloads)
-    else:
-        result = driver.sweep(workloads, ca_values)
+    with _trace_capture(args):
+        if ca_values is None:
+            result = driver.sweep(workloads)
+        else:
+            result = driver.sweep(workloads, ca_values)
     artifacts = result.artifacts()
     if args.out:
         import os
@@ -203,6 +227,53 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"# jobs          : {args.jobs}", file=sys.stderr)
     print(f"# cache         : {args.cache_dir or '(in-memory)'}", file=sys.stderr)
     print(f"# cache activity: {result.cache_stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import capture, render_trace_report, write_trace_jsonl
+    from .pipeline.cached_run import make_run
+    from .workloads import WORKLOAD_NAMES, get_workload
+
+    name = args.workload
+    if name is None:
+        if not args.self_check:
+            raise SystemExit("trace: give a workload name (or --self-check)")
+        name = "compress95"
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        )
+    with capture() as (tracer, registry):
+        run = make_run(get_workload(name), args.cache_dir, engine=args.engine)
+        run.aggregate_classification(args.ca, args.cr)
+    print(render_trace_report(tracer, registry, top=args.top))
+    if args.trace_out:
+        write_trace_jsonl(args.trace_out, tracer, registry)
+        print(f"# trace written to {args.trace_out}", file=sys.stderr)
+    if args.self_check:
+        required = {
+            "workload.compile",
+            "workload.train_run",
+            "workload.ref_run",
+            "workload.qualify",
+        }
+        names = {span.name for span in tracer.spans()}
+        counter_total = sum(registry.snapshot()["counters"].values())
+        problems = []
+        if not required <= names:
+            problems.append(f"missing spans: {sorted(required - names)}")
+        if counter_total <= 0:
+            problems.append("no counter increments recorded")
+        for problem in problems:
+            print(f"# self-check FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"# self-check OK: {len(tracer.spans())} spans, "
+            f"{counter_total} counter increments",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -229,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="compiled",
         help="execution engine (compiled = block-compiled fast path)",
     )
+    _add_trace_out(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("optimize", help="path-qualified optimization")
@@ -258,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="compiled",
         help="execution engine for the profiling runs",
     )
+    _add_trace_out(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -285,9 +358,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent artifact cache (omit for in-memory only)",
     )
     p.add_argument("--out", metavar="DIR", help="write artifacts here")
+    _add_trace_out(p)
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "trace",
+        help="run one workload under observability; print the span-tree "
+        "report and metric counters",
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        help="workload name (defaults to compress95 with --self-check)",
+    )
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine for the profiling runs",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache (omit for uncached)",
+    )
+    p.add_argument(
+        "--top", type=int, default=5, help="length of the slowest-span list"
+    )
+    p.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify the expected stage spans and counters were recorded "
+        "(CI smoke test)",
+    )
+    _add_trace_out(p)
+    p.set_defaults(func=cmd_trace)
+
     return parser
+
+
+def _add_trace_out(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the command's spans and metrics as JSONL",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -16,11 +16,11 @@ to the baseline, exactly as in the paper's experiments.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..automaton.qualification import QualificationAutomaton
+from ..obs import Tracer, get_metrics, get_tracer
 from ..dataflow.graph_view import GraphView
 from ..dataflow.wegman_zadek import CondConstResult, analyze
 from ..ir.cfg import Cfg, Edge
@@ -110,6 +110,29 @@ class QualifiedAnalysis:
         return sum(self.timings.values())
 
 
+#: Vertex-count blow-up relative to the original CFG (paper Figure 11).
+_BLOWUP_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0)
+
+
+def _emit_blowup_metrics(result: "QualifiedAnalysis", automaton, hpg, reduction) -> None:
+    """Record hot-path-graph growth and automaton size for one traced
+    routine (no-ops when the metrics registry is disabled)."""
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    metrics.counter("qualified_traced_routines").inc()
+    metrics.counter("qualified_hot_paths").inc(len(result.hot_paths))
+    metrics.counter("qualified_automaton_states").inc(automaton.num_states)
+    orig = result.original_size
+    if orig:
+        metrics.histogram(
+            "hpg_blowup_factor", buckets=_BLOWUP_BUCKETS
+        ).observe(hpg.num_real_vertices / orig)
+        metrics.histogram(
+            "reduced_blowup_factor", buckets=_BLOWUP_BUCKETS
+        ).observe(reduction.reduced.num_real_vertices / orig)
+
+
 def block_sizes_of(fn: Function) -> dict:
     """Instruction count per CFG vertex (0 for the virtual vertices)."""
     return {label: block.size for label, block in fn.blocks.items()}
@@ -134,10 +157,22 @@ def run_qualified(
         recording = recording_edges(cfg)
     block_sizes = block_sizes_of(fn)
 
+    # Phases are timed through spans.  With observability on they land in
+    # the global trace (nested under the caller's span); with it off a
+    # throwaway local tracer keeps the ``timings`` dict populated.  Only
+    # durations enter QualifiedAnalysis, which must stay picklable for the
+    # artifact cache.
+    tr = get_tracer()
+    if not tr.enabled:
+        tr = Tracer()
     timings: dict[str, float] = {}
-    t0 = time.perf_counter()
-    baseline = analyze(GraphView.from_function(fn, cfg))
-    timings["baseline"] = time.perf_counter() - t0
+
+    def phase(name: str):
+        return tr.span(f"qualified.{name}", routine=fn.name)
+
+    with phase("baseline") as span:
+        baseline = analyze(GraphView.from_function(fn, cfg))
+    timings["baseline"] = span.duration
 
     result = QualifiedAnalysis(
         function=fn,
@@ -156,30 +191,33 @@ def run_qualified(
     if not hot_paths:
         return result
 
-    t0 = time.perf_counter()
-    automaton = QualificationAutomaton(recording, hot_paths)
-    timings["automaton"] = time.perf_counter() - t0
+    with phase("automaton") as span:
+        automaton = QualificationAutomaton(recording, hot_paths)
+    timings["automaton"] = span.duration
 
-    t0 = time.perf_counter()
-    hpg = trace(fn, cfg, recording, automaton)
-    timings["tracing"] = time.perf_counter() - t0
+    with phase("tracing") as span:
+        hpg = trace(fn, cfg, recording, automaton)
+    timings["tracing"] = span.duration
+    span.set(hpg_vertices=hpg.num_real_vertices)
 
-    t0 = time.perf_counter()
-    hpg_profile = translate_profile(train_profile, hpg)
-    timings["profile_translation"] = time.perf_counter() - t0
+    with phase("profile_translation") as span:
+        hpg_profile = translate_profile(train_profile, hpg)
+    timings["profile_translation"] = span.duration
 
-    t0 = time.perf_counter()
-    hpg_analysis = analyze(hpg.view())
-    timings["hpg_analysis"] = time.perf_counter() - t0
+    with phase("hpg_analysis") as span:
+        hpg_analysis = analyze(hpg.view())
+    timings["hpg_analysis"] = span.duration
 
-    t0 = time.perf_counter()
-    reduction = reduce_hpg(hpg, hpg_analysis, hpg_profile, cr)
-    timings["reduction"] = time.perf_counter() - t0
+    with phase("reduction") as span:
+        reduction = reduce_hpg(hpg, hpg_analysis, hpg_profile, cr)
+    timings["reduction"] = span.duration
 
-    t0 = time.perf_counter()
-    reduced_profile = reduce_profile(hpg_profile, reduction.reduced)
-    reduced_analysis = analyze(reduction.reduced.view())
-    timings["reduced_analysis"] = time.perf_counter() - t0
+    with phase("reduced_analysis") as span:
+        reduced_profile = reduce_profile(hpg_profile, reduction.reduced)
+        reduced_analysis = analyze(reduction.reduced.view())
+    timings["reduced_analysis"] = span.duration
+
+    _emit_blowup_metrics(result, automaton, hpg, reduction)
 
     result.automaton = automaton
     result.hpg = hpg

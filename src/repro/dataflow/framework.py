@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Generic, Hashable, Optional, TypeVar
 
 from ..ir.basic_block import BasicBlock
+from ..obs import get_metrics, get_tracer
 from .graph_view import GraphView
 
 L = TypeVar("L")
@@ -97,6 +98,9 @@ class SolverStats:
     visits_by_vertex: dict = field(default_factory=dict)
     #: Largest worklist observed (sweep width for round_robin).
     peak_worklist: int = 0
+    #: Worklist insertions, including the initial seeding (0 for the
+    #: sweep-based round_robin strategy, which has no worklist).
+    pushes: int = 0
 
     def count(self, v: Vertex) -> int:
         self.visits += 1
@@ -200,6 +204,9 @@ def solve(
     def relax(v: Vertex) -> bool:
         """Recompute ``v``'s input and output; True if the output changed."""
         if max_visits is not None and stats.count(v) > max_visits:
+            get_metrics().counter(
+                "solver_budget_exceeded", strategy=strategy
+            ).inc()
             raise SolverBudgetExceeded(
                 f"vertex {v!r} relaxed more than {max_visits} times "
                 f"(strategy={strategy})"
@@ -226,40 +233,74 @@ def solve(
         value_out[v] = new_out
         return True
 
-    if strategy == "round_robin":
-        order = list(cfg.vertices)
-        stats.peak_worklist = len(order)
-        changed = True
-        while changed:
-            changed = False
-            for v in order:
+    with get_tracer().span(
+        "dataflow.solve",
+        strategy=strategy,
+        direction=problem.direction,
+        vertices=len(value_in),
+    ) as span:
+        if strategy == "round_robin":
+            order = list(cfg.vertices)
+            stats.peak_worklist = len(order)
+            changed = True
+            while changed:
+                changed = False
+                for v in order:
+                    if relax(v):
+                        changed = True
+        elif strategy == "lifo":
+            worklist = list(cfg.vertices)
+            on_list = set(worklist)
+            stats.pushes = len(worklist)
+            while worklist:
+                stats.peak_worklist = max(stats.peak_worklist, len(worklist))
+                v = worklist.pop()
+                on_list.discard(v)
                 if relax(v):
-                    changed = True
-    elif strategy == "lifo":
-        worklist = list(cfg.vertices)
-        on_list = set(worklist)
-        while worklist:
-            stats.peak_worklist = max(stats.peak_worklist, len(worklist))
-            v = worklist.pop()
-            on_list.discard(v)
-            if relax(v):
-                for w in next_of(v):
-                    if w not in on_list:
-                        worklist.append(w)
-                        on_list.add(w)
-    else:  # rpo priority worklist
-        prio = priority_order(cfg, forward)
-        heap: list[tuple[int, Vertex]] = [(prio[v], v) for v in cfg.vertices]
-        heapq.heapify(heap)
-        on_list = set(cfg.vertices)
-        while heap:
-            stats.peak_worklist = max(stats.peak_worklist, len(heap))
-            _, v = heapq.heappop(heap)
-            on_list.discard(v)
-            if relax(v):
-                for w in next_of(v):
-                    if w not in on_list:
-                        heapq.heappush(heap, (prio[w], w))
-                        on_list.add(w)
+                    for w in next_of(v):
+                        if w not in on_list:
+                            worklist.append(w)
+                            on_list.add(w)
+                            stats.pushes += 1
+        else:  # rpo priority worklist
+            prio = priority_order(cfg, forward)
+            heap: list[tuple[int, Vertex]] = [(prio[v], v) for v in cfg.vertices]
+            heapq.heapify(heap)
+            on_list = set(cfg.vertices)
+            stats.pushes = len(heap)
+            while heap:
+                stats.peak_worklist = max(stats.peak_worklist, len(heap))
+                _, v = heapq.heappop(heap)
+                on_list.discard(v)
+                if relax(v):
+                    for w in next_of(v):
+                        if w not in on_list:
+                            heapq.heappush(heap, (prio[w], w))
+                            on_list.add(w)
+                            stats.pushes += 1
+        span.set(visits=stats.visits)
 
+    _emit_solver_metrics(stats, max_visits)
     return Solution(value_in, value_out, stats if collect_stats else None)
+
+
+#: Relaxations per vertex at the fixpoint; >8 on these small graphs means a
+#: pathological iteration order worth investigating.
+_VISIT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _emit_solver_metrics(stats: SolverStats, max_visits: Optional[int]) -> None:
+    """Publish one solve call's work accounting (no-op when metrics are
+    disabled, so the solver costs nothing extra in normal runs)."""
+    metrics = get_metrics()
+    if not metrics.enabled:
+        return
+    labels = {"strategy": stats.strategy}
+    metrics.counter("solver_solves", **labels).inc()
+    metrics.counter("solver_visits", **labels).inc(stats.visits)
+    metrics.counter("solver_pushes", **labels).inc(stats.pushes)
+    metrics.histogram(
+        "solver_max_visits_per_vertex", buckets=_VISIT_BUCKETS, **labels
+    ).observe(stats.max_visits_per_vertex)
+    if max_visits is not None:
+        metrics.gauge("solver_visit_budget", **labels).set(max_visits)

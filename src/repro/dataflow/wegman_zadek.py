@@ -20,6 +20,7 @@ from typing import Hashable, Optional
 from ..ir.basic_block import BasicBlock
 from ..ir.cfg import Edge
 from ..ir.instructions import Branch, Jump, Ret
+from ..obs import get_metrics
 from .graph_view import GraphView
 from .lattice import (
     BOT,
@@ -116,10 +117,12 @@ def analyze(view: GraphView, entry_env: Optional[ConstEnv] = None) -> CondConstR
     executable: set[Edge] = set()
     worklist: list[Vertex] = [cfg.entry]
     on_list: set[Vertex] = {cfg.entry}
+    visits = 0
 
     while worklist:
         v = worklist.pop()
         on_list.discard(v)
+        visits += 1
         env = env_in.get(v, UNREACHABLE)
         if env is UNREACHABLE:
             continue
@@ -143,6 +146,12 @@ def analyze(view: GraphView, entry_env: Optional[ConstEnv] = None) -> CondConstR
                 if w not in on_list:
                     worklist.append(w)
                     on_list.add(w)
+
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("wz_analyses").inc()
+        metrics.counter("wz_visits").inc(visits)
+        metrics.counter("wz_executable_edges").inc(len(executable))
 
     return CondConstResult(view, env_in, frozenset(executable))
 

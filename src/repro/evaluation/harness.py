@@ -19,11 +19,11 @@ costs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..core.qualified import QualifiedAnalysis, run_qualified
+from ..obs import Span, Tracer, get_tracer
 from ..frontend.lower import compile_program
 from ..interp.interpreter import Interpreter, RunResult
 from ..ir.function import Module
@@ -82,31 +82,56 @@ class WorkloadRun:
     processes and sessions without re-implementing any of the metrics below.
     """
 
-    def __init__(self, workload: Workload, engine: str = "compiled") -> None:
+    def __init__(
+        self,
+        workload: Workload,
+        engine: str = "compiled",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if engine not in ("reference", "compiled"):
             raise ValueError(f"bad engine {engine!r}")
         self.workload = workload
         self.engine = engine
-        #: Wall-clock seconds per stage, mirroring the per-phase dict of
-        #: :func:`repro.core.qualified.run_qualified` (keys: ``compile``,
-        #: ``train_run``, ``ref_run``).
-        self.timings: dict[str, float] = {}
-        t0 = time.perf_counter()
-        self.module: Module = self._compile_module()
-        validate_module(self.module)
-        self.timings["compile"] = time.perf_counter() - t0
+        # Stage timings are measured through spans.  When observability is
+        # on, the stages land in the global trace; when it is off, a private
+        # always-enabled tracer keeps ``timings`` real without publishing
+        # anything.
+        tr = tracer if tracer is not None else get_tracer()
+        if not tr.enabled:
+            tr = Tracer()
+        self.tracer = tr
+        self._stage_spans: dict[str, Span] = {}
 
-        t0 = time.perf_counter()
-        self.train: RunResult = self._run_train()
-        self.timings["train_run"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        self.ref: RunResult = self._run_ref()
-        self.timings["ref_run"] = time.perf_counter() - t0
+        with tr.span("workload.compile", workload=workload.name) as span:
+            self.module: Module = self._compile_module()
+            validate_module(self.module)
+        self._stage_spans["compile"] = span
+
+        with tr.span(
+            "workload.train_run", workload=workload.name, engine=engine
+        ) as span:
+            self.train: RunResult = self._run_train()
+        span.set(instructions=self.train.instr_count)
+        self._stage_spans["train_run"] = span
+
+        with tr.span(
+            "workload.ref_run", workload=workload.name, engine=engine
+        ) as span:
+            self.ref: RunResult = self._run_ref()
+        span.set(instructions=self.ref.instr_count)
+        self._stage_spans["ref_run"] = span
 
         self._qualified: dict[tuple[float, float], dict[str, QualifiedAnalysis]] = {}
         self._classified: dict[
             tuple[float, float], dict[str, ConstantClassification]
         ] = {}
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Wall-clock seconds per stage (keys: ``compile``, ``train_run``,
+        ``ref_run``) — a view derived from the stage spans, kept for
+        compatibility with pre-observability consumers."""
+        return {name: span.duration for name, span in self._stage_spans.items()}
 
     @property
     def compile_time(self) -> float:
@@ -154,7 +179,10 @@ class WorkloadRun:
         """Per-routine pipeline results at the given coverage, cached."""
         key = (ca, cr)
         if key not in self._qualified:
-            self._qualified[key] = self._compute_qualified(ca, cr)
+            with self.tracer.span(
+                "workload.qualify", workload=self.workload.name, ca=ca, cr=cr
+            ):
+                self._qualified[key] = self._compute_qualified(ca, cr)
         return self._qualified[key]
 
     def classification(
@@ -163,12 +191,16 @@ class WorkloadRun:
         """Per-routine constant classification against the ref profile."""
         key = (ca, cr)
         if key not in self._classified:
-            self._classified[key] = {
-                name: classify_constants(
-                    qa, self.ref_profile(name), self.ref.site_stats
-                )
-                for name, qa in self.qualified(ca, cr).items()
-            }
+            qualified = self.qualified(ca, cr)
+            with self.tracer.span(
+                "workload.classify", workload=self.workload.name, ca=ca, cr=cr
+            ):
+                self._classified[key] = {
+                    name: classify_constants(
+                        qa, self.ref_profile(name), self.ref.site_stats
+                    )
+                    for name, qa in qualified.items()
+                }
         return self._classified[key]
 
     # -- aggregate metrics ----------------------------------------------------
@@ -291,8 +323,14 @@ class WorkloadRun:
 
         Raises if either build changes observable behaviour.
         """
-        base = self.build_base_module()
-        optimized = self.build_optimized_module(ca, cr)
+        with self.tracer.span(
+            "workload.build_base", workload=self.workload.name
+        ):
+            base = self.build_base_module()
+        with self.tracer.span(
+            "workload.build_optimized", workload=self.workload.name, ca=ca, cr=cr
+        ):
+            optimized = self.build_optimized_module(ca, cr)
         base_run = Interpreter(
             base, profile_mode=None, track_sites=False, engine=self.engine
         ).run(self.workload.ref_args, self.workload.ref_inputs)

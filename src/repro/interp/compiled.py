@@ -77,6 +77,7 @@ from ..ir.instructions import (
 )
 from ..ir.operands import Const, Operand, Var
 from ..ir.ops import BINOPS, UNOPS, eval_binop, eval_unop
+from ..obs import get_metrics
 from ..profiles.ball_larus import BallLarusNumbering
 from ..profiles.path_profile import PathProfile
 from .cost import CostModel
@@ -376,6 +377,23 @@ class CompiledModule:
         }
         #: Site ids in allocation (program) order; index = compile-time id.
         self.site_keys: tuple[Site, ...] = tuple(site_index)
+
+        # Lowering-volume metrics (once per CompiledModule, so the run
+        # hot loop below stays untouched by observability).
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("interp_functions_lowered").inc(len(self.functions))
+            metrics.counter("interp_blocks_lowered").inc(
+                sum(len(cf.labels) for cf in self.functions.values())
+            )
+            metrics.counter("interp_microops_lowered").inc(
+                sum(
+                    len(block)
+                    for cf in self.functions.values()
+                    for block in cf.ops
+                )
+            )
+            metrics.counter("interp_sites_tracked").inc(len(self.site_keys))
 
     def run(
         self,

@@ -39,6 +39,7 @@ from ..ir.instructions import (
 )
 from ..ir.operands import Const, Operand, Var
 from ..ir.ops import eval_binop, eval_unop
+from ..obs import get_metrics, get_tracer
 from ..profiles.ball_larus import BallLarusNumbering
 from ..profiles.path_profile import PathProfile
 from ..profiles.recording import recording_edges
@@ -166,16 +167,19 @@ class Interpreter:
         if engine == "compiled":
             from .compiled import CompiledModule
 
-            t0 = time.perf_counter()
-            self._compiled = CompiledModule(
-                module,
-                cost_model,
-                track_sites,
-                self._cfgs,
-                self._recording,
-                {name: self.numbering(name) for name in module.functions},
-            )
-            self.engine_compile_time = time.perf_counter() - t0
+            with get_tracer().span(
+                "interp.compile", functions=len(module.functions)
+            ):
+                t0 = time.perf_counter()
+                self._compiled = CompiledModule(
+                    module,
+                    cost_model,
+                    track_sites,
+                    self._cfgs,
+                    self._recording,
+                    {name: self.numbering(name) for name in module.functions},
+                )
+                self.engine_compile_time = time.perf_counter() - t0
 
     def numbering(self, name: str) -> BallLarusNumbering:
         """The Ball–Larus numbering of one routine (constructed once)."""
@@ -208,7 +212,24 @@ class Interpreter:
         if saved_limit < 5000:
             sys.setrecursionlimit(5000)
         try:
-            return self._run(args, inputs or {}, entry_function)
+            # One span and three counter bumps per *run* — never per
+            # instruction — so the disabled-observability path stays on the
+            # <5% overhead budget asserted by benchmarks/bench_interp.py.
+            with get_tracer().span(
+                "interp.run", engine=self.engine, entry=entry_function
+            ) as span:
+                result = self._run(args, inputs or {}, entry_function)
+            span.set(instructions=result.instr_count, cost=result.cost)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("interp_runs", engine=self.engine).inc()
+                metrics.counter(
+                    "interp_instructions", engine=self.engine
+                ).inc(result.instr_count)
+                metrics.counter("interp_cost_cycles", engine=self.engine).inc(
+                    result.cost
+                )
+            return result
         finally:
             if saved_limit < 5000:
                 sys.setrecursionlimit(saved_limit)

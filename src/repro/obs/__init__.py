@@ -1,0 +1,80 @@
+"""Observability: structured tracing, metrics, and exporters.
+
+The pipeline's instrumentation substrate (see ``docs/OBSERVABILITY.md``):
+
+* :class:`Tracer` / :class:`Span` — hierarchical wall-clock spans with a
+  context-manager and decorator API (:mod:`repro.obs.tracer`);
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  (:mod:`repro.obs.metrics`);
+* exporters — JSONL, Prometheus text, and the human span-tree report
+  (:mod:`repro.obs.export`).
+
+Both the tracer and the registry have process-global defaults that start
+*disabled*, so the instrumented library layers cost nothing until a CLI
+flag, a test, or an embedder turns observability on — most conveniently
+with :func:`capture`::
+
+    with capture() as (tracer, registry):
+        run = make_run(workload, cache_dir)
+        run.aggregate_classification(0.97, 0.95)
+    print(render_trace_report(tracer, registry))
+"""
+
+from contextlib import contextmanager
+
+from .export import (
+    metrics_to_prometheus,
+    render_metrics,
+    render_span_tree,
+    render_trace_report,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+from .metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    get_metrics,
+    set_metrics,
+)
+from .tracer import Span, Tracer, get_tracer, set_tracer, traced
+
+
+def observability_enabled() -> bool:
+    """True if either the global tracer or the global registry is on."""
+    return get_tracer().enabled or get_metrics().enabled
+
+
+@contextmanager
+def capture(enabled: bool = True):
+    """Install a fresh enabled tracer + registry as the process globals,
+    yield them, and restore the previous globals on exit."""
+    tracer = Tracer(enabled=enabled)
+    registry = MetricsRegistry(enabled=enabled)
+    prev_tracer = set_tracer(tracer)
+    prev_registry = set_metrics(registry)
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(prev_tracer)
+        set_metrics(prev_registry)
+
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "capture",
+    "diff_snapshots",
+    "get_metrics",
+    "get_tracer",
+    "metrics_to_prometheus",
+    "observability_enabled",
+    "render_metrics",
+    "render_span_tree",
+    "render_trace_report",
+    "set_metrics",
+    "set_tracer",
+    "trace_to_jsonl",
+    "traced",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,247 @@
+"""Exporters: JSONL dumps, Prometheus text format, and the human report.
+
+Three consumers, three formats:
+
+* **JSONL** — one JSON object per line, spans first then metrics, for
+  machine diffing and external trace viewers (``--trace-out PATH``);
+* **Prometheus text** — the standard exposition format, so a scrape target
+  or pushgateway can ingest a run's counters without a client library;
+* **human report** — the per-stage span tree with wall times plus a metric
+  table, what ``repro trace <workload>`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry, get_metrics
+from .tracer import Span, Tracer, get_tracer
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def span_records(spans: Iterable[Span]) -> list[dict]:
+    return [span.to_record() for span in spans]
+
+
+def metric_records(snapshot: Mapping) -> list[dict]:
+    """Flatten a registry snapshot into one record per instrument."""
+    records: list[dict] = []
+    for (name, labels), value in sorted(snapshot.get("counters", {}).items()):
+        records.append(
+            {"type": "counter", "name": name, "labels": dict(labels), "value": value}
+        )
+    for (name, labels), value in sorted(snapshot.get("gauges", {}).items()):
+        records.append(
+            {"type": "gauge", "name": name, "labels": dict(labels), "value": value}
+        )
+    for (name, labels), data in sorted(snapshot.get("histograms", {}).items()):
+        records.append(
+            {
+                "type": "histogram",
+                "name": name,
+                "labels": dict(labels),
+                "buckets": list(data["buckets"]),
+                "counts": list(data["counts"]),
+                "sum": data["sum"],
+                "count": data["count"],
+            }
+        )
+    return records
+
+
+def to_jsonl(records: Iterable[Mapping]) -> str:
+    return "".join(
+        json.dumps(record, sort_keys=True, default=str) + "\n"
+        for record in records
+    )
+
+
+def trace_to_jsonl(
+    tracer: Optional[Tracer] = None, registry: Optional[MetricsRegistry] = None
+) -> str:
+    """Every span and metric of the given (default: global) trace, as JSONL."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_metrics()
+    records = span_records(tracer.spans()) + metric_records(registry.snapshot())
+    return to_jsonl(records)
+
+
+def write_trace_jsonl(
+    path,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    with open(path, "w") as f:
+        f.write(trace_to_jsonl(tracer, registry))
+
+
+# -- Prometheus text format --------------------------------------------------
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def metrics_to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
+    """Render a registry snapshot in the Prometheus exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(full: str, kind: str) -> None:
+        if full not in typed:
+            typed.add(full)
+            lines.append(f"# TYPE {full} {kind}")
+
+    for (name, labels), value in sorted(snapshot.get("counters", {}).items()):
+        full = _prom_name(prefix, name) + "_total"
+        declare(full, "counter")
+        lines.append(f"{full}{_prom_labels(labels)} {_fmt_value(value)}")
+    for (name, labels), value in sorted(snapshot.get("gauges", {}).items()):
+        full = _prom_name(prefix, name)
+        declare(full, "gauge")
+        lines.append(f"{full}{_prom_labels(labels)} {_fmt_value(value)}")
+    for (name, labels), data in sorted(snapshot.get("histograms", {}).items()):
+        full = _prom_name(prefix, name)
+        declare(full, "histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            le = _prom_labels(labels, f'le="{_fmt_value(float(bound))}"')
+            lines.append(f"{full}_bucket{le} {cumulative}")
+        cumulative += data["counts"][-1]
+        inf_labels = _prom_labels(labels, 'le="+Inf"')
+        lines.append(f"{full}_bucket{inf_labels} {cumulative}")
+        lines.append(f"{full}_sum{_prom_labels(labels)} {_fmt_value(data['sum'])}")
+        lines.append(f"{full}_count{_prom_labels(labels)} {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human report ------------------------------------------------------------
+
+#: Sibling spans sharing a name beyond this count render as one aggregate
+#: line — a qualify stage can legitimately contain hundreds of solve spans.
+AGGREGATE_THRESHOLD = 4
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f} ms"
+
+
+def _fmt_attrs(attrs: Mapping, limit: int = 4) -> str:
+    if not attrs:
+        return ""
+    items = list(attrs.items())[:limit]
+    body = ", ".join(f"{k}={v}" for k, v in items)
+    if len(attrs) > limit:
+        body += ", ..."
+    return f"  [{body}]"
+
+
+def render_span_tree(spans: Sequence[Span], top: int = 5) -> str:
+    """The per-stage tree (durations, attributes) plus the top-N slowest.
+
+    Spans whose parent is missing from ``spans`` render as roots, so a
+    partial trace (e.g. one drained mid-run) still produces a report.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {s.span_id: s for s in spans}
+    children: dict[Optional[str], list[Span]] = {}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in by_id else None
+        children.setdefault(parent, []).append(s)
+    for group in children.values():
+        group.sort(key=lambda s: s.start)
+
+    lines: list[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(
+            f"{indent}- {span.name}  {_fmt_ms(span.duration)}"
+            f"{_fmt_attrs(span.attrs)}"
+        )
+        kids = children.get(span.span_id, [])
+        by_name: dict[str, list[Span]] = {}
+        for kid in kids:
+            by_name.setdefault(kid.name, []).append(kid)
+        seen: set[str] = set()
+        for kid in kids:
+            group = by_name[kid.name]
+            if len(group) >= AGGREGATE_THRESHOLD:
+                if kid.name in seen:
+                    continue
+                seen.add(kid.name)
+                total = sum(s.duration for s in group)
+                slowest = max(s.duration for s in group)
+                lines.append(
+                    f"{'  ' * (depth + 1)}- {kid.name} x{len(group)}  "
+                    f"total {_fmt_ms(total)}  (max {_fmt_ms(slowest)})"
+                )
+            else:
+                render(kid, depth + 1)
+
+    for root in children.get(None, []):
+        render(root, 0)
+
+    slowest = sorted(spans, key=lambda s: s.duration, reverse=True)[:top]
+    lines.append("")
+    lines.append(f"top {min(top, len(spans))} slowest spans:")
+    for s in slowest:
+        lines.append(f"  {_fmt_ms(s.duration):>12}  {s.name}{_fmt_attrs(s.attrs)}")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Mapping) -> str:
+    """Counters, gauges and histogram summaries as aligned text lines."""
+    rows: list[tuple[str, str]] = []
+    for (name, labels), value in sorted(snapshot.get("counters", {}).items()):
+        rows.append((f"{name}{_prom_labels(labels)}", _fmt_value(value)))
+    for (name, labels), value in sorted(snapshot.get("gauges", {}).items()):
+        rows.append((f"{name}{_prom_labels(labels)}", _fmt_value(value)))
+    for (name, labels), data in sorted(snapshot.get("histograms", {}).items()):
+        count = data["count"]
+        mean = data["sum"] / count if count else 0.0
+        rows.append(
+            (
+                f"{name}{_prom_labels(labels)}",
+                f"count={count} mean={mean:.2f}",
+            )
+        )
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"  {label.ljust(width)}  {value}" for label, value in rows)
+
+
+def render_trace_report(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    top: int = 5,
+) -> str:
+    """The complete human report: span tree, slowest spans, metric table."""
+    tracer = tracer if tracer is not None else get_tracer()
+    registry = registry if registry is not None else get_metrics()
+    parts = [
+        "== trace ==",
+        render_span_tree(tracer.spans(), top=top),
+        "",
+        "== metrics ==",
+        render_metrics(registry.snapshot()),
+    ]
+    return "\n".join(parts)

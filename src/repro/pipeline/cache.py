@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Optional, Union
 
+from ..obs import get_metrics, get_tracer
+
 #: Bump to invalidate all persisted artifacts (e.g. on IR format changes).
 SCHEMA_VERSION = 1
 
@@ -79,6 +81,9 @@ class CacheStats:
     hits: dict[str, int] = field(default_factory=dict)
     misses: dict[str, int] = field(default_factory=dict)
     stores: dict[str, int] = field(default_factory=dict)
+    #: Artifacts found on disk but unreadable (truncated/stale pickles);
+    #: each one was silently treated as a miss and recomputed.
+    corrupt: dict[str, int] = field(default_factory=dict)
 
     def record_hit(self, kind: str) -> None:
         self.hits[kind] = self.hits.get(kind, 0) + 1
@@ -88,6 +93,9 @@ class CacheStats:
 
     def record_store(self, kind: str) -> None:
         self.stores[kind] = self.stores.get(kind, 0) + 1
+
+    def record_corrupt(self, kind: str) -> None:
+        self.corrupt[kind] = self.corrupt.get(kind, 0) + 1
 
     def computations(self, kinds: Iterable[str]) -> int:
         """How many times the computations behind ``kinds`` actually ran."""
@@ -109,34 +117,41 @@ class CacheStats:
             self.misses[kind] = self.misses.get(kind, 0) + n
         for kind, n in other.stores.items():
             self.stores[kind] = self.stores.get(kind, 0) + n
+        for kind, n in other.corrupt.items():
+            self.corrupt[kind] = self.corrupt.get(kind, 0) + n
 
     def copy(self) -> "CacheStats":
-        return CacheStats(dict(self.hits), dict(self.misses), dict(self.stores))
+        return CacheStats(
+            dict(self.hits),
+            dict(self.misses),
+            dict(self.stores),
+            dict(self.corrupt),
+        )
 
     def diff(self, earlier: "CacheStats") -> "CacheStats":
         """Counts accumulated since ``earlier`` (a previous :meth:`copy`)."""
         out = CacheStats()
-        for kind in set(self.hits) | set(earlier.hits):
-            n = self.hits.get(kind, 0) - earlier.hits.get(kind, 0)
-            if n:
-                out.hits[kind] = n
-        for kind in set(self.misses) | set(earlier.misses):
-            n = self.misses.get(kind, 0) - earlier.misses.get(kind, 0)
-            if n:
-                out.misses[kind] = n
-        for kind in set(self.stores) | set(earlier.stores):
-            n = self.stores.get(kind, 0) - earlier.stores.get(kind, 0)
-            if n:
-                out.stores[kind] = n
+        for field_name in ("hits", "misses", "stores", "corrupt"):
+            mine = getattr(self, field_name)
+            theirs = getattr(earlier, field_name)
+            target = getattr(out, field_name)
+            for kind in set(mine) | set(theirs):
+                n = mine.get(kind, 0) - theirs.get(kind, 0)
+                if n:
+                    target[kind] = n
         return out
 
     def summary(self) -> str:
         kinds = sorted(set(self.hits) | set(self.misses))
-        parts = [
-            f"{kind}: {self.hits.get(kind, 0)} hit / "
-            f"{self.misses.get(kind, 0)} computed"
-            for kind in kinds
-        ]
+        parts = []
+        for kind in kinds:
+            part = (
+                f"{kind}: {self.hits.get(kind, 0)} hit / "
+                f"{self.misses.get(kind, 0)} computed"
+            )
+            if self.corrupt.get(kind):
+                part += f" / {self.corrupt[kind]} corrupt"
+            parts.append(part)
         return "; ".join(parts) if parts else "empty"
 
 
@@ -159,15 +174,19 @@ class ArtifactCache:
     def memo(self, kind: str, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``(kind, key)``, computing on miss."""
         mem_key = (kind, key)
+        metrics = get_metrics()
         if mem_key in self._memory:
             self.stats.record_hit(kind)
+            metrics.counter("cache_hits", kind=kind, level="memory").inc()
             return self._memory[mem_key]
         value = self._load(kind, key)
         if value is not None:
             self.stats.record_hit(kind)
+            metrics.counter("cache_hits", kind=kind, level="disk").inc()
             self._memory[mem_key] = value
             return value
         self.stats.record_miss(kind)
+        metrics.counter("cache_misses", kind=kind).inc()
         value = compute()
         self._memory[mem_key] = value
         self._store(kind, key, value)
@@ -195,7 +214,12 @@ class ArtifactCache:
             return None
         except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
             # A truncated or stale artifact is a miss, never an error: the
-            # recomputation overwrites it atomically below.
+            # recomputation overwrites it atomically below.  It is still an
+            # *event* worth surfacing — a persistently corrupting store is a
+            # deployment problem the counters make visible.
+            self.stats.record_corrupt(kind)
+            get_metrics().counter("cache_corrupt", kind=kind).inc()
+            get_tracer().event("cache.corrupt", kind=kind, path=str(path))
             return None
 
     def _store(self, kind: str, key: str, value: Any) -> None:
@@ -215,3 +239,9 @@ class ArtifactCache:
                 pass
             raise
         self.stats.record_store(kind)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("cache_stores", kind=kind).inc()
+            metrics.counter("cache_store_bytes", kind=kind).inc(
+                path.stat().st_size
+            )

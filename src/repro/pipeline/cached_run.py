@@ -20,6 +20,7 @@ from ..core.qualified import QualifiedAnalysis
 from ..evaluation.harness import Workload, WorkloadRun
 from ..interp.interpreter import RunResult
 from ..ir.function import Module
+from ..obs import get_tracer
 from ..profiles.serialize import fingerprint_profiles
 from .cache import (
     ArtifactCache,
@@ -51,23 +52,32 @@ class CachedWorkloadRun(WorkloadRun):
 
     # -- pipeline steps, memoized -----------------------------------------
 
+    def _memo(self, kind: str, key: str, compute):
+        """One cache lookup, spanned so traces show where a stage's time
+        went (recompute vs. load) and whether it hit."""
+        before = self.cache.stats.hits.get(kind, 0)
+        with get_tracer().span("cache.memo", kind=kind) as span:
+            value = self.cache.memo(kind, key, compute)
+        span.set(hit=self.cache.stats.hits.get(kind, 0) > before)
+        return value
+
     def _compile_module(self) -> Module:
         key = content_key("module", self.workload.source)
-        return self.cache.memo(KIND_MODULE, key, super()._compile_module)
+        return self._memo(KIND_MODULE, key, super()._compile_module)
 
     def _run_train(self) -> RunResult:
         w = self.workload
         key = content_key(
             "train", w.source, list(w.train_args), _inputs_part(w.train_inputs)
         )
-        return self.cache.memo(KIND_TRAIN_RUN, key, super()._run_train)
+        return self._memo(KIND_TRAIN_RUN, key, super()._run_train)
 
     def _run_ref(self) -> RunResult:
         w = self.workload
         key = content_key(
             "ref", w.source, list(w.ref_args), _inputs_part(w.ref_inputs)
         )
-        return self.cache.memo(KIND_REF_RUN, key, super()._run_ref)
+        return self._memo(KIND_REF_RUN, key, super()._run_ref)
 
     def _compute_qualified(
         self, ca: float, cr: float
@@ -79,7 +89,7 @@ class CachedWorkloadRun(WorkloadRun):
             ca,
             cr,
         )
-        return self.cache.memo(
+        return self._memo(
             KIND_QUALIFIED, key, lambda: super(CachedWorkloadRun, self)._compute_qualified(ca, cr)
         )
 

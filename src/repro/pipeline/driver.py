@@ -30,6 +30,16 @@ from typing import Optional, Sequence, Union
 from ..evaluation.harness import CA_SWEEP, DEFAULT_CA, DEFAULT_CR, WorkloadRun
 from ..evaluation.figures import render_series
 from ..evaluation.tables import format_table
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    diff_snapshots,
+    get_metrics,
+    get_tracer,
+    observability_enabled,
+    set_metrics,
+    set_tracer,
+)
 from ..workloads import WORKLOAD_NAMES, get_workload
 from .cache import ArtifactCache, CacheStats
 from .cached_run import make_run
@@ -234,6 +244,46 @@ def _stats_of(run: WorkloadRun) -> CacheStats:
     return cache.stats if isinstance(cache, ArtifactCache) else CacheStats()
 
 
+# -- worker-side observability ----------------------------------------------
+#
+# When the submitting process has observability on, each job carries an
+# ``obs`` flag; the first flagged job a worker sees installs enabled
+# process-global tracer/registry instances.  Every job then ships back the
+# spans finished and the metric *deltas* accumulated since the previous job
+# in that worker, so the parent can fold them in without double counting.
+
+#: Metric snapshot already reported back by this worker process.
+_WORKER_OBS_BASE: Optional[dict] = None
+
+
+def _ensure_worker_obs(enabled: bool) -> bool:
+    """Install enabled obs globals in this worker, once.  Returns whether
+    worker-side observability is active."""
+    global _WORKER_OBS_BASE
+    if not enabled:
+        return observability_enabled()
+    if not get_tracer().enabled:
+        set_tracer(Tracer())
+    if not get_metrics().enabled:
+        set_metrics(MetricsRegistry())
+    if _WORKER_OBS_BASE is None:
+        _WORKER_OBS_BASE = get_metrics().snapshot()
+    return True
+
+
+def _obs_delta(active: bool) -> Optional[tuple[list[dict], dict]]:
+    """This job's span records and metric-snapshot delta, or ``None`` when
+    worker-side observability is off."""
+    global _WORKER_OBS_BASE
+    if not active:
+        return None
+    records = get_tracer().drain_records()
+    current = get_metrics().snapshot()
+    delta = diff_snapshots(current, _WORKER_OBS_BASE or {})
+    _WORKER_OBS_BASE = current
+    return records, delta
+
+
 #: Per-process snapshot of stats already reported back by earlier jobs, so a
 #: worker serving several jobs for one workload never double-reports counts.
 _REPORTED: dict[tuple[str, Optional[str]], CacheStats] = {}
@@ -248,19 +298,23 @@ def _stats_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> Cache
 
 
 def _cell_job(
-    name: str, ca: float, cr: float, cache_dir: Optional[str]
-) -> tuple[str, float, SweepCell, CacheStats]:
-    run = _obtain_run(name, cache_dir)
-    cell = _cell_from_run(run, ca, cr)
-    return name, ca, cell, _stats_delta(name, cache_dir, run)
+    name: str, ca: float, cr: float, cache_dir: Optional[str], obs: bool = False
+) -> tuple[str, float, SweepCell, CacheStats, Optional[tuple[list[dict], dict]]]:
+    active = _ensure_worker_obs(obs)
+    with get_tracer().span("driver.cell", workload=name, ca=ca):
+        run = _obtain_run(name, cache_dir)
+        cell = _cell_from_run(run, ca, cr)
+    return name, ca, cell, _stats_delta(name, cache_dir, run), _obs_delta(active)
 
 
 def _summary_job(
-    name: str, default_ca: float, cr: float, cache_dir: Optional[str]
-) -> tuple[str, WorkloadSummary, CacheStats]:
-    run = _obtain_run(name, cache_dir)
-    summary = _summary_from_run(run, default_ca, cr)
-    return name, summary, _stats_delta(name, cache_dir, run)
+    name: str, default_ca: float, cr: float, cache_dir: Optional[str], obs: bool = False
+) -> tuple[str, WorkloadSummary, CacheStats, Optional[tuple[list[dict], dict]]]:
+    active = _ensure_worker_obs(obs)
+    with get_tracer().span("driver.summary", workload=name):
+        run = _obtain_run(name, cache_dir)
+        summary = _summary_from_run(run, default_ca, cr)
+    return name, summary, _stats_delta(name, cache_dir, run), _obs_delta(active)
 
 
 class ParallelDriver:
@@ -301,10 +355,16 @@ class ParallelDriver:
             cells={},
             summaries={},
         )
-        if self.jobs == 1:
-            self._sweep_serial(result)
-        else:
-            self._sweep_parallel(result)
+        with get_tracer().span(
+            "driver.sweep",
+            workloads=len(workloads),
+            ca_values=len(ca_values),
+            jobs=self.jobs,
+        ):
+            if self.jobs == 1:
+                self._sweep_serial(result)
+            else:
+                self._sweep_parallel(result)
         missing = [
             (name, ca)
             for name in workloads
@@ -319,37 +379,54 @@ class ParallelDriver:
 
     def _sweep_serial(self, result: SweepResult) -> None:
         for name in result.workloads:
-            run = make_run(get_workload(name), self.cache_dir)
-            for ca in result.ca_values:
-                result.cells[(name, ca)] = _cell_from_run(run, ca, self.cr)
-            result.summaries[name] = _summary_from_run(
-                run, self.default_ca, self.cr
-            )
+            with get_tracer().span("driver.workload", workload=name):
+                run = make_run(get_workload(name), self.cache_dir)
+                for ca in result.ca_values:
+                    result.cells[(name, ca)] = _cell_from_run(run, ca, self.cr)
+                result.summaries[name] = _summary_from_run(
+                    run, self.default_ca, self.cr
+                )
             result.cache_stats.merge(_stats_of(run))
 
     # -- process-pool fan-out ----------------------------------------------
 
     def _sweep_parallel(self, result: SweepResult) -> None:
+        tracer = get_tracer()
+        obs = observability_enabled()
+        sweep_span = tracer.current()
+        parent_id = sweep_span.span_id if sweep_span is not None else None
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.jobs
         ) as pool:
             futures = [
-                pool.submit(_cell_job, name, ca, self.cr, self.cache_dir)
+                pool.submit(_cell_job, name, ca, self.cr, self.cache_dir, obs)
                 for name in result.workloads
                 for ca in result.ca_values
             ]
             futures += [
                 pool.submit(
-                    _summary_job, name, self.default_ca, self.cr, self.cache_dir
+                    _summary_job,
+                    name,
+                    self.default_ca,
+                    self.cr,
+                    self.cache_dir,
+                    obs,
                 )
                 for name in result.workloads
             ]
             for future in concurrent.futures.as_completed(futures):
                 payload = future.result()
-                if len(payload) == 4:
-                    name, ca, cell, stats = payload
+                if len(payload) == 5:
+                    name, ca, cell, stats, obs_payload = payload
                     result.cells[(name, ca)] = cell
                 else:
-                    name, summary, stats = payload
+                    name, summary, stats, obs_payload = payload
                     result.summaries[name] = summary
                 result.cache_stats.merge(stats)
+                if obs_payload is not None:
+                    records, metric_delta = obs_payload
+                    if tracer.enabled:
+                        tracer.absorb_records(records, parent_id=parent_id)
+                    metrics = get_metrics()
+                    if metrics.enabled:
+                        metrics.merge_snapshot(metric_delta)

@@ -1,5 +1,7 @@
 """CLI tests: each subcommand invoked through main()."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -218,3 +220,77 @@ class TestBench:
         assert rc == 0
         out = capsys.readouterr().out
         assert "compress95" in out
+
+    def test_bench_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "bench.jsonl"
+        rc = main(
+            [
+                "bench",
+                "--workloads",
+                "compress95",
+                "--ca",
+                "0.97",
+                "--jobs",
+                "1",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "driver.sweep" in names and "workload.compile" in names
+
+
+class TestTrace:
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "gcc95"])
+
+    def test_requires_workload_or_self_check(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_trace_prints_tree_and_metrics(self, capsys):
+        assert main(["trace", "compress95"]) == 0
+        out = capsys.readouterr().out
+        assert "== trace ==" in out
+        assert "- workload.compile" in out
+        assert "- workload.qualify" in out
+        assert "slowest spans:" in out
+        assert "== metrics ==" in out
+        assert "interp_instructions" in out
+
+    def test_trace_out_writes_valid_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["trace", "compress95", "--trace-out", str(trace)])
+        assert rc == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert records, "trace file is empty"
+        types = {r["type"] for r in records}
+        assert types >= {"span", "counter"}
+
+    def test_self_check(self, capsys):
+        assert main(["trace", "--self-check"]) == 0
+        err = capsys.readouterr().err
+        assert "self-check OK" in err
+
+    def test_run_trace_out(self, prog, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        rc = main(
+            ["run", str(prog), "--args", "6", "--trace-out", str(trace)]
+        )
+        assert rc == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "interp.run" in names
+
+    def test_report_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "report.jsonl"
+        rc = main(["report", "compress95", "--trace-out", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stage spans:" in out
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"workload.compile", "workload.qualify"} <= names

@@ -1,0 +1,349 @@
+"""Unit tests for the observability subsystem (``repro.obs``).
+
+Covers the tracer's nesting/timing/thread-safety contracts, the metric
+instruments (histogram bucketing in particular), snapshot merge/diff, and
+the three exporters (JSONL, Prometheus text, human span tree).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    capture,
+    diff_snapshots,
+    get_metrics,
+    get_tracer,
+    metrics_to_prometheus,
+    observability_enabled,
+    render_metrics,
+    render_span_tree,
+    render_trace_report,
+    trace_to_jsonl,
+    traced,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestTracer:
+    def test_span_records_name_timing_attrs(self):
+        tr = Tracer()
+        with tr.span("stage", workload="w") as span:
+            time.sleep(0.001)
+        assert span.finished
+        assert span.duration >= 0.001
+        assert span.attrs == {"workload": "w"}
+        assert tr.spans() == (span,)
+
+    def test_nesting_sets_parent_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                with tr.span("leaf") as leaf:
+                    pass
+            with tr.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert sibling.parent_id == outer.span_id
+        # Finish order: innermost first.
+        assert [s.name for s in tr.spans()] == [
+            "leaf",
+            "inner",
+            "sibling",
+            "outer",
+        ]
+
+    def test_set_merges_attributes(self):
+        tr = Tracer()
+        with tr.span("s", a=1) as span:
+            span.set(b=2)
+        assert span.attrs == {"a": 1, "b": 2}
+
+    def test_exception_annotates_and_propagates(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom") as span:
+                raise ValueError("x")
+        assert span.attrs["error"] == "ValueError"
+        assert span.finished
+
+    def test_event_is_zero_duration(self):
+        tr = Tracer()
+        tr.event("cache.corrupt", kind="module")
+        (span,) = tr.spans()
+        assert span.duration == 0.0
+        assert span.attrs == {"kind": "module"}
+
+    def test_disabled_tracer_is_a_noop(self):
+        tr = Tracer(enabled=False)
+        span = tr.span("ignored", x=1)
+        assert span is NULL_SPAN
+        with span:
+            span.set(y=2)
+        tr.event("also-ignored")
+        assert tr.spans() == ()
+
+    def test_wrap_decorator(self):
+        tr = Tracer()
+
+        @tr.wrap("fn.call")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (span,) = tr.spans()
+        assert span.name == "fn.call"
+
+    def test_traced_decorator_uses_tracer_at_call_time(self):
+        @traced("late.bound")
+        def fn():
+            return 42
+
+        fn()  # global tracer disabled: nothing recorded
+        with capture() as (tracer, _):
+            fn()
+        assert [s.name for s in tracer.spans()] == ["late.bound"]
+
+    def test_drain_and_absorb_reparents_roots(self):
+        worker = Tracer()
+        with worker.span("root"):
+            with worker.span("child"):
+                pass
+        records = worker.drain_records()
+        assert worker.spans() == ()
+
+        parent = Tracer()
+        with parent.span("sweep") as sweep:
+            pass
+        parent.absorb_records(records, parent_id=sweep.span_id)
+        by_name = {s.name: s for s in parent.spans()}
+        assert by_name["root"].parent_id == sweep.span_id
+        # Non-roots keep their original parent.
+        assert by_name["child"].parent_id == by_name["root"].span_id
+
+    def test_span_record_round_trip(self):
+        tr = Tracer()
+        with tr.span("s", k="v") as span:
+            pass
+        clone = Span.from_record(span.to_record())
+        assert clone.name == "s"
+        assert clone.span_id == span.span_id
+        assert clone.attrs == {"k": "v"}
+        assert clone.duration == pytest.approx(span.duration)
+
+    def test_thread_safety(self):
+        tr = Tracer()
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 50
+        barrier = threading.Barrier(threads)
+
+        def work(i):
+            barrier.wait()
+            for _ in range(per_thread):
+                with tr.span(f"thread-{i}"):
+                    registry.counter("work_items").inc()
+
+        workers = [
+            threading.Thread(target=work, args=(i,)) for i in range(threads)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+
+        spans = tr.spans()
+        assert len(spans) == threads * per_thread
+        # Each thread's stack is independent: no span may be parented under
+        # another thread's span.
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is not None:
+                assert by_id[span.parent_id].name == span.name
+        snap = registry.snapshot()
+        assert snap["counters"][("work_items", ())] == threads * per_thread
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="module").inc()
+        reg.counter("hits", kind="module").inc(2)
+        reg.counter("hits", kind="ref-run").inc()
+        reg.gauge("budget").set(64)
+        snap = reg.snapshot()
+        assert snap["counters"][("hits", (("kind", "module"),))] == 3
+        assert snap["counters"][("hits", (("kind", "ref-run"),))] == 1
+        assert snap["gauges"][("budget", ())] == 64
+
+    def test_histogram_bucketing_le_semantics(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 7.0):
+            hist.observe(value)
+        snap = reg.snapshot()["histograms"][("h", ())]
+        # counts[i] is observations with value <= buckets[i]; last is +Inf.
+        assert snap["counts"] == [2, 2, 2, 1]
+        assert snap["count"] == 7
+        assert snap["sum"] == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.9 + 5.0 + 7.0)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(5, 1))
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.histogram("h", buckets=(1, 10)).observe(5)
+        a.gauge("g").set(1)
+
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.counter("only_b").inc()
+        b.histogram("h", buckets=(1, 10)).observe(0.5)
+        b.gauge("g").set(7)
+
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"][("c", ())] == 5
+        assert snap["counters"][("only_b", ())] == 1
+        assert snap["gauges"][("g", ())] == 7  # last writer wins
+        hist = snap["histograms"][("h", ())]
+        assert hist["counts"] == [1, 1, 0]
+        assert hist["count"] == 2
+
+    def test_diff_snapshots_is_the_per_job_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h", buckets=(1,)).observe(0.5)
+        base = reg.snapshot()
+        reg.counter("c").inc(5)
+        reg.histogram("h", buckets=(1,)).observe(3)
+        delta = diff_snapshots(reg.snapshot(), base)
+        assert delta["counters"] == {("c", ()): 5}
+        assert delta["histograms"][("h", ())]["counts"] == [0, 1]
+        # Merging base + delta reproduces the final state.
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(base)
+        rebuilt.merge_snapshot(delta)
+        assert rebuilt.snapshot()["counters"] == reg.snapshot()["counters"]
+
+
+class TestGlobals:
+    def test_globals_start_disabled(self):
+        assert not get_tracer().enabled
+        assert not get_metrics().enabled
+        assert not observability_enabled()
+
+    def test_capture_installs_and_restores(self):
+        prev_tracer, prev_metrics = get_tracer(), get_metrics()
+        with capture() as (tracer, registry):
+            assert get_tracer() is tracer
+            assert get_metrics() is registry
+            assert observability_enabled()
+        assert get_tracer() is prev_tracer
+        assert get_metrics() is prev_metrics
+
+    def test_capture_restores_on_error(self):
+        prev = get_tracer()
+        with pytest.raises(RuntimeError):
+            with capture():
+                raise RuntimeError("x")
+        assert get_tracer() is prev
+
+
+class TestExporters:
+    def _sample(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with tracer.span("outer", workload="w"):
+            with tracer.span("inner"):
+                registry.counter("hits", kind="module").inc(3)
+                registry.gauge("budget").set(8)
+                registry.histogram("lat", buckets=(1, 10)).observe(2)
+        return tracer, registry
+
+    def test_jsonl_one_valid_object_per_line(self):
+        tracer, registry = self._sample()
+        text = trace_to_jsonl(tracer, registry)
+        lines = text.splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = [r["type"] for r in records]
+        assert kinds.count("span") == 2
+        assert "counter" in kinds and "gauge" in kinds and "histogram" in kinds
+        span = next(r for r in records if r["type"] == "span" and r["name"] == "inner")
+        assert span["parent_id"] is not None
+
+    def test_write_trace_jsonl(self, tmp_path):
+        tracer, registry = self._sample()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(path, tracer, registry)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_prometheus_format(self):
+        _, registry = self._sample()
+        text = metrics_to_prometheus(registry.snapshot())
+        assert '# TYPE repro_hits_total counter' in text
+        assert 'repro_hits_total{kind="module"} 3' in text
+        assert 'repro_budget 8' in text
+        assert 'repro_lat_bucket{le="1"} 0' in text
+        assert 'repro_lat_bucket{le="10"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert 'repro_lat_sum 2' in text
+        assert 'repro_lat_count 1' in text
+
+    def test_span_tree_render(self):
+        tracer, _ = self._sample()
+        text = render_span_tree(tracer.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("- outer")
+        assert lines[1].startswith("  - inner")
+        assert "slowest spans:" in text
+
+    def test_span_tree_aggregates_repeated_siblings(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            for _ in range(6):
+                with tracer.span("solve"):
+                    pass
+        text = render_span_tree(tracer.spans())
+        assert "- solve x6" in text
+        assert text.count("- solve") == 1
+
+    def test_span_tree_handles_orphans(self):
+        records = [
+            {"name": "orphan", "span_id": "x-1", "parent_id": "gone",
+             "start": 0.0, "duration": 0.5, "attrs": {}},
+        ]
+        spans = [Span.from_record(r) for r in records]
+        text = render_span_tree(spans)
+        assert text.splitlines()[0].startswith("- orphan")
+
+    def test_render_trace_report_sections(self):
+        tracer, registry = self._sample()
+        report = render_trace_report(tracer, registry)
+        assert "== trace ==" in report
+        assert "== metrics ==" in report
+        assert "hits" in report
+
+    def test_render_metrics_empty(self):
+        assert render_metrics(MetricsRegistry().snapshot()) == "(no metrics recorded)"
