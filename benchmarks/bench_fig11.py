@@ -79,3 +79,63 @@ def test_fig11(benchmark, runs, record):
     for name in growth_after:
         if growth_before[name] > 0:
             assert growth_after[name] < growth_before[name]
+
+
+BLOWUP_METRICS = ("hpg_blowup_factor", "reduced_blowup_factor")
+
+
+def compute_fig11_blowup(runs):
+    """Re-qualify every profiled routine at CA = 0.97 under a live metrics
+    registry and collect the per-routine blow-up histograms the pipeline
+    emits (the observability counterpart of the table above)."""
+    from repro.core import run_qualified
+    from repro.obs import capture
+
+    with capture() as (_, registry):
+        for name in WORKLOAD_NAMES:
+            run = runs[name]
+            for fn_name, fn in run.module.functions.items():
+                profile = run.train.profiles.get(fn_name)
+                if profile is None or not profile.total_count:
+                    continue
+                run_qualified(fn, profile, ca=0.97, cr=0.95)
+        snapshot = registry.snapshot()
+    return {
+        metric: hist
+        for (metric, _labels), hist in snapshot["histograms"].items()
+        if metric in BLOWUP_METRICS
+    }
+
+
+def test_fig11_blowup_histogram(benchmark, runs, record, record_json):
+    data = once(benchmark, compute_fig11_blowup, runs)
+    hpg, red = (data[m] for m in BLOWUP_METRICS)
+    edges = hpg["buckets"]
+    labels = [f"<= {b:g}x" for b in edges] + [f"> {edges[-1]:g}x"]
+    rows = [
+        [label, h, r]
+        for label, h, r in zip(labels, hpg["counts"], red["counts"])
+    ]
+    rows.append(
+        [
+            "mean",
+            f"{hpg['sum'] / hpg['count']:.2f}x",
+            f"{red['sum'] / red['count']:.2f}x",
+        ]
+    )
+    record(
+        "fig11_blowup",
+        format_table(
+            ["blow-up factor", "HPG routines", "reduced routines"],
+            rows,
+            title=(
+                "Figure 11 (histogram view): traced routines by vertex "
+                "blow-up at CA=0.97"
+            ),
+        ),
+    )
+    record_json("fig11_blowup", data)
+    # Both histograms saw every traced routine exactly once.
+    assert hpg["count"] == red["count"] > 0
+    # Reduction only shrinks graphs, so its total blow-up mass is no larger.
+    assert red["sum"] <= hpg["sum"]

@@ -30,6 +30,11 @@ MIN_LI95_SPEEDUP = 3.0
 #: faster* than enabled bounds its overhead from above: the per-run span
 #: and counter work is the only difference between the two configurations.
 MAX_OBS_OFF_REGRESSION = 0.05
+#: Same bar for the checker layer: a pipeline built without ``--check``
+#: (the NULL_CHECKER default) may lose at most this fraction of throughput
+#: relative to one running every invariant checker, i.e. the disabled hooks
+#: themselves must be free.
+MAX_CHECK_OFF_REGRESSION = 0.05
 
 
 def _best_of(n, fn):
@@ -109,6 +114,32 @@ def compute_bench_obs_overhead():
     }
 
 
+def compute_bench_check_overhead():
+    """Full compress95 pipeline (compile, two profiled runs, qualification)
+    with the default null checker vs. a live :class:`PipelineChecker`
+    verifying every stage."""
+    from repro.checks.runner import PipelineChecker
+    from repro.evaluation.harness import WorkloadRun
+
+    def measure(make_checker):
+        def build():
+            run = WorkloadRun(
+                get_workload("compress95"), checker=make_checker()
+            )
+            run.qualified(0.97, 0.95)
+
+        seconds, _ = _best_of(2, build)
+        return seconds
+
+    disabled = measure(lambda: None)
+    enabled = measure(PipelineChecker)
+    return {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "enabled_over_disabled": enabled / disabled,
+    }
+
+
 def test_bench_interp(benchmark, record, record_json):
     cases = once(benchmark, compute_bench_interp)
     rows = []
@@ -157,4 +188,15 @@ def test_bench_obs_overhead(benchmark, record_json):
         f"disabled observability runs at {off / 1e6:.2f} M instr/s vs "
         f"{on / 1e6:.2f} M instr/s enabled — the off-by-default "
         f"instrumentation costs more than {MAX_OBS_OFF_REGRESSION:.0%}"
+    )
+
+
+def test_bench_check_overhead(benchmark, record_json):
+    data = once(benchmark, compute_bench_check_overhead)
+    record_json("BENCH_check_overhead", data)
+    off, on = data["disabled_seconds"], data["enabled_seconds"]
+    assert off <= on / (1 - MAX_CHECK_OFF_REGRESSION), (
+        f"pipeline without --check takes {off * 1000:.1f} ms vs "
+        f"{on * 1000:.1f} ms with every checker on — the disabled hooks "
+        f"cost more than {MAX_CHECK_OFF_REGRESSION:.0%}"
     )

@@ -1,0 +1,39 @@
+"""The self-verifying analysis layer: invariant checkers and IR lint passes.
+
+This package encodes the paper's structural theorems as executable checks
+(see ``docs/CHECKS.md`` for the diagnostic-code registry):
+
+* :mod:`~repro.checks.ir_checks` — IR/CFG well-formedness (``IR*``);
+* :mod:`~repro.checks.profile_checks` — Ball–Larus flow conservation
+  (``PROF*``, Kirchhoff + path-sum identities);
+* :mod:`~repro.checks.automaton_checks` — Theorem 2 failure-function shape
+  (``AUT*``);
+* :mod:`~repro.checks.hpg_checks` — hot-path-graph projection and Lemma 1–2
+  profile carry-over (``HPG*``);
+* :mod:`~repro.checks.dataflow_checks` — post-fixpoint residual, projection
+  precision, transfer monotonicity (``DF*``);
+* :mod:`~repro.checks.lint` — dataflow-powered IR lints (``LINT*``).
+
+Findings are :class:`Diagnostic` records with collect-all semantics
+(:mod:`~repro.checks.diagnostics`); passes run through the instrumented
+:func:`run_passes` framework (:mod:`~repro.checks.engine`).  Pipeline
+wiring — the null-object :class:`PipelineChecker` installed on workload
+runs and the ``repro check`` CLI entry points — lives in
+:mod:`repro.checks.runner` (imported lazily to keep this package importable
+from :mod:`repro.ir` without cycles).
+"""
+
+from .diagnostics import Diagnostic, Diagnostics, Severity
+from .engine import CheckContext, CheckPass, run_passes
+from .ir_checks import check_function_ir, check_module_ir
+
+__all__ = [
+    "CheckContext",
+    "CheckPass",
+    "Diagnostic",
+    "Diagnostics",
+    "Severity",
+    "check_function_ir",
+    "check_module_ir",
+    "run_passes",
+]

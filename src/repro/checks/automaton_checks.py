@@ -1,0 +1,141 @@
+"""Qualification-automaton checks (diagnostic family ``AUT``).
+
+The qualification automaton (paper Definition 5) must be the Aho–Corasick
+keyword matcher for the trimmed hot paths, and Theorem 2 says its failure
+function is *trivial* (recording edge → ``q•``, anything else → ``qε``).
+These checks make that an executable spec:
+
+* ``AUT001`` — keywords (trimmed hot paths) contain no interior recording
+  edge: trimming removes the single final recording edge, so none remain;
+* ``AUT002`` — Theorem 2: the automaton's transition function coincides,
+  state for state and letter for letter, with the *textbook* Aho–Corasick
+  construction (BFS failure links) over the same keywords, with every
+  recording edge read as the ``•`` letter;
+* ``AUT003`` — retrieval-tree shape: the root's only child is ``q•`` along
+  ``•`` (every keyword starts with the implicit ``•``);
+* ``AUT004`` — each hot path's trimmed spine, driven from ``q•``, ends at a
+  keyword-end state that maps back to exactly that path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..automaton.aho_corasick import AhoCorasick
+from ..automaton.qualification import DOT, QualificationAutomaton
+from ..ir.cfg import Cfg
+from .diagnostics import Diagnostics, Severity
+
+AUT_INTERIOR_RECORDING = "AUT001"
+AUT_THEOREM2_MISMATCH = "AUT002"
+AUT_BAD_TRIE_SHAPE = "AUT003"
+AUT_SPINE_MISMATCH = "AUT004"
+
+#: Cap on per-code transition mismatches reported (graphs are small, but a
+#: broken failure function would otherwise flood the report).
+_MAX_MISMATCHES = 10
+
+
+def check_automaton(
+    routine: str,
+    cfg: Cfg,
+    recording: frozenset,
+    automaton: QualificationAutomaton,
+    out: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Check one routine's qualification automaton; collect-all."""
+    if out is None:
+        out = Diagnostics()
+
+    def err(code: str, message: str, *, hint=None):
+        out.emit(code, Severity.ERROR, message, function=routine, hint=hint)
+
+    trimmed_paths = []
+    for path in automaton.hot_paths:
+        trimmed = QualificationAutomaton.trim(path)
+        trimmed_paths.append((path, trimmed))
+        for e in trimmed:
+            if e in recording:
+                err(
+                    AUT_INTERIOR_RECORDING,
+                    f"trimmed hot path {path} contains recording edge "
+                    f"{e[0]}->{e[1]}",
+                    hint="hot paths must be Ball-Larus paths: only the "
+                    "final (trimmed-off) edge is recording",
+                )
+
+    # Retrieval-tree shape (Definition 9's q-dot).
+    trie = automaton.trie
+    root_children = trie.children(automaton.q_epsilon)
+    if root_children.get(DOT) != automaton.q_dot:
+        err(
+            AUT_BAD_TRIE_SHAPE,
+            "q_dot is not the root's child along the dot letter",
+        )
+    extra = [k for k in root_children if k is not DOT]
+    if extra:
+        err(
+            AUT_BAD_TRIE_SHAPE,
+            f"root has non-dot children {extra!r}; every keyword must "
+            "start with the implicit dot",
+        )
+
+    # Each hot path's spine is recognized end-to-end.
+    for path, trimmed in trimmed_paths:
+        end = automaton.run(automaton.q_dot, trimmed)
+        if not trie.is_word_end(end) or automaton.hot_path_at(end) != path:
+            err(
+                AUT_SPINE_MISMATCH,
+                f"driving the trimmed spine of {path} from q_dot ends at "
+                f"{automaton.state_name(end)}, which does not recognize it",
+            )
+
+    # Theorem 2: compare against the textbook Aho-Corasick automaton over
+    # the same keywords, reading recording edges as the dot letter.  Both
+    # constructions insert keywords in the same order, so trie state
+    # numbering coincides and transitions compare directly.
+    keywords = [[DOT]] + [[DOT, *trimmed] for _, trimmed in trimmed_paths]
+    alphabet = [DOT] + list(cfg.edges)
+    general = AhoCorasick(keywords, alphabet)
+    if general.num_states != automaton.num_states:
+        err(
+            AUT_THEOREM2_MISMATCH,
+            f"automaton has {automaton.num_states} states but the textbook "
+            f"Aho-Corasick over the same keywords has {general.num_states}",
+            hint="the trie holds edges outside the trimmed hot paths",
+        )
+        return out
+    mismatches = 0
+    for state in automaton.states():
+        for edge in cfg.edges:
+            letter = DOT if edge in recording else edge
+            got = automaton.transition(state, edge)
+            want = general.transition(state, letter)
+            if got != want:
+                mismatches += 1
+                if mismatches <= _MAX_MISMATCHES:
+                    err(
+                        AUT_THEOREM2_MISMATCH,
+                        f"transition({automaton.state_name(state)}, "
+                        f"{edge[0]}->{edge[1]}) = "
+                        f"{automaton.state_name(got)}, textbook "
+                        f"Aho-Corasick gives {automaton.state_name(want)}",
+                        hint="Theorem 2's trivial failure function is "
+                        "violated",
+                    )
+    if mismatches > _MAX_MISMATCHES:
+        err(
+            AUT_THEOREM2_MISMATCH,
+            f"... and {mismatches - _MAX_MISMATCHES} more transition "
+            "mismatches",
+        )
+    return out
+
+
+__all__ = [
+    "check_automaton",
+    "AUT_INTERIOR_RECORDING",
+    "AUT_THEOREM2_MISMATCH",
+    "AUT_BAD_TRIE_SHAPE",
+    "AUT_SPINE_MISMATCH",
+]

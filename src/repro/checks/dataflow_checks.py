@@ -1,0 +1,222 @@
+"""Data-flow soundness checks (diagnostic family ``DF``).
+
+The conditional constant propagator is a worklist solver; these checks
+validate its *answers* rather than its steps:
+
+* ``DF001`` — post-fixpoint residual: for every executable edge ``u -> w``
+  the solution already absorbs one more propagation step — ``u`` is
+  reachable, the edge exists, and ``env_in[w] ⊑ transfer(u)`` pointwise.
+  A genuine fixpoint has zero residual, so any violation is an ERROR;
+* ``DF002`` — qualified-analysis conservation (the soundness half of
+  Theorem 1): folding a hot-path-graph (or reduced-graph) solution back
+  onto the original CFG — meeting the environments of all duplicates of a
+  vertex — can only *refine* the baseline.  Formally
+  ``baseline.env_in[v] ⊑ ⨅ {hpg.env_in[(v,q)]}`` for every original
+  vertex, because the traced graph only separates paths the baseline
+  merges;
+* ``DF003`` — transfer monotonicity spot checks: for sampled blocks and
+  deterministic environment pairs ``a ⊑ b``, confirm
+  ``transfer(block, a) ⊑ transfer(block, b)``.  The framework's
+  termination and the meaning of ``DF001`` both rest on this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dataflow.lattice import (
+    BOT,
+    ConstEnv,
+    UNREACHABLE,
+    leq_env,
+    leq_flat,
+    meet_env,
+)
+from ..dataflow.transfer import transfer_block
+from ..dataflow.wegman_zadek import CondConstResult
+from ..ir.function import Function
+from ..ir.operands import Var
+from .diagnostics import Diagnostics, Severity
+
+DF_RESIDUAL = "DF001"
+DF_PROJECTION_UNSOUND = "DF002"
+DF_TRANSFER_NOT_MONOTONE = "DF003"
+
+#: DF003 samples at most this many blocks per routine ...
+_MAX_BLOCKS_SAMPLED = 8
+#: ... and at most this many variables per block.
+_MAX_VARS_PER_BLOCK = 4
+
+
+def check_solution(
+    routine: str,
+    result: CondConstResult,
+    out: Optional[Diagnostics] = None,
+    graph: str = "cfg",
+) -> Diagnostics:
+    """``DF001``: the solution is a post-fixpoint of one propagation step."""
+    if out is None:
+        out = Diagnostics()
+    where = "" if graph == "cfg" else f" on the {graph}"
+    cfg = result.view.cfg
+
+    def err(message: str, *, block=None, hint=None):
+        out.emit(
+            DF_RESIDUAL,
+            Severity.ERROR,
+            message + where,
+            function=routine,
+            block=block,
+            hint=hint,
+        )
+
+    if not result.is_executable(cfg.entry):
+        err(f"entry {cfg.entry} is not executable", block=cfg.entry)
+    for u, w in sorted(result.executable_edges, key=str):
+        if not cfg.has_edge(u, w):
+            err(
+                f"executable edge {u}->{w} is not a graph edge",
+                block=u,
+            )
+            continue
+        if not result.is_executable(u):
+            err(
+                f"edge {u}->{w} is executable but its source is not",
+                block=u,
+            )
+            continue
+        if not leq_env(result.input_env(w), result.output_env(u)):
+            err(
+                f"residual propagation step at {u}->{w}: env_in[{w}] is "
+                f"not below transfer({u})",
+                block=u,
+                hint="the worklist solver stopped before reaching a "
+                "fixpoint, or a cached solution was corrupted",
+            )
+    return out
+
+
+def check_projection(
+    routine: str,
+    baseline: CondConstResult,
+    traced_result: CondConstResult,
+    graph,
+    out: Optional[Diagnostics] = None,
+    label: str = "hot-path graph",
+) -> Diagnostics:
+    """``DF002``: the traced solution, folded onto the original CFG, refines
+    the baseline (Theorem 1's conservation direction)."""
+    if out is None:
+        out = Diagnostics()
+    by_original: dict = {}
+    for v in graph.cfg.vertices:
+        env = traced_result.input_env(v)
+        prev = by_original.get(v[0], UNREACHABLE)
+        by_original[v[0]] = meet_env(prev, env)
+    for orig in baseline.view.cfg.vertices:
+        base_env = baseline.input_env(orig)
+        projected = by_original.get(orig, UNREACHABLE)
+        if not leq_env(base_env, projected):
+            if base_env is UNREACHABLE or projected is UNREACHABLE:
+                bad = ["<reachability>"]
+            else:
+                names = {n for n, _ in base_env.items()}
+                names |= {n for n, _ in projected.items()}
+                bad = sorted(
+                    n
+                    for n in names
+                    if not leq_flat(base_env.get(n), projected.get(n))
+                )
+            out.emit(
+                DF_PROJECTION_UNSOUND,
+                Severity.ERROR,
+                f"{label} solution projected onto {orig} does not refine "
+                f"the baseline (vars {bad!r})",
+                function=routine,
+                block=orig,
+                hint="the qualified analysis lost information the baseline "
+                "had: Theorem 1's conservation is violated",
+            )
+    return out
+
+
+def _sample_vars(block) -> list:
+    names: list = []
+    for instr in block.instrs:
+        if instr.dest is not None and instr.dest not in names:
+            names.append(instr.dest)
+        for name in instr.use_vars():
+            if name not in names:
+                names.append(name)
+    if block.terminator is not None:
+        for op in block.terminator.uses():
+            if isinstance(op, Var) and op.name not in names:
+                names.append(op.name)
+    return names[:_MAX_VARS_PER_BLOCK]
+
+
+def check_monotonicity(
+    routine: str,
+    fn: Function,
+    out: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """``DF003``: spot-check ``a ⊑ b  ⇒  transfer(a) ⊑ transfer(b)`` on
+    deterministic environment pairs built from each block's own variables."""
+    if out is None:
+        out = Diagnostics()
+    for label, block in list(fn.blocks.items())[:_MAX_BLOCKS_SAMPLED]:
+        names = _sample_vars(block)
+        lo = ConstEnv({n: BOT for n in names})
+        hi = ConstEnv()  # everything TOP
+        pairs = [(lo, hi)]
+        if names:
+            mid = ConstEnv({names[0]: 1})
+            pairs += [(lo, mid), (mid, hi)]
+        for a, b in pairs:
+            if not a.leq(b):  # pragma: no cover - pairs are ordered by design
+                continue
+            ta, tb = transfer_block(block, a), transfer_block(block, b)
+            if not ta.leq(tb):
+                out.emit(
+                    DF_TRANSFER_NOT_MONOTONE,
+                    Severity.ERROR,
+                    f"transfer of block {label} is not monotone: "
+                    f"{a!r} ⊑ {b!r} but {ta!r} ⋢ {tb!r}",
+                    function=routine,
+                    block=label,
+                    hint="a non-monotone transfer breaks both termination "
+                    "and the fixpoint's meaning",
+                )
+    return out
+
+
+def check_dataflow(routine: str, qa, out: Optional[Diagnostics] = None) -> Diagnostics:
+    """All DF checks for one routine's :class:`QualifiedAnalysis`."""
+    if out is None:
+        out = Diagnostics()
+    check_solution(routine, qa.baseline, out=out)
+    if qa.hpg_analysis is not None:
+        check_solution(routine, qa.hpg_analysis, out=out, graph="hot-path graph")
+        check_projection(
+            routine, qa.baseline, qa.hpg_analysis, qa.hpg, out=out,
+            label="hot-path graph",
+        )
+    if qa.reduced_analysis is not None and qa.reduced is not None:
+        check_solution(routine, qa.reduced_analysis, out=out, graph="reduced graph")
+        check_projection(
+            routine, qa.baseline, qa.reduced_analysis, qa.reduced, out=out,
+            label="reduced graph",
+        )
+    check_monotonicity(routine, qa.function, out=out)
+    return out
+
+
+__all__ = [
+    "check_solution",
+    "check_projection",
+    "check_monotonicity",
+    "check_dataflow",
+    "DF_RESIDUAL",
+    "DF_PROJECTION_UNSOUND",
+    "DF_TRANSFER_NOT_MONOTONE",
+]

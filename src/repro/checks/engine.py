@@ -1,0 +1,93 @@
+"""The check-pass framework: contexts, passes, and the instrumented runner.
+
+A :class:`CheckPass` inspects whatever slice of the pipeline its
+``requires`` names (the compiled module, a profiling run, the per-routine
+qualified analyses) and emits :class:`~repro.checks.diagnostics.Diagnostic`
+records.  :func:`run_passes` runs every applicable pass over a
+:class:`CheckContext`, wrapping each in an observability span
+(``check.<pass>``) and counting findings per pass and severity, so `repro
+trace` shows where checker time goes and how much each pass found.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from ..obs import get_metrics, get_tracer
+from .diagnostics import Diagnostics
+
+
+@dataclass
+class CheckContext:
+    """Everything a pass may inspect; passes declare what they require.
+
+    Fields are filled in by the caller for whichever pipeline stage just
+    ran; a pass whose ``requires`` names an absent (``None``) field simply
+    does not run.
+    """
+
+    #: Workload (or program) name, for span attribution only.
+    workload: str = ""
+    #: Pipeline stage the context describes (compile/train/ref/qualified).
+    stage: str = ""
+    #: The compiled :class:`~repro.ir.function.Module`.
+    module: Optional[Any] = None
+    #: An interpreter :class:`~repro.interp.interpreter.RunResult` with
+    #: Ball–Larus profiles (profile-conservation checks).
+    result: Optional[Any] = None
+    #: Per-routine :class:`~repro.core.qualified.QualifiedAnalysis` values.
+    qualified: Optional[Mapping[str, Any]] = None
+
+
+class CheckPass(ABC):
+    """One family of invariant checks or lints."""
+
+    #: Stable pass name (span suffix and metrics label).
+    name: str = ""
+    #: Diagnostic codes this pass may emit (documented in docs/CHECKS.md).
+    codes: tuple[str, ...] = ()
+    #: CheckContext fields that must be non-None for the pass to run.
+    requires: tuple[str, ...] = ()
+
+    def applicable(self, ctx: CheckContext) -> bool:
+        return all(getattr(ctx, r) is not None for r in self.requires)
+
+    @abstractmethod
+    def run(self, ctx: CheckContext, out: Diagnostics) -> None:
+        """Inspect ``ctx`` and emit findings into ``out``."""
+
+
+def run_passes(
+    passes: Iterable[CheckPass],
+    ctx: CheckContext,
+    out: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Run every applicable pass; returns (and fills) the diagnostics sink."""
+    if out is None:
+        out = Diagnostics()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    for check in passes:
+        if not check.applicable(ctx):
+            continue
+        before = len(out)
+        with tracer.span(
+            f"check.{check.name}", workload=ctx.workload, stage=ctx.stage
+        ) as span:
+            check.run(ctx, out)
+        findings = len(out) - before
+        span.set(findings=findings)
+        if metrics.enabled:
+            metrics.counter("check_pass_runs", check=check.name).inc()
+            for d in out.records[before:]:
+                metrics.counter(
+                    "check_findings",
+                    check=check.name,
+                    severity=d.severity.label,
+                ).inc()
+    return out
+
+
+__all__ = ["CheckContext", "CheckPass", "run_passes"]

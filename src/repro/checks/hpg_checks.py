@@ -1,0 +1,259 @@
+"""Hot-path-graph checks (diagnostic family ``HPG``).
+
+Executable specs for §4's tracing construction and the §4.2/Lemma 1–2
+profile carry-over, plus the §5 reduction's projection invariants:
+
+* ``HPG001`` — projection is edge-preserving: every traced edge projects to
+  an original CFG edge, and (the original CFG being fully reachable) every
+  original edge is the projection of some traced edge;
+* ``HPG002`` — automaton consistency: a traced edge ``(v,q) -> (w,q')``
+  satisfies ``q' = δ(q, (v,w))``, and tracing starts at ``(entry, q•)``;
+* ``HPG003`` — recording edges carry over (§4.2): a traced edge is
+  recording iff its projection is;
+* ``HPG004``/``HPG005`` — Lemma 2: the translated profile preserves total
+  path mass, and its edge frequencies project exactly onto the original
+  profile's;
+* ``HPG006``/``HPG007`` — the same invariants for the reduced graph: mass
+  preservation under :func:`~repro.core.translate.reduce_profile`, and the
+  quotient's edges still projecting onto original edges with recording
+  status preserved.
+
+Lemma 1 (the translated profile is a valid Ball–Larus profile *of the
+traced graph*) is checked by re-running the ``PROF*`` family on the
+hot-path graph itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .diagnostics import Diagnostics, Severity
+from .profile_checks import check_profile
+
+HPG_PROJECTION_BROKEN = "HPG001"
+HPG_STATE_INCONSISTENT = "HPG002"
+HPG_RECORDING_NOT_CARRIED = "HPG003"
+HPG_PROFILE_MASS_LOST = "HPG004"
+HPG_PROFILE_PROJECTION_MISMATCH = "HPG005"
+HPG_REDUCED_MASS_LOST = "HPG006"
+HPG_REDUCED_PROJECTION_BROKEN = "HPG007"
+
+_MAX_EDGE_REPORTS = 10
+
+
+def _check_traced_edges(
+    routine: str,
+    graph,
+    out: Diagnostics,
+    *,
+    edge_code: str,
+    label: str,
+) -> None:
+    """Projection + recording carry-over for a traced or reduced graph."""
+    ocfg = graph.original_cfg
+    orec = graph.original_recording
+
+    def err(code: str, message: str, *, block=None, hint=None):
+        out.emit(
+            code, Severity.ERROR, message, function=routine, block=block, hint=hint
+        )
+
+    for u, w in graph.cfg.edges:
+        ou, ow = u[0], w[0]
+        if not ocfg.has_edge(ou, ow):
+            err(
+                edge_code,
+                f"{label} edge {u}->{w} projects to non-existent original "
+                f"edge {ou}->{ow}",
+                block=u,
+            )
+            continue
+        traced_rec = (u, w) in graph.recording
+        orig_rec = (ou, ow) in orec
+        if traced_rec and not orig_rec:
+            err(
+                HPG_RECORDING_NOT_CARRIED,
+                f"{label} edge {u}->{w} is marked recording but its "
+                f"projection {ou}->{ow} is not",
+                block=u,
+            )
+        elif orig_rec and not traced_rec:
+            err(
+                HPG_RECORDING_NOT_CARRIED,
+                f"{label} edge {u}->{w} projects onto recording edge "
+                f"{ou}->{ow} but is not marked recording",
+                block=u,
+                hint="recording edges must carry over (paper section 4.2) "
+                "so the profile reinterprets on the traced graph",
+            )
+
+
+def _project_frequencies(freqs: dict) -> dict:
+    projected: dict = {}
+    for (u, w), c in freqs.items():
+        e = (u[0], w[0])
+        projected[e] = projected.get(e, 0) + c
+    return projected
+
+
+def _check_frequency_projection(
+    routine: str,
+    translated,
+    original,
+    out: Diagnostics,
+    *,
+    code: str,
+    label: str,
+) -> None:
+    projected = _project_frequencies(translated.edge_frequencies())
+    want = original.edge_frequencies()
+    reports = 0
+    for e in sorted(set(projected) | set(want), key=str):
+        p, o = projected.get(e, 0), want.get(e, 0)
+        if p != o:
+            reports += 1
+            if reports <= _MAX_EDGE_REPORTS:
+                out.emit(
+                    code,
+                    Severity.ERROR,
+                    f"{label} profile projects {p} traversals onto edge "
+                    f"{e[0]}->{e[1]}, original profile has {o}",
+                    function=routine,
+                    block=e[0],
+                )
+    if reports > _MAX_EDGE_REPORTS:
+        out.emit(
+            code,
+            Severity.ERROR,
+            f"... and {reports - _MAX_EDGE_REPORTS} more projected-frequency "
+            "mismatches",
+            function=routine,
+        )
+
+
+def check_hpg(routine: str, qa, out: Optional[Diagnostics] = None) -> Diagnostics:
+    """Check one routine's hot-path graph, reduced graph, and translated
+    profiles (no-op for untraced analyses)."""
+    if out is None:
+        out = Diagnostics()
+    hpg = qa.hpg
+    if hpg is None:
+        return out
+
+    def err(code: str, message: str, *, block=None, hint=None):
+        out.emit(
+            code, Severity.ERROR, message, function=routine, block=block, hint=hint
+        )
+
+    automaton = hpg.automaton
+    ocfg = hpg.original_cfg
+
+    # -- the traced graph --------------------------------------------------
+    _check_traced_edges(
+        routine, hpg, out, edge_code=HPG_PROJECTION_BROKEN, label="traced"
+    )
+    for u, w in hpg.cfg.edges:
+        if not ocfg.has_edge(u[0], w[0]):
+            continue  # already reported above
+        want = automaton.transition(u[1], (u[0], w[0]))
+        if w[1] != want:
+            err(
+                HPG_STATE_INCONSISTENT,
+                f"traced edge {u}->{w} lands in state "
+                f"{automaton.state_name(w[1])}, automaton transitions to "
+                f"{automaton.state_name(want)}",
+                block=u,
+            )
+    entry = hpg.cfg.entry
+    if entry[0] != ocfg.entry or entry[1] != automaton.q_dot:
+        err(
+            HPG_STATE_INCONSISTENT,
+            f"tracing must start at (entry, q_dot); found {entry}",
+        )
+    # Surjectivity: the validator guarantees every original vertex is
+    # reachable, so every original edge must be traced at least once
+    # (Theorem 3's reachability of the product construction).
+    projected = {(u[0], w[0]) for u, w in hpg.cfg.edges}
+    for e in ocfg.edges:
+        if e not in projected:
+            err(
+                HPG_PROJECTION_BROKEN,
+                f"original edge {e[0]}->{e[1]} has no traced counterpart",
+                block=e[0],
+            )
+
+    # -- the translated profile (Lemmas 1-2) -------------------------------
+    if qa.hpg_profile is not None:
+        if qa.hpg_profile.total_count != qa.train_profile.total_count:
+            err(
+                HPG_PROFILE_MASS_LOST,
+                f"translated profile has {qa.hpg_profile.total_count} path "
+                f"traversals, original has {qa.train_profile.total_count}",
+                hint="profile translation must preserve counts (Lemma 2)",
+            )
+        _check_frequency_projection(
+            routine,
+            qa.hpg_profile,
+            qa.train_profile,
+            out,
+            code=HPG_PROFILE_PROJECTION_MISMATCH,
+            label="translated",
+        )
+        # Lemma 1: the translated profile is itself a well-formed
+        # Ball-Larus profile of the traced graph.
+        check_profile(
+            routine,
+            hpg.cfg,
+            hpg.recording,
+            qa.hpg_profile,
+            out=out,
+            graph="hot-path graph",
+        )
+
+    # -- the reduced graph and its profile ---------------------------------
+    reduced = qa.reduced
+    if reduced is not None:
+        _check_traced_edges(
+            routine,
+            reduced,
+            out,
+            edge_code=HPG_REDUCED_PROJECTION_BROKEN,
+            label="reduced",
+        )
+    if reduced is not None and qa.reduced_profile is not None:
+        if qa.reduced_profile.total_count != qa.hpg_profile.total_count:
+            err(
+                HPG_REDUCED_MASS_LOST,
+                f"reduced profile has {qa.reduced_profile.total_count} path "
+                f"traversals, traced profile has "
+                f"{qa.hpg_profile.total_count}",
+            )
+        _check_frequency_projection(
+            routine,
+            qa.reduced_profile,
+            qa.train_profile,
+            out,
+            code=HPG_REDUCED_MASS_LOST,
+            label="reduced",
+        )
+        check_profile(
+            routine,
+            reduced.cfg,
+            reduced.recording,
+            qa.reduced_profile,
+            out=out,
+            graph="reduced graph",
+        )
+    return out
+
+
+__all__ = [
+    "check_hpg",
+    "HPG_PROJECTION_BROKEN",
+    "HPG_STATE_INCONSISTENT",
+    "HPG_RECORDING_NOT_CARRIED",
+    "HPG_PROFILE_MASS_LOST",
+    "HPG_PROFILE_PROJECTION_MISMATCH",
+    "HPG_REDUCED_MASS_LOST",
+    "HPG_REDUCED_PROJECTION_BROKEN",
+]

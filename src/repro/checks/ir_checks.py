@@ -1,0 +1,188 @@
+"""IR/CFG well-formedness checks (diagnostic family ``IR``).
+
+The collect-all successor of the historical raise-on-first
+``repro.ir.validate`` pass: the same structural invariants, but every
+violation in a module is reported, each as a :class:`Diagnostic`.
+:func:`repro.ir.validate.validate_function` is now a thin wrapper that
+raises on the first error-severity record these checks produce.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.cfg import Cfg
+from ..ir.function import Function, Module
+from ..ir.instructions import Branch, Call
+from ..ir.operands import Const, Var
+from .diagnostics import Diagnostics, Severity
+
+IR_NO_BLOCKS = "IR001"
+IR_BAD_ENTRY = "IR002"
+IR_MISSING_TERMINATOR = "IR003"
+IR_UNKNOWN_TARGET = "IR004"
+IR_DEGENERATE_BRANCH = "IR005"
+IR_BAD_OPERAND = "IR006"
+IR_UNKNOWN_ARRAY = "IR007"
+IR_UNKNOWN_FUNCTION = "IR008"
+IR_UNREACHABLE_BLOCK = "IR009"
+IR_NO_MAIN = "IR010"
+
+#: Builtins the interpreter provides; their results are opaque to analysis.
+BUILTIN_FUNCTIONS = frozenset({"abs", "min2", "max2", "clamp"})
+
+
+def check_function_ir(
+    fn: Function,
+    module: Optional[Module] = None,
+    out: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Structural invariants of one function, collect-all.
+
+    * every block has exactly one terminator;
+    * every jump/branch target resolves to a block in the function;
+    * the entry label exists;
+    * branches have distinct targets (parallel edges are unsupported);
+    * operands are Const/Var; arrays and call targets resolve when a
+      module is supplied (builtins allowed);
+    * every block is reachable from the entry.
+    """
+    if out is None:
+        out = Diagnostics()
+
+    def err(code: str, message: str, *, block=None, instr=None, hint=None):
+        out.emit(
+            code,
+            Severity.ERROR,
+            message,
+            function=fn.name,
+            block=block,
+            instr=instr,
+            hint=hint,
+        )
+
+    if not fn.blocks:
+        err(
+            IR_NO_BLOCKS,
+            "function has no blocks",
+            hint="every function needs at least an entry block",
+        )
+        return out
+    entry_ok = fn.entry in fn.blocks
+    if not entry_ok:
+        err(
+            IR_BAD_ENTRY,
+            f"entry {fn.entry!r} is not a block",
+            hint="point fn.entry at an existing block label",
+        )
+
+    structure_ok = entry_ok
+    for label, block in fn.blocks.items():
+        if block.terminator is None:
+            err(
+                IR_MISSING_TERMINATOR,
+                "missing terminator",
+                block=label,
+                hint="end the block with jump/branch/ret",
+            )
+            structure_ok = False
+            continue
+        for target in block.terminator.targets():
+            if target not in fn.blocks:
+                err(
+                    IR_UNKNOWN_TARGET,
+                    f"terminator targets unknown block {target!r}",
+                    block=label,
+                )
+                structure_ok = False
+        if isinstance(block.terminator, Branch):
+            t = block.terminator
+            if t.if_true == t.if_false:
+                # Not fatal to execution, but a degenerate branch defeats
+                # edge-based profiling (parallel edges are unsupported).
+                err(
+                    IR_DEGENERATE_BRANCH,
+                    f"branch with identical targets {t.if_true!r}",
+                    block=label,
+                    hint="replace with an unconditional jump",
+                )
+        for idx, instr in enumerate(block.instrs):
+            for op in instr.uses():
+                if not isinstance(op, (Const, Var)):
+                    err(
+                        IR_BAD_OPERAND,
+                        f"bad operand {op!r} in {instr}",
+                        block=label,
+                        instr=idx,
+                    )
+            if module is not None:
+                if hasattr(instr, "array") and instr.array not in module.arrays:
+                    err(
+                        IR_UNKNOWN_ARRAY,
+                        f"unknown array {instr.array!r}",
+                        block=label,
+                        instr=idx,
+                        hint="declare the array globally",
+                    )
+                if isinstance(instr, Call):
+                    if (
+                        instr.func not in module.functions
+                        and instr.func not in BUILTIN_FUNCTIONS
+                    ):
+                        err(
+                            IR_UNKNOWN_FUNCTION,
+                            f"unknown function {instr.func!r}",
+                            block=label,
+                            instr=idx,
+                        )
+
+    # Reachability needs an intact skeleton (a valid entry and a terminator
+    # in every block); with structural errors present the CFG itself is not
+    # well-defined, so skip rather than crash mid-check.
+    if structure_ok:
+        cfg = Cfg.from_function(fn)
+        reachable = cfg.reachable()
+        for label in fn.blocks:
+            if label not in reachable:
+                err(
+                    IR_UNREACHABLE_BLOCK,
+                    "unreachable block",
+                    block=label,
+                    hint="delete it or add an edge from reachable code",
+                )
+    return out
+
+
+def check_module_ir(
+    module: Module, out: Optional[Diagnostics] = None
+) -> Diagnostics:
+    """Module-level invariants plus every function's, collect-all."""
+    if out is None:
+        out = Diagnostics()
+    if "main" not in module.functions:
+        out.emit(
+            IR_NO_MAIN,
+            Severity.ERROR,
+            "module has no main function",
+            hint="define func main(...)",
+        )
+    for fn in module.functions.values():
+        check_function_ir(fn, module, out)
+    return out
+
+
+__all__ = [
+    "BUILTIN_FUNCTIONS",
+    "check_function_ir",
+    "check_module_ir",
+    "IR_NO_BLOCKS",
+    "IR_BAD_ENTRY",
+    "IR_MISSING_TERMINATOR",
+    "IR_UNKNOWN_TARGET",
+    "IR_DEGENERATE_BRANCH",
+    "IR_BAD_OPERAND",
+    "IR_UNKNOWN_ARRAY",
+    "IR_UNKNOWN_FUNCTION",
+    "IR_UNREACHABLE_BLOCK",
+    "IR_NO_MAIN",
+]

@@ -1,0 +1,166 @@
+"""Ball–Larus path-profile conservation checks (diagnostic family ``PROF``).
+
+A well-formed path profile over a CFG (paper Definitions 7–8) satisfies:
+
+* every path is a real walk of the graph (``PROF001``);
+* interior edges are never recording edges and the final edge always is
+  (``PROF002``/``PROF003``) — the defining shape of a Ball–Larus path;
+* the derived edge frequencies obey Kirchhoff's law at every vertex except
+  the virtual entry/exit (``PROF004``): path concatenation covers the
+  executed trace exactly, so flow in equals flow out;
+* each path traverses exactly one recording edge, so the total path count
+  equals the summed frequency of the recording edges (``PROF005``);
+* the profile-derived block frequencies equal the interpreter's observed
+  block execution counts when available (``PROF006``) — the profile
+  partitions the trace, losing and inventing nothing.
+
+These checks run unchanged on the original CFG *and* on hot-path graphs
+(recording edges carry over per §4.2), which is how
+:mod:`~repro.checks.hpg_checks` verifies Lemma 1's reinterpretation claim.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..ir.cfg import Cfg, Edge
+from ..profiles.path_profile import PathProfile
+from .diagnostics import Diagnostics, Severity
+
+PROF_EDGE_NOT_IN_GRAPH = "PROF001"
+PROF_INTERIOR_RECORDING = "PROF002"
+PROF_FINAL_NOT_RECORDING = "PROF003"
+PROF_FLOW_IMBALANCE = "PROF004"
+PROF_PATH_SUM_MISMATCH = "PROF005"
+PROF_BLOCK_COUNT_MISMATCH = "PROF006"
+
+
+def check_profile(
+    routine: str,
+    cfg: Cfg,
+    recording: frozenset,
+    profile: PathProfile,
+    block_counts: Optional[Mapping] = None,
+    out: Optional[Diagnostics] = None,
+    graph: str = "cfg",
+) -> Diagnostics:
+    """Check one routine's profile against its graph; collect-all."""
+    if out is None:
+        out = Diagnostics()
+    where = "" if graph == "cfg" else f" on the {graph}"
+
+    def err(code: str, message: str, *, block=None, hint=None):
+        out.emit(
+            code,
+            Severity.ERROR,
+            message + where,
+            function=routine,
+            block=block,
+            hint=hint,
+        )
+
+    for path in profile.paths():
+        edges = path.edges()
+        for e in edges:
+            if not cfg.has_edge(*e):
+                err(
+                    PROF_EDGE_NOT_IN_GRAPH,
+                    f"path {path} uses non-existent edge {e[0]}->{e[1]}",
+                    block=e[0],
+                )
+        for e in edges[:-1]:
+            if e in recording:
+                err(
+                    PROF_INTERIOR_RECORDING,
+                    f"path {path} crosses recording edge {e[0]}->{e[1]} "
+                    "in its interior",
+                    block=e[0],
+                    hint="Ball-Larus paths end at the first recording edge",
+                )
+        if edges[-1] not in recording:
+            err(
+                PROF_FINAL_NOT_RECORDING,
+                f"path {path} does not end with a recording edge",
+                block=edges[-1][0],
+            )
+
+    # Kirchhoff flow conservation on the derived edge frequencies.  One
+    # subtlety: the recording edge that *starts* each activation (entry ->
+    # first block) belongs to no path, so entry successors carry an in-flow
+    # deficit; those deficits must be non-negative and sum to the number of
+    # activations, i.e. the flow into the virtual exit.
+    freq = profile.edge_frequencies()
+    inflow: dict = {}
+    outflow: dict = {}
+    for (u, v), c in freq.items():
+        outflow[u] = outflow.get(u, 0) + c
+        inflow[v] = inflow.get(v, 0) + c
+    entry_targets = set(cfg.succs(cfg.entry))
+    total_deficit = 0
+    for v in sorted(set(inflow) | set(outflow) | entry_targets, key=str):
+        if v == cfg.entry or v == cfg.exit:
+            continue
+        i, o = inflow.get(v, 0), outflow.get(v, 0)
+        if v in entry_targets:
+            if o < i:
+                err(
+                    PROF_FLOW_IMBALANCE,
+                    f"flow conservation violated at entry successor {v}: "
+                    f"in={i} exceeds out={o}",
+                    block=v,
+                    hint="the profile's paths do not concatenate into traces",
+                )
+            else:
+                total_deficit += o - i
+        elif i != o:
+            err(
+                PROF_FLOW_IMBALANCE,
+                f"flow conservation violated at {v}: in={i}, out={o}",
+                block=v,
+                hint="the profile's paths do not concatenate into traces",
+            )
+    activations = inflow.get(cfg.exit, 0)
+    if profile.total_count and total_deficit != activations:
+        err(
+            PROF_FLOW_IMBALANCE,
+            f"entry-successor flow deficit {total_deficit} != activations "
+            f"{activations} (flow into the exit)",
+            block=cfg.entry,
+            hint="every activation contributes exactly one unrecorded "
+            "entry edge",
+        )
+
+    # Exactly one recording edge per path => path count == recording flow.
+    recording_flow = sum(c for e, c in freq.items() if e in recording)
+    if recording_flow != profile.total_count:
+        err(
+            PROF_PATH_SUM_MISMATCH,
+            f"total path count {profile.total_count} != summed "
+            f"recording-edge frequency {recording_flow}",
+        )
+
+    # The profile partitions the executed trace: interior-vertex counts
+    # must reproduce the interpreter's block execution counts exactly.
+    if block_counts:
+        derived = profile.block_frequencies()
+        for v in sorted(set(derived) | set(block_counts), key=str):
+            d, o = derived.get(v, 0), block_counts.get(v, 0)
+            if d != o:
+                err(
+                    PROF_BLOCK_COUNT_MISMATCH,
+                    f"profile says block {v} executed {d} times, "
+                    f"interpreter observed {o}",
+                    block=v,
+                )
+    return out
+
+
+__all__ = [
+    "check_profile",
+    "PROF_EDGE_NOT_IN_GRAPH",
+    "PROF_INTERIOR_RECORDING",
+    "PROF_FINAL_NOT_RECORDING",
+    "PROF_FLOW_IMBALANCE",
+    "PROF_PATH_SUM_MISMATCH",
+    "PROF_BLOCK_COUNT_MISMATCH",
+]

@@ -89,6 +89,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         with open(args.save_profile, "w") as f:
             f.write(dumps_profiles(result.profiles))
         print(f"# profile saved to {args.save_profile}", file=sys.stderr)
+    if args.check:
+        from .checks.runner import check_module, check_run_result
+
+        diags = check_module(module, workload=args.file)
+        check_run_result(module, result, workload=args.file, out=diags)
+        print(f"# checks: {diags.summary()}", file=sys.stderr)
+        for d in diags:
+            print(f"#   {d.format()}", file=sys.stderr)
+        if diags.has_errors:
+            return 2
     return 0
 
 
@@ -153,8 +163,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown workload {args.workload!r}; choose from {WORKLOAD_NAMES}"
         )
+    checker = None
+    if args.check:
+        from .checks.runner import PipelineChecker
+
+        checker = PipelineChecker()
     with _trace_capture(args):
-        run = WorkloadRun(get_workload(args.workload), engine=args.engine)
+        run = WorkloadRun(
+            get_workload(args.workload), engine=args.engine, checker=checker
+        )
         agg = run.aggregate_classification(args.ca, args.cr)
         orig, hpg, red = run.graph_sizes(args.ca, args.cr)
         row = run.table2(args.ca, args.cr)
@@ -183,6 +200,12 @@ def cmd_report(args: argparse.Namespace) -> int:
     print()
     print("stage spans:")
     print(render_span_tree(run.tracer.spans(), top=3))
+    if checker is not None:
+        print(f"# checks: {checker.diagnostics.summary()}", file=sys.stderr)
+        for d in checker.diagnostics:
+            print(f"#   {d.format()}", file=sys.stderr)
+        if checker.diagnostics.has_errors:
+            return 2
     return 0
 
 
@@ -204,7 +227,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
             raise SystemExit(f"--cache-dir {args.cache_dir!r} is not a directory")
     ca_values = tuple(args.ca) if args.ca else None
-    driver = ParallelDriver(jobs=args.jobs, cache_dir=args.cache_dir, cr=args.cr)
+    driver = ParallelDriver(
+        jobs=args.jobs, cache_dir=args.cache_dir, cr=args.cr, check=args.check
+    )
     with _trace_capture(args):
         if ca_values is None:
             result = driver.sweep(workloads)
@@ -227,6 +252,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"# jobs          : {args.jobs}", file=sys.stderr)
     print(f"# cache         : {args.cache_dir or '(in-memory)'}", file=sys.stderr)
     print(f"# cache activity: {result.cache_stats.summary()}", file=sys.stderr)
+    if args.check:
+        print(f"# checks        : {result.diagnostics.summary()}", file=sys.stderr)
+        for d in result.diagnostics.errors:
+            print(f"#   {d.format()}", file=sys.stderr)
+        if result.diagnostics.has_errors:
+            return 2
     return 0
 
 
@@ -277,6 +308,133 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_self_check() -> int:
+    """Smoke-test the checker layer itself: a clean run must report zero
+    errors with the expected spans, and a deliberately corrupted profile
+    must be caught (CI's guarantee that the checkers can actually fail)."""
+    from .checks.profile_checks import PROF_FLOW_IMBALANCE, check_profile
+    from .checks.runner import check_program
+    from .ir.cfg import Cfg
+    from .obs import capture
+    from .profiles.path_profile import PathProfile
+    from .profiles.recording import recording_edges
+    from .workloads.running_example import (
+        running_example_module,
+        training_run_inputs,
+    )
+
+    module = running_example_module()
+    n, inputs = training_run_inputs()
+    with capture() as (tracer, registry):
+        diags = check_program(
+            module, [n], inputs, ca=1.0, cr=0.95, workload="running_example"
+        )
+    problems = []
+    if diags.has_errors:
+        problems.append(f"clean run reported errors: {diags.summary()}")
+    span_names = {span.name for span in tracer.spans()}
+    required = {"check.ir", "check.lint", "check.profile", "check.automaton",
+                "check.hpg", "check.dataflow"}
+    if not required <= span_names:
+        problems.append(f"missing check spans: {sorted(required - span_names)}")
+    runs = sum(
+        c for (name, _), c in registry.snapshot()["counters"].items()
+        if name == "check_pass_runs"
+    )
+    if runs <= 0:
+        problems.append("no check_pass_runs counter increments")
+
+    # Negative control: break flow conservation and require detection.
+    fn = module.function("work")
+    cfg = Cfg.from_function(fn)
+    recording = recording_edges(cfg)
+    interp = Interpreter(module, profile_mode="bl", track_sites=False)
+    profile = interp.run([n], inputs).profiles["work"]
+    corrupted = PathProfile(dict(profile.items()))
+    # Inflate a non-cyclic path starting mid-routine: extra traversals of a
+    # cycle (or of a whole entry-to-exit trip) would still conserve flow.
+    entry_succs = set(cfg.succs(cfg.entry))
+    extra = next(
+        p
+        for p in corrupted.paths()
+        if p.start not in entry_succs and p.end != p.start
+    )
+    corrupted.add(extra, 7)
+    bad = check_profile("work", cfg, recording, corrupted)
+    if PROF_FLOW_IMBALANCE not in bad.codes():
+        problems.append("corrupted profile not caught by PROF004")
+
+    for problem in problems:
+        print(f"# self-check FAILED: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(
+        f"# self-check OK: {len(diags)} clean findings, "
+        f"{len(bad.errors)} seeded defects caught",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .workloads import WORKLOAD_NAMES
+
+    if args.self_check:
+        return _check_self_check()
+    if not args.target:
+        raise SystemExit("check: give a workload name, a .mc file, or --self-check")
+
+    with _trace_capture(args):
+        if args.target in WORKLOAD_NAMES:
+            from .pipeline.cached_run import make_run
+            from .workloads import get_workload
+
+            run = make_run(
+                get_workload(args.target),
+                args.cache_dir,
+                engine=args.engine,
+                check=True,
+            )
+            run.qualified(args.ca, args.cr)
+            diags = run.checker.diagnostics
+        elif args.target == "running_example":
+            from .checks.runner import check_program
+            from .workloads.running_example import (
+                running_example_module,
+                training_run_inputs,
+            )
+
+            n, inputs = training_run_inputs()
+            diags = check_program(
+                running_example_module(),
+                [n],
+                inputs,
+                ca=args.ca,
+                cr=args.cr,
+                engine=args.engine,
+                workload="running_example",
+            )
+        else:
+            from .checks.runner import check_program
+
+            with open(args.target) as f:
+                module = compile_program(f.read())
+            diags = check_program(
+                module,
+                args.args,
+                _parse_inputs(args.input),
+                ca=args.ca,
+                cr=args.cr,
+                engine=args.engine,
+                workload=args.target,
+            )
+    if args.json:
+        print(diags.to_json())
+    else:
+        print(diags.render_text())
+    return diags.exit_code(args.fail_on)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("reference", "compiled"),
         default="compiled",
         help="execution engine (compiled = block-compiled fast path)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="run the invariant checkers on the module and profile "
+        "(exit 2 on error findings)",
     )
     _add_trace_out(p)
     p.set_defaults(func=cmd_run)
@@ -330,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="compiled",
         help="execution engine for the profiling runs",
     )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify every pipeline stage with the invariant checkers "
+        "(exit 2 on error findings)",
+    )
     _add_trace_out(p)
     p.set_defaults(func=cmd_report)
 
@@ -358,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent artifact cache (omit for in-memory only)",
     )
     p.add_argument("--out", metavar="DIR", help="write artifacts here")
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify every pipeline stage in every job "
+        "(exit 2 on error findings)",
+    )
     _add_trace_out(p)
     p.set_defaults(func=cmd_bench)
 
@@ -395,6 +571,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_out(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "check",
+        help="run the self-verifying analysis layer: IR/profile/automaton/"
+        "HPG/dataflow invariant checks and lints",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        help="workload name, 'running_example', or a MiniC file",
+    )
+    p.add_argument("--args", type=int, nargs="*", default=[])
+    p.add_argument("--input", action="append", default=[], metavar="NAME=V1,V2")
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine for the profiling runs",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache for workload targets "
+        "(cached artifacts are checked too)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="lowest severity that makes the exit code non-zero",
+    )
+    p.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify the checkers themselves: a clean run reports no "
+        "errors and a seeded defect is caught (CI smoke test)",
+    )
+    _add_trace_out(p)
+    p.set_defaults(func=cmd_check)
 
     return parser
 

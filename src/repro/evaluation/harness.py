@@ -87,11 +87,20 @@ class WorkloadRun:
         workload: Workload,
         engine: str = "compiled",
         tracer: Optional[Tracer] = None,
+        checker=None,
     ) -> None:
         if engine not in ("reference", "compiled"):
             raise ValueError(f"bad engine {engine!r}")
         self.workload = workload
         self.engine = engine
+        # Self-verification hooks (null object when disabled; see
+        # repro.checks.runner).  Imported lazily: the checks package must
+        # stay importable from repro.ir, which this module imports.
+        if checker is None:
+            from ..checks.runner import NULL_CHECKER
+
+            checker = NULL_CHECKER
+        self.checker = checker
         # Stage timings are measured through spans.  When observability is
         # on, the stages land in the global trace; when it is off, a private
         # always-enabled tracer keeps ``timings`` real without publishing
@@ -106,6 +115,8 @@ class WorkloadRun:
             self.module: Module = self._compile_module()
             validate_module(self.module)
         self._stage_spans["compile"] = span
+        if checker.enabled:
+            checker.after_compile(workload.name, self.module)
 
         with tr.span(
             "workload.train_run", workload=workload.name, engine=engine
@@ -113,6 +124,8 @@ class WorkloadRun:
             self.train: RunResult = self._run_train()
         span.set(instructions=self.train.instr_count)
         self._stage_spans["train_run"] = span
+        if checker.enabled:
+            checker.after_run(workload.name, "train", self.module, self.train)
 
         with tr.span(
             "workload.ref_run", workload=workload.name, engine=engine
@@ -120,6 +133,8 @@ class WorkloadRun:
             self.ref: RunResult = self._run_ref()
         span.set(instructions=self.ref.instr_count)
         self._stage_spans["ref_run"] = span
+        if checker.enabled:
+            checker.after_run(workload.name, "ref", self.module, self.ref)
 
         self._qualified: dict[tuple[float, float], dict[str, QualifiedAnalysis]] = {}
         self._classified: dict[
@@ -183,6 +198,12 @@ class WorkloadRun:
                 "workload.qualify", workload=self.workload.name, ca=ca, cr=cr
             ):
                 self._qualified[key] = self._compute_qualified(ca, cr)
+            # Deliberately also covers subclass cache hits: a corrupted
+            # cached artifact fails its invariants just like a fresh one.
+            if self.checker.enabled:
+                self.checker.after_qualified(
+                    self.workload.name, self._qualified[key]
+                )
         return self._qualified[key]
 
     def classification(

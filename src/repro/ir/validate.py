@@ -1,91 +1,54 @@
 """IR validation.
 
-:func:`validate_function` / :func:`validate_module` check the structural
-invariants every pass relies on and raise :class:`ValidationError` with a
-precise message when one is violated.
+:func:`validate_function` / :func:`validate_module` are thin raise-on-error
+wrappers over the collect-all diagnostics checks in
+:mod:`repro.checks.ir_checks`: they run the same structural invariants and
+raise :class:`ValidationError` with a precise message on the first
+error-severity finding.  Callers that want *every* violation at once (and
+severity/location structure) should call
+:func:`repro.checks.ir_checks.check_function_ir` /
+:func:`~repro.checks.ir_checks.check_module_ir` directly.
 """
 
 from __future__ import annotations
 
-from .cfg import Cfg
+from ..checks.diagnostics import Diagnostic, Diagnostics, Severity
+from ..checks.ir_checks import (
+    BUILTIN_FUNCTIONS,
+    check_function_ir,
+    check_module_ir,
+)
 from .function import Function, Module
-from .instructions import Branch, Call, Jump, Ret
-from .operands import Const, Var
 
 
 class ValidationError(Exception):
     """Raised when IR violates a structural invariant."""
 
 
+def _legacy_message(d: Diagnostic) -> str:
+    """The historical ``fn:label: message`` string for a diagnostic."""
+    prefix = ":".join(p for p in (d.function, d.block) if p)
+    return f"{prefix}: {d.message}" if prefix else d.message
+
+
+def _raise_first_error(diagnostics: Diagnostics) -> None:
+    for d in diagnostics:
+        if d.severity >= Severity.ERROR:
+            raise ValidationError(_legacy_message(d))
+
+
 def validate_function(fn: Function, module: Module | None = None) -> None:
-    """Check structural invariants of ``fn``.
+    """Check structural invariants of ``fn``; raise on the first violation.
 
-    * every block has exactly one terminator;
-    * every jump/branch target resolves to a block in the function;
-    * the entry label exists;
-    * array references resolve when a module is supplied;
-    * call targets resolve when a module is supplied (builtins allowed);
-    * every block is reachable from the entry (unreachable code is permitted
-      in general IR but is a bug in everything our pipeline emits).
+    See :func:`repro.checks.ir_checks.check_function_ir` for the invariant
+    list and the collect-all variant.
     """
-    if not fn.blocks:
-        raise ValidationError(f"{fn.name}: function has no blocks")
-    if fn.entry not in fn.blocks:
-        raise ValidationError(f"{fn.name}: entry {fn.entry!r} is not a block")
-
-    for label, block in fn.blocks.items():
-        if block.terminator is None:
-            raise ValidationError(f"{fn.name}:{label}: missing terminator")
-        for target in block.terminator.targets():
-            if target not in fn.blocks:
-                raise ValidationError(
-                    f"{fn.name}:{label}: terminator targets unknown block {target!r}"
-                )
-        if isinstance(block.terminator, Branch):
-            t = block.terminator
-            if t.if_true == t.if_false:
-                # Not fatal, but a degenerate branch defeats edge-based
-                # profiling (parallel edges are unsupported).
-                raise ValidationError(
-                    f"{fn.name}:{label}: branch with identical targets {t.if_true!r}"
-                )
-        for instr in block.instrs:
-            for op in instr.uses():
-                if not isinstance(op, (Const, Var)):
-                    raise ValidationError(
-                        f"{fn.name}:{label}: bad operand {op!r} in {instr}"
-                    )
-            if module is not None:
-                if hasattr(instr, "array") and instr.array not in module.arrays:
-                    raise ValidationError(
-                        f"{fn.name}:{label}: unknown array {instr.array!r}"
-                    )
-                if isinstance(instr, Call):
-                    if (
-                        instr.func not in module.functions
-                        and instr.func not in BUILTIN_FUNCTIONS
-                    ):
-                        raise ValidationError(
-                            f"{fn.name}:{label}: unknown function {instr.func!r}"
-                        )
-
-    cfg = Cfg.from_function(fn)
-    reachable = cfg.reachable()
-    for label in fn.blocks:
-        if label not in reachable:
-            raise ValidationError(f"{fn.name}:{label}: unreachable block")
-
-
-#: Builtins the interpreter provides; their results are opaque to analysis.
-BUILTIN_FUNCTIONS = frozenset({"abs", "min2", "max2", "clamp"})
+    _raise_first_error(check_function_ir(fn, module))
 
 
 def validate_module(module: Module) -> None:
-    """Validate every function in ``module``."""
-    if "main" not in module.functions:
-        raise ValidationError("module has no main function")
-    for fn in module.functions.values():
-        validate_function(fn, module)
+    """Validate every function in ``module``; raise on the first violation."""
+    _raise_first_error(check_module_ir(module))
 
 
 __all__ = ["ValidationError", "validate_function", "validate_module", "BUILTIN_FUNCTIONS"]

@@ -45,10 +45,14 @@ class CachedWorkloadRun(WorkloadRun):
     """
 
     def __init__(
-        self, workload: Workload, cache: ArtifactCache, engine: str = "compiled"
+        self,
+        workload: Workload,
+        cache: ArtifactCache,
+        engine: str = "compiled",
+        checker=None,
     ) -> None:
         self.cache = cache
-        super().__init__(workload, engine=engine)
+        super().__init__(workload, engine=engine, checker=checker)
 
     # -- pipeline steps, memoized -----------------------------------------
 
@@ -95,10 +99,22 @@ class CachedWorkloadRun(WorkloadRun):
 
 
 def make_run(
-    workload: Workload, cache_dir=None, engine: str = "compiled"
+    workload: Workload,
+    cache_dir=None,
+    engine: str = "compiled",
+    check: bool = False,
 ) -> WorkloadRun:
-    """Build a run, cached when a cache directory (or cache) is given."""
+    """Build a run, cached when a cache directory (or cache) is given.
+
+    With ``check=True`` a fresh :class:`~repro.checks.runner.PipelineChecker`
+    verifies every stage (including cached artifacts) as it completes.
+    """
+    checker = None
+    if check:
+        from ..checks.runner import PipelineChecker
+
+        checker = PipelineChecker()
     if cache_dir is None:
-        return WorkloadRun(workload, engine=engine)
+        return WorkloadRun(workload, engine=engine, checker=checker)
     cache = cache_dir if isinstance(cache_dir, ArtifactCache) else ArtifactCache(cache_dir)
-    return CachedWorkloadRun(workload, cache, engine=engine)
+    return CachedWorkloadRun(workload, cache, engine=engine, checker=checker)

@@ -27,6 +27,7 @@ import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from ..checks.diagnostics import Diagnostics
 from ..evaluation.harness import CA_SWEEP, DEFAULT_CA, DEFAULT_CR, WorkloadRun
 from ..evaluation.figures import render_series
 from ..evaluation.tables import format_table
@@ -92,6 +93,8 @@ class SweepResult:
     summaries: dict[str, WorkloadSummary]
     #: Cache statistics merged across all jobs (and worker processes).
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Checker findings merged across all jobs (empty unless ``check=True``).
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
 
     # -- renderers ---------------------------------------------------------
 
@@ -201,14 +204,16 @@ class SweepResult:
 
 #: Per-process memo of built runs, so a pool worker that already compiled
 #: and profiled a workload serves its remaining coverage jobs from memory.
-_RUN_TABLE: dict[tuple[str, Optional[str]], WorkloadRun] = {}
+_RUN_TABLE: dict[tuple[str, Optional[str], bool], WorkloadRun] = {}
 
 
-def _obtain_run(name: str, cache_dir: Optional[str]) -> WorkloadRun:
-    key = (name, cache_dir)
+def _obtain_run(
+    name: str, cache_dir: Optional[str], check: bool = False
+) -> WorkloadRun:
+    key = (name, cache_dir, check)
     run = _RUN_TABLE.get(key)
     if run is None:
-        run = make_run(get_workload(name), cache_dir)
+        run = make_run(get_workload(name), cache_dir, check=check)
         _RUN_TABLE[key] = run
     return run
 
@@ -297,24 +302,66 @@ def _stats_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> Cache
     return delta
 
 
+#: Checker findings already shipped back by this worker, per run key, so a
+#: worker serving several jobs for one workload reports each finding once.
+_DIAG_REPORTED: dict[tuple[str, Optional[str]], int] = {}
+
+
+def _diag_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> list[dict]:
+    key = (name, cache_dir)
+    records = run.checker.diagnostics.records
+    start = _DIAG_REPORTED.get(key, 0)
+    _DIAG_REPORTED[key] = len(records)
+    return [d.to_dict() for d in records[start:]]
+
+
 def _cell_job(
-    name: str, ca: float, cr: float, cache_dir: Optional[str], obs: bool = False
-) -> tuple[str, float, SweepCell, CacheStats, Optional[tuple[list[dict], dict]]]:
+    name: str,
+    ca: float,
+    cr: float,
+    cache_dir: Optional[str],
+    obs: bool = False,
+    check: bool = False,
+) -> tuple[
+    str, float, SweepCell, CacheStats, list[dict],
+    Optional[tuple[list[dict], dict]],
+]:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.cell", workload=name, ca=ca):
-        run = _obtain_run(name, cache_dir)
+        run = _obtain_run(name, cache_dir, check)
         cell = _cell_from_run(run, ca, cr)
-    return name, ca, cell, _stats_delta(name, cache_dir, run), _obs_delta(active)
+    return (
+        name,
+        ca,
+        cell,
+        _stats_delta(name, cache_dir, run),
+        _diag_delta(name, cache_dir, run),
+        _obs_delta(active),
+    )
 
 
 def _summary_job(
-    name: str, default_ca: float, cr: float, cache_dir: Optional[str], obs: bool = False
-) -> tuple[str, WorkloadSummary, CacheStats, Optional[tuple[list[dict], dict]]]:
+    name: str,
+    default_ca: float,
+    cr: float,
+    cache_dir: Optional[str],
+    obs: bool = False,
+    check: bool = False,
+) -> tuple[
+    str, WorkloadSummary, CacheStats, list[dict],
+    Optional[tuple[list[dict], dict]],
+]:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.summary", workload=name):
-        run = _obtain_run(name, cache_dir)
+        run = _obtain_run(name, cache_dir, check)
         summary = _summary_from_run(run, default_ca, cr)
-    return name, summary, _stats_delta(name, cache_dir, run), _obs_delta(active)
+    return (
+        name,
+        summary,
+        _stats_delta(name, cache_dir, run),
+        _diag_delta(name, cache_dir, run),
+        _obs_delta(active),
+    )
 
 
 class ParallelDriver:
@@ -332,6 +379,7 @@ class ParallelDriver:
         cache_dir: Union[str, None] = None,
         cr: float = DEFAULT_CR,
         default_ca: float = DEFAULT_CA,
+        check: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -339,6 +387,8 @@ class ParallelDriver:
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.cr = cr
         self.default_ca = default_ca
+        #: Verify every pipeline stage of every job (SweepResult.diagnostics).
+        self.check = check
 
     def sweep(
         self,
@@ -380,13 +430,14 @@ class ParallelDriver:
     def _sweep_serial(self, result: SweepResult) -> None:
         for name in result.workloads:
             with get_tracer().span("driver.workload", workload=name):
-                run = make_run(get_workload(name), self.cache_dir)
+                run = make_run(get_workload(name), self.cache_dir, check=self.check)
                 for ca in result.ca_values:
                     result.cells[(name, ca)] = _cell_from_run(run, ca, self.cr)
                 result.summaries[name] = _summary_from_run(
                     run, self.default_ca, self.cr
                 )
             result.cache_stats.merge(_stats_of(run))
+            result.diagnostics.extend(run.checker.diagnostics)
 
     # -- process-pool fan-out ----------------------------------------------
 
@@ -395,11 +446,16 @@ class ParallelDriver:
         obs = observability_enabled()
         sweep_span = tracer.current()
         parent_id = sweep_span.span_id if sweep_span is not None else None
+        # Several workers may independently build (and check) the same
+        # workload; identical findings are merged once.
+        seen_diags: set = set(result.diagnostics.records)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.jobs
         ) as pool:
             futures = [
-                pool.submit(_cell_job, name, ca, self.cr, self.cache_dir, obs)
+                pool.submit(
+                    _cell_job, name, ca, self.cr, self.cache_dir, obs, self.check
+                )
                 for name in result.workloads
                 for ca in result.ca_values
             ]
@@ -411,18 +467,23 @@ class ParallelDriver:
                     self.cr,
                     self.cache_dir,
                     obs,
+                    self.check,
                 )
                 for name in result.workloads
             ]
             for future in concurrent.futures.as_completed(futures):
                 payload = future.result()
-                if len(payload) == 5:
-                    name, ca, cell, stats, obs_payload = payload
+                if len(payload) == 6:
+                    name, ca, cell, stats, diags, obs_payload = payload
                     result.cells[(name, ca)] = cell
                 else:
-                    name, summary, stats, obs_payload = payload
+                    name, summary, stats, diags, obs_payload = payload
                     result.summaries[name] = summary
                 result.cache_stats.merge(stats)
+                for d in Diagnostics.from_dicts(diags):
+                    if d not in seen_diags:
+                        seen_diags.add(d)
+                        result.diagnostics.add(d)
                 if obs_payload is not None:
                     records, metric_delta = obs_payload
                     if tracer.enabled:

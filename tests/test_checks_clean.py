@@ -1,0 +1,107 @@
+"""The checker layer against *clean* pipelines: every invariant family must
+come back silent (no error-severity findings) on code the repo itself
+produces.  This is the executable form of the paper's theorems — Theorem 1
+(conservation), Theorem 2 (trivial failure function), Lemmas 1-2 (profile
+carry-over) hold on every real run, not just on the worked example.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import Severity
+from repro.checks.runner import (
+    NULL_CHECKER,
+    PipelineChecker,
+    check_module,
+    check_qualified,
+    check_run_result,
+    check_workload_run,
+)
+from repro.evaluation.harness import WorkloadRun
+from repro.obs import capture
+from repro.workloads import get_workload
+
+CA, CR = 0.97, 0.95
+
+#: One span per check pass, nested under the stage that triggered it.
+CHECK_SPANS = {
+    "check.ir",
+    "check.lint",
+    "check.profile",
+    "check.automaton",
+    "check.hpg",
+    "check.dataflow",
+}
+
+
+def assert_no_errors(diags):
+    assert not diags.has_errors, "\n" + diags.render_text()
+
+
+class TestRunningExampleClean:
+    def test_module_checks(self, example_module):
+        assert_no_errors(check_module(example_module))
+
+    def test_run_checks(self, example_module, example_run):
+        diags = check_run_result(example_module, example_run)
+        assert_no_errors(diags)
+
+    def test_qualified_checks(self, example_qualified):
+        diags = check_qualified({"work": example_qualified})
+        assert_no_errors(diags)
+        # The traced pipeline actually engaged: the HPG exists and the
+        # checks above really exercised the projection / carry-over paths.
+        assert example_qualified.hpg is not None
+
+
+class TestWorkloadClean:
+    def test_compress_full_run_clean(self, compress_run):
+        diags = check_workload_run(compress_run, CA, CR)
+        assert_no_errors(diags)
+        # Frontend zero-initializations produce a couple of known
+        # dead-store warnings; anything else would be a surprise.
+        assert {d.code for d in diags.warnings} <= {"LINT002"}
+
+    def test_vortex_full_run_clean(self, vortex_run):
+        assert_no_errors(check_workload_run(vortex_run, CA, CR))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "name", ["go95", "ijpeg95", "li95", "m88ksim95", "perl95"]
+    )
+    def test_remaining_workloads_clean(self, name):
+        run = WorkloadRun(get_workload(name))
+        assert_no_errors(check_workload_run(run, CA, CR))
+
+
+class TestPipelineCheckerWiring:
+    def test_null_checker_is_inert(self):
+        assert not NULL_CHECKER.enabled
+        NULL_CHECKER.after_compile("w", None)
+        NULL_CHECKER.after_run("w", "train", None, None)
+        NULL_CHECKER.after_qualified("w", None)
+        assert not hasattr(NULL_CHECKER, "diagnostics") or not list(
+            getattr(NULL_CHECKER, "diagnostics", [])
+        )
+
+    def test_checker_hooks_fire_with_spans_and_counters(self):
+        checker = PipelineChecker()
+        with capture() as (tracer, registry):
+            run = WorkloadRun(get_workload("compress95"), checker=checker)
+            run.qualified(CA, CR)
+            snapshot = registry.snapshot()
+        assert_no_errors(checker.diagnostics)
+
+        names = {s.name for s in tracer.spans()}
+        assert CHECK_SPANS <= names
+
+        ran = {
+            labels: count
+            for (metric, labels), count in snapshot["counters"].items()
+            if metric == "check_pass_runs"
+        }
+        assert ran and all(count > 0 for count in ran.values())
+
+    def test_default_run_has_null_checker(self, compress_run):
+        assert compress_run.checker is NULL_CHECKER

@@ -1,0 +1,115 @@
+"""Tests for the diagnostics data model (``repro.checks.diagnostics``)."""
+
+import json
+
+import pytest
+
+from repro.checks import Diagnostic, Diagnostics, Severity
+
+
+def make(code="IR001", severity=Severity.ERROR, **kw):
+    kw.setdefault("message", "something broke")
+    return Diagnostic(code=code, severity=severity, **kw)
+
+
+class TestDiagnostic:
+    def test_location_parts(self):
+        d = make(function="work", block="B", instr=3)
+        assert d.location() == "work:B:3"
+
+    def test_location_empty(self):
+        assert make().location() == ""
+
+    def test_format_includes_code_severity_and_hint(self):
+        d = make(
+            code="PROF004",
+            severity=Severity.ERROR,
+            message="flow conservation violated",
+            function="work",
+            block="B",
+            hint="check split_trace",
+        )
+        text = d.format()
+        assert "PROF004" in text
+        assert "error" in text
+        assert "work:B" in text
+        assert "check split_trace" in text
+
+    def test_roundtrip_dict(self):
+        d = make(code="LINT002", severity=Severity.WARNING, block="7")
+        again = Diagnostic.from_dict(d.to_dict())
+        assert again == d
+        assert isinstance(again.severity, Severity)
+
+    def test_frozen_and_hashable(self):
+        d = make()
+        with pytest.raises(Exception):
+            d.code = "IR002"
+        assert len({d, make()}) == 1
+
+
+class TestDiagnostics:
+    def two(self):
+        out = Diagnostics()
+        out.emit("IR001", Severity.ERROR, "bad", function="f")
+        out.emit("LINT002", Severity.WARNING, "dead store", function="g")
+        return out
+
+    def test_emit_and_partition(self):
+        out = self.two()
+        assert [d.code for d in out.errors] == ["IR001"]
+        assert [d.code for d in out.warnings] == ["LINT002"]
+        assert out.has_errors
+
+    def test_codes_and_counts(self):
+        out = self.two()
+        assert out.codes() == {"IR001", "LINT002"}
+        assert out.counts() == {"error": 1, "warning": 1, "info": 0}
+
+    def test_filter(self):
+        out = self.two()
+        assert [d.code for d in out.filter(code="IR001")] == ["IR001"]
+        assert (
+            [d.code for d in out.filter(severity=Severity.WARNING)]
+            == ["LINT002"]
+        )
+
+    def test_summary_and_render(self):
+        out = self.two()
+        assert "1 error" in out.summary()
+        text = out.render_text()
+        assert "IR001" in text and "LINT002" in text
+
+    def test_render_text_limit(self):
+        out = Diagnostics()
+        for i in range(5):
+            out.emit("IR001", Severity.ERROR, f"bad {i}")
+        text = out.render_text(limit=2)
+        assert "bad 0" in text and "bad 1" in text
+        assert "bad 4" not in text
+        assert "and 3 more" in text
+
+    def test_json_roundtrip(self):
+        out = self.two()
+        parsed = json.loads(out.to_json())
+        assert len(parsed["diagnostics"]) == 2
+        assert parsed["counts"]["error"] == 1
+        again = Diagnostics.from_dicts(parsed["diagnostics"])
+        assert list(again.records) == list(out.records)
+
+    def test_extend(self):
+        a, b = self.two(), self.two()
+        a.extend(b)
+        assert len(a.records) == 4
+
+    def test_exit_codes(self):
+        clean = Diagnostics()
+        assert clean.exit_code() == 0
+        warn_only = Diagnostics()
+        warn_only.emit("LINT002", Severity.WARNING, "dead store")
+        assert warn_only.exit_code() == 0
+        assert warn_only.exit_code(fail_on="warning") == 1
+        assert warn_only.exit_code(fail_on="never") == 0
+        errs = self.two()
+        assert errs.exit_code() == 2
+        assert errs.exit_code(fail_on="never") == 0

@@ -1,0 +1,322 @@
+"""Mutation tests for the checker layer: each invariant family must catch a
+deliberately seeded defect.  A checker that never fires is worse than no
+checker — these tests are the negative controls for
+``tests/test_checks_clean.py``.
+
+Every test builds (or corrupts) its own objects; session-scoped fixtures are
+only ever read to derive fresh copies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import check_module_ir
+from repro.checks.automaton_checks import (
+    AUT_BAD_TRIE_SHAPE,
+    AUT_INTERIOR_RECORDING,
+    AUT_THEOREM2_MISMATCH,
+    check_automaton,
+)
+from repro.checks.dataflow_checks import (
+    DF_PROJECTION_UNSOUND,
+    DF_RESIDUAL,
+    check_dataflow,
+)
+from repro.checks.hpg_checks import (
+    HPG_PROFILE_MASS_LOST,
+    HPG_RECORDING_NOT_CARRIED,
+    HPG_STATE_INCONSISTENT,
+    check_hpg,
+)
+from repro.checks.lint import (
+    LINT_CONSTANT_BRANCH,
+    LINT_DEAD_STORE,
+    LINT_UNREACHABLE_UNDER_CONSTANTS,
+    LINT_USE_BEFORE_DEF,
+    lint_function,
+)
+from repro.checks.profile_checks import (
+    PROF_BLOCK_COUNT_MISMATCH,
+    PROF_EDGE_NOT_IN_GRAPH,
+    PROF_FINAL_NOT_RECORDING,
+    PROF_FLOW_IMBALANCE,
+    PROF_INTERIOR_RECORDING,
+    PROF_PATH_SUM_MISMATCH,
+    check_profile,
+)
+from repro.automaton.qualification import DOT
+from repro.ir import (
+    BasicBlock,
+    Branch,
+    Function,
+    IRBuilder,
+    Jump,
+    Module,
+    Ret,
+    Var,
+)
+from repro.ir.cfg import Cfg
+from repro.profiles.path_profile import BLPath, PathProfile
+from repro.profiles.recording import recording_edges
+
+
+@pytest.fixture()
+def work_graph(example_module):
+    cfg = Cfg.from_function(example_module.function("work"))
+    return cfg, recording_edges(cfg)
+
+
+@pytest.fixture()
+def fresh_qa(example_module, example_profile):
+    """A private qualified pipeline the test may corrupt freely."""
+    from repro.core import run_qualified
+
+    return run_qualified(
+        example_module.function("work"), example_profile, ca=1.0
+    )
+
+
+# -- IR family -------------------------------------------------------------
+
+
+def test_ir_checks_collect_every_defect():
+    m = Module()
+    m.add_function(
+        Function(
+            "f",
+            blocks=[
+                BasicBlock("entry", [], Branch(Var("c"), "next", "next")),
+                BasicBlock("next", []),
+                BasicBlock("orphan", [], Jump("nowhere")),
+            ],
+        )
+    )
+    # Structurally sound except for one unreachable block (reachability is
+    # only checked once the skeleton is intact).
+    m.add_function(
+        Function(
+            "g",
+            blocks=[
+                BasicBlock("entry", [], Jump("done")),
+                BasicBlock("done", [], Ret()),
+                BasicBlock("island", [], Jump("done")),
+            ],
+        )
+    )
+    diags = check_module_ir(m)
+    # Collect-all: one pass reports the degenerate branch, the missing
+    # terminator, the unknown target, the unreachable block, AND the
+    # missing main — the raise-on-first validator only saw the first.
+    assert {"IR003", "IR004", "IR005", "IR009", "IR010"} <= diags.codes()
+    assert len(diags.errors) >= 5
+
+
+# -- profile family --------------------------------------------------------
+
+
+class TestProfileMutations:
+    def corrupt(self, profile):
+        return PathProfile(dict(profile.items()))
+
+    def test_fabricated_edge(self, work_graph, example_profile):
+        cfg, rec = work_graph
+        bad = self.corrupt(example_profile)
+        bad.add(BLPath(("A", "Z", "A")), 1)
+        out = check_profile("work", cfg, rec, bad)
+        assert PROF_EDGE_NOT_IN_GRAPH in out.codes()
+
+    def test_path_through_recording_edge(self, work_graph, example_profile):
+        cfg, rec = work_graph
+        bad = self.corrupt(example_profile)
+        # Extend a real path one edge past its recording edge: the
+        # recording edge becomes interior and the new final edge is not
+        # recording — both halves of the Ball-Larus shape break.
+        base = next(
+            p
+            for p in bad.paths()
+            if p.edges()[-1] in rec and cfg.succs(p.end)
+        )
+        succ = next(iter(cfg.succs(base.end)))
+        bad.add(BLPath((*base.vertices, succ)), 1)
+        out = check_profile("work", cfg, rec, bad)
+        assert PROF_INTERIOR_RECORDING in out.codes()
+        assert PROF_FINAL_NOT_RECORDING in out.codes()
+
+    def test_truncated_path(self, work_graph, example_profile):
+        cfg, rec = work_graph
+        bad = self.corrupt(example_profile)
+        base = next(p for p in bad.paths() if len(p.vertices) > 2)
+        bad.add(BLPath(base.vertices[:-1]), 1)
+        out = check_profile("work", cfg, rec, bad)
+        assert PROF_FINAL_NOT_RECORDING in out.codes()
+        # One path without a recording edge also desynchronizes the
+        # path-count / recording-flow identity.
+        assert PROF_PATH_SUM_MISMATCH in out.codes()
+
+    def test_miscounted_path_breaks_kirchhoff(
+        self, work_graph, example_profile
+    ):
+        cfg, rec = work_graph
+        bad = self.corrupt(example_profile)
+        # A non-cyclic path starting mid-routine: inflating it cannot be
+        # absorbed by the entry-successor deficit or the exit inflow.
+        entry_succs = set(cfg.succs(cfg.entry))
+        victim = next(
+            p
+            for p in bad.paths()
+            if p.start not in entry_succs and p.end != p.start
+        )
+        bad.add(victim, 7)
+        out = check_profile("work", cfg, rec, bad)
+        assert PROF_FLOW_IMBALANCE in out.codes()
+
+    def test_block_count_mismatch(self, work_graph, example_profile):
+        cfg, rec = work_graph
+        counts = dict(example_profile.block_frequencies())
+        block = next(iter(counts))
+        counts[block] += 3
+        out = check_profile("work", cfg, rec, example_profile, counts)
+        assert PROF_BLOCK_COUNT_MISMATCH in out.codes()
+        assert any(d.block == str(block) for d in out.errors)
+
+    def test_clean_profile_is_clean(self, work_graph, example_profile):
+        cfg, rec = work_graph
+        out = check_profile(
+            "work", cfg, rec, example_profile,
+            example_profile.block_frequencies(),
+        )
+        assert not out.has_errors
+
+
+# -- automaton family ------------------------------------------------------
+
+
+class TestAutomatonMutations:
+    def test_extra_trie_state_breaks_theorem2(self, work_graph, fresh_qa):
+        cfg, rec = work_graph
+        automaton = fresh_qa.automaton
+        automaton.trie.insert([DOT, ("Z", "Z")])
+        out = check_automaton("work", cfg, rec, automaton)
+        assert AUT_THEOREM2_MISMATCH in out.codes()
+
+    def test_interior_recording_hot_path(self, work_graph, fresh_qa):
+        cfg, rec = work_graph
+        automaton = fresh_qa.automaton
+        # Smuggle in a "hot path" that runs through a recording edge (the
+        # constructor rejects these, so corrupt the attribute directly).
+        base = automaton.hot_paths[0]
+        succ = next(iter(cfg.succs(base.end)))
+        automaton.hot_paths = automaton.hot_paths + (
+            BLPath((*base.vertices, succ)),
+        )
+        out = check_automaton("work", cfg, rec, automaton)
+        assert AUT_INTERIOR_RECORDING in out.codes()
+
+    def test_non_dot_root_child(self, work_graph, fresh_qa):
+        cfg, rec = work_graph
+        automaton = fresh_qa.automaton
+        automaton.trie.insert([("A", "B")])
+        out = check_automaton("work", cfg, rec, automaton)
+        assert AUT_BAD_TRIE_SHAPE in out.codes()
+
+
+# -- hot-path-graph family -------------------------------------------------
+
+
+class TestHpgMutations:
+    def test_dropped_recording_edge(self, fresh_qa):
+        hpg = fresh_qa.hpg
+        victim = next(iter(hpg.recording))
+        hpg.recording = frozenset(set(hpg.recording) - {victim})
+        out = check_hpg("work", fresh_qa)
+        assert HPG_RECORDING_NOT_CARRIED in out.codes()
+
+    def test_edge_to_wrong_state(self, fresh_qa):
+        hpg = fresh_qa.hpg
+        automaton = hpg.automaton
+        u, w = next(
+            (u, w)
+            for u, w in hpg.cfg.edges
+            if hpg.original_cfg.has_edge(u[0], w[0])
+        )
+        want = automaton.transition(u[1], (u[0], w[0]))
+        wrong = next(s for s in automaton.states() if s != want)
+        hpg.cfg.add_edge(u, (w[0], wrong))
+        out = check_hpg("work", fresh_qa)
+        assert HPG_STATE_INCONSISTENT in out.codes()
+
+    def test_translated_profile_mass_lost(self, fresh_qa):
+        profile = fresh_qa.hpg_profile
+        profile.add(next(iter(profile.paths())), 5)
+        out = check_hpg("work", fresh_qa)
+        assert HPG_PROFILE_MASS_LOST in out.codes()
+
+
+# -- dataflow family -------------------------------------------------------
+
+
+class TestDataflowMutations:
+    def test_truncated_solution_fails_residual(self, fresh_qa):
+        baseline = fresh_qa.baseline
+        # Simulate a corrupted cached solution: the entry's environment is
+        # gone, so the solution is no longer a post-fixpoint.
+        baseline.env_in.pop(baseline.view.cfg.entry, None)
+        out = check_dataflow("work", fresh_qa)
+        assert DF_RESIDUAL in out.codes()
+
+    def test_overprecise_duplicate_fails_projection(self, fresh_qa):
+        result = fresh_qa.hpg_analysis
+        # Claim a constant the baseline never established, on every
+        # duplicate of one original block: the folded solution no longer
+        # refines the baseline (Theorem 1's conservation direction).
+        target = next(
+            v[0]
+            for v in fresh_qa.hpg.cfg.vertices
+            if isinstance(v, tuple) and fresh_qa.baseline.is_executable(v[0])
+        )
+        for v in list(result.env_in):
+            if isinstance(v, tuple) and v[0] == target:
+                env = result.env_in[v]
+                if hasattr(env, "set"):
+                    result.env_in[v] = env.set("zz_poisoned", 42)
+        out = check_dataflow("work", fresh_qa)
+        assert DF_PROJECTION_UNSOUND in out.codes()
+
+
+# -- lint family -----------------------------------------------------------
+
+
+def linty_function() -> Function:
+    b = IRBuilder("f", ["n"])
+    b.block("entry")
+    b.assign("dead", 1)
+    b.assign("dead", 2)
+    b.binop("x", "add", Var("undefined_var"), 1)
+    b.assign("c", 0)
+    b.branch(Var("c"), "hot", "cold")
+    b.block("hot")
+    b.jump("done")
+    b.block("cold")
+    b.jump("done")
+    b.block("done")
+    b.ret("x")
+    return b.finish()
+
+
+class TestLintMutations:
+    def test_all_four_lints_fire(self):
+        out = lint_function(linty_function())
+        codes = out.codes()
+        assert LINT_DEAD_STORE in codes
+        assert LINT_USE_BEFORE_DEF in codes
+        assert LINT_CONSTANT_BRANCH in codes
+        assert LINT_UNREACHABLE_UNDER_CONSTANTS in codes
+        # Lints warn; they never fail a build on their own.
+        assert not out.has_errors
+
+    def test_lints_locate_their_findings(self):
+        out = lint_function(linty_function())
+        dead = next(d for d in out if d.code == LINT_DEAD_STORE)
+        assert dead.function == "f"
+        assert dead.block == "entry"

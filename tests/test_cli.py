@@ -294,3 +294,90 @@ class TestTrace:
         records = [json.loads(line) for line in trace.read_text().splitlines()]
         names = {r["name"] for r in records if r["type"] == "span"}
         assert {"workload.compile", "workload.qualify"} <= names
+
+
+class TestCheck:
+    def test_self_check(self, capsys):
+        assert main(["check", "--self-check"]) == 0
+        err = capsys.readouterr().err
+        assert "# self-check OK" in err
+
+    def test_requires_target_or_self_check(self):
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_running_example_clean(self, capsys):
+        assert main(["check", "running_example"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_workload_clean(self, capsys):
+        assert main(["check", "compress95"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_program_file(self, prog, capsys):
+        rc = main(
+            ["check", str(prog), "--args", "6", "--input", "data=1,1,0,1,0,1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_json_output(self, prog, capsys):
+        rc = main(
+            [
+                "check",
+                str(prog),
+                "--args",
+                "6",
+                "--input",
+                "data=1,1,0,1,0,1",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert set(parsed) == {"diagnostics", "counts"}
+
+    def test_fail_on_warning(self, capsys):
+        # compress95 carries known dead-store lint warnings, so promoting
+        # warnings to failures must flip the exit code to 1.
+        assert main(["check", "compress95"]) == 0
+        capsys.readouterr()
+        assert main(["check", "compress95", "--fail-on", "warning"]) == 1
+
+    def test_run_with_check_flag(self, prog, capsys):
+        rc = main(
+            [
+                "run",
+                str(prog),
+                "--args",
+                "6",
+                "--input",
+                "data=1,1,0,1,0,1",
+                "--check",
+            ]
+        )
+        assert rc == 0
+        assert "# checks:" in capsys.readouterr().err
+
+    def test_report_with_check_flag(self, capsys):
+        assert main(["report", "compress95", "--check"]) == 0
+        assert "# checks:" in capsys.readouterr().err
+
+    def test_bench_with_check_flag(self, capsys):
+        rc = main(
+            [
+                "bench",
+                "--workloads",
+                "compress95",
+                "--ca",
+                "0.97",
+                "--jobs",
+                "1",
+                "--check",
+            ]
+        )
+        assert rc == 0
+        assert "# checks" in capsys.readouterr().err
