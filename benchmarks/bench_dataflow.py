@@ -1,0 +1,179 @@
+"""Bitset-compiled dataflow kernel vs the generic oracle: time and memory.
+
+The compiled kernel exists for paper-scale graphs — SPEC95 routines have
+hundreds of blocks, and hot-path tracing multiplies them further — while
+the MiniC workloads are miniatures whose per-solve lowering cost can hide
+the win.  So this bench measures both regimes on ``li95``:
+
+* the raw CFG and hot-path-graph views (the honest small-graph numbers,
+  reported but not gated), and
+* the same views tiled to paper scale with
+  :func:`repro.dataflow.tiling.tile_view` (variables renamed per tile, so
+  fact universes grow with the graph) — where the ``>= 3x`` floor is
+  asserted for CFG and HPG alike.
+
+A separate :mod:`tracemalloc` pass gates memory: the kernel's dense arrays
+and decoded solutions must not cost more than a modest factor over the
+generic solver's frozensets at the same scale.  Results land in
+``BENCH_dataflow.json`` for :mod:`bench_diff` to track across commits.
+"""
+
+import time
+import tracemalloc
+
+from repro.core.qualified import run_qualified
+from repro.dataflow.framework import solve
+from repro.dataflow.graph_view import GraphView
+from repro.dataflow.problems import (
+    AvailableExpressions,
+    CopyPropagation,
+    LiveVariables,
+    ReachingDefinitions,
+    VeryBusyExpressions,
+)
+from repro.dataflow.tiling import tile_view
+from repro.evaluation import format_table
+from repro.frontend import compile_program
+from repro.interp import Interpreter
+from repro.profiles.path_profile import PathProfile
+from repro.workloads import (
+    get_workload,
+    running_example_module,
+    training_run_inputs,
+)
+
+from conftest import once
+
+ENGINES = ("generic", "compiled")
+#: Asserted floor for the tiled (paper-scale) li95 views, CFG and HPG both.
+MIN_LI95_SPEEDUP = 3.0
+#: Tracemalloc peak of the compiled kernel may cost at most this factor
+#: over the generic solver on the gated (tiled) cases.
+MAX_MEM_RATIO = 1.25
+#: Tile counts chosen to land both gated views in the 1000-vertex regime.
+CFG_COPIES = 48
+HPG_COPIES = 12
+
+#: The five separable problems the kernel compiles.
+PROBLEMS = (
+    ("reaching_defs", lambda v: ReachingDefinitions(v.params, v.cfg.entry)),
+    ("liveness", lambda v: LiveVariables()),
+    ("available_exprs", lambda v: AvailableExpressions()),
+    ("very_busy", lambda v: VeryBusyExpressions()),
+    ("copy_prop", lambda v: CopyPropagation()),
+)
+
+
+def _best_of(n, fn):
+    """Best wall-clock of ``n`` runs (discards scheduler noise)."""
+    best = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _solve_all(views, engine):
+    for view in views:
+        for _, make in PROBLEMS:
+            solve(make(view), view, engine=engine)
+
+
+def _measure_case(views, repeats=2):
+    """Per-engine best wall time and tracemalloc peak over ``views``."""
+    case = {
+        "vertices": sum(len(list(v.cfg.vertices)) for v in views),
+        "solves": len(views) * len(PROBLEMS),
+    }
+    for engine in ENGINES:
+        seconds = _best_of(repeats, lambda: _solve_all(views, engine))
+        tracemalloc.start()
+        _solve_all(views, engine)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        case[engine] = {
+            "seconds": seconds,
+            "peak_kb": round(peak / 1024.0, 1),
+        }
+    case["speedup"] = case["generic"]["seconds"] / case["compiled"]["seconds"]
+    case["mem_ratio"] = case["compiled"]["peak_kb"] / case["generic"]["peak_kb"]
+    return case
+
+
+def _li95_views():
+    """(cfg views, hpg views) of li95 at the default coverage."""
+    li95 = get_workload("li95")
+    module = compile_program(li95.source)
+    profiles = Interpreter(
+        module, profile_mode="bl", track_sites=False
+    ).run(li95.train_args, li95.train_inputs).profiles
+    cfg_views, hpg_views = [], []
+    for name, fn in module.functions.items():
+        cfg_views.append(GraphView.from_function(fn))
+        qa = run_qualified(fn, profiles.get(name, PathProfile()), 0.97, 0.95)
+        if qa.hpg is not None:
+            hpg_views.append(qa.hpg.view())
+    return cfg_views, hpg_views
+
+
+def compute_bench_dataflow():
+    cfg_views, hpg_views = _li95_views()
+    n, inputs = training_run_inputs()
+    example_views = [
+        GraphView.from_function(fn)
+        for fn in running_example_module().functions.values()
+    ]
+    return {
+        "li95_cfg": _measure_case(cfg_views),
+        "li95_hpg": _measure_case(hpg_views),
+        f"li95_cfg_x{CFG_COPIES}": _measure_case(
+            [tile_view(v, CFG_COPIES) for v in cfg_views]
+        ),
+        f"li95_hpg_x{HPG_COPIES}": _measure_case(
+            [tile_view(v, HPG_COPIES) for v in hpg_views]
+        ),
+        "running_example_cfg": _measure_case(example_views),
+    }
+
+
+def test_bench_dataflow(benchmark, record, record_json):
+    cases = once(benchmark, compute_bench_dataflow)
+    rows = []
+    for case, data in cases.items():
+        for engine in ENGINES:
+            m = data[engine]
+            rows.append(
+                [
+                    case,
+                    engine,
+                    data["vertices"],
+                    f"{m['seconds'] * 1000:.1f}",
+                    f"{m['peak_kb']:.0f}",
+                    f"{data['speedup']:.2f}x" if engine == "compiled" else "",
+                ]
+            )
+    record(
+        "BENCH_dataflow",
+        format_table(
+            ["case", "engine", "vertices", "best ms", "peak KiB", "speedup"],
+            rows,
+            title=(
+                "Dataflow solver engines: 5 separable problems per view "
+                "(best of 2)"
+            ),
+        ),
+    )
+    record_json("BENCH_dataflow", cases)
+    for gated in (f"li95_cfg_x{CFG_COPIES}", f"li95_hpg_x{HPG_COPIES}"):
+        data = cases[gated]
+        assert data["speedup"] >= MIN_LI95_SPEEDUP, (
+            f"compiled dataflow kernel is only {data['speedup']:.2f}x the "
+            f"generic solver on {gated} (need >= {MIN_LI95_SPEEDUP}x)"
+        )
+        assert data["mem_ratio"] <= MAX_MEM_RATIO, (
+            f"compiled kernel peaks at {data['mem_ratio']:.2f}x the generic "
+            f"solver's memory on {gated} (allowed <= {MAX_MEM_RATIO}x)"
+        )

@@ -244,23 +244,30 @@ def check_program(
     cr: float,
     engine: str = "compiled",
     workload: str = "program",
+    dataflow_engine: str = "auto",
 ) -> Diagnostics:
     """Check an ad-hoc program: compile-stage checks, one profiled run, and
     the qualified pipeline per routine (the ``repro check <file>`` path)."""
     from ..core.qualified import run_qualified
+    from ..dataflow import engine_scope
     from ..interp.interpreter import Interpreter
 
     out = Diagnostics()
-    check_module(module, workload=workload, out=out)
-    result = Interpreter(
-        module, profile_mode="bl", track_sites=False, engine=engine
-    ).run(args, inputs)
-    check_run_result(module, result, workload=workload, stage="profile", out=out)
-    qualified = {
-        name: run_qualified(fn, result.profiles.get(name, _empty_profile()), ca, cr)
-        for name, fn in module.functions.items()
-    }
-    check_qualified(qualified, workload=workload, out=out)
+    with engine_scope(dataflow_engine):
+        check_module(module, workload=workload, out=out)
+        result = Interpreter(
+            module, profile_mode="bl", track_sites=False, engine=engine
+        ).run(args, inputs)
+        check_run_result(
+            module, result, workload=workload, stage="profile", out=out
+        )
+        qualified = {
+            name: run_qualified(
+                fn, result.profiles.get(name, _empty_profile()), ca, cr
+            )
+            for name, fn in module.functions.items()
+        }
+        check_qualified(qualified, workload=workload, out=out)
     return out
 
 

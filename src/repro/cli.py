@@ -33,18 +33,28 @@ from .profiles.serialize import dumps_profiles, loads_profiles
 
 @contextmanager
 def _trace_capture(args: argparse.Namespace):
-    """Honor ``--trace-out``: run the command body under enabled
-    observability globals and dump the trace as JSONL afterwards."""
+    """Honor ``--trace-out`` and ``--mem-spans``: run the command body under
+    enabled observability globals, streaming each span to the JSONL file as
+    it closes (so a live sweep can be tailed) and, when asked, annotating
+    spans with their tracemalloc peak."""
     trace_out = getattr(args, "trace_out", None)
-    if not trace_out:
+    mem_spans = getattr(args, "mem_spans", False)
+    if not trace_out and not mem_spans:
         yield
         return
-    from .obs import capture, write_trace_jsonl
+    from contextlib import ExitStack
 
-    with capture() as (tracer, registry):
+    from .obs import capture, memory_sampling, stream_trace_jsonl
+
+    with ExitStack() as stack:
+        tracer, registry = stack.enter_context(capture())
+        if mem_spans:
+            stack.enter_context(memory_sampling())
+        if trace_out:
+            stack.enter_context(stream_trace_jsonl(trace_out, tracer, registry))
         yield
-    write_trace_jsonl(trace_out, tracer, registry)
-    print(f"# trace written to {trace_out}", file=sys.stderr)
+    if trace_out:
+        print(f"# trace written to {trace_out}", file=sys.stderr)
 
 
 def _parse_inputs(pairs: Sequence[str]) -> dict[str, list[int]]:
@@ -91,9 +101,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"# profile saved to {args.save_profile}", file=sys.stderr)
     if args.check:
         from .checks.runner import check_module, check_run_result
+        from .dataflow import engine_scope
 
-        diags = check_module(module, workload=args.file)
-        check_run_result(module, result, workload=args.file, out=diags)
+        with engine_scope(args.dataflow_engine):
+            diags = check_module(module, workload=args.file)
+            check_run_result(module, result, workload=args.file, out=diags)
         print(f"# checks: {diags.summary()}", file=sys.stderr)
         for d in diags:
             print(f"#   {d.format()}", file=sys.stderr)
@@ -170,7 +182,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         checker = PipelineChecker()
     with _trace_capture(args):
         run = WorkloadRun(
-            get_workload(args.workload), engine=args.engine, checker=checker
+            get_workload(args.workload),
+            engine=args.engine,
+            checker=checker,
+            dataflow_engine=args.dataflow_engine,
         )
         agg = run.aggregate_classification(args.ca, args.cr)
         orig, hpg, red = run.graph_sizes(args.ca, args.cr)
@@ -187,6 +202,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         ["optimized cost", row.optimized_cost],
         ["speedup", f"{row.speedup:.3f}x"],
         ["engine", run.engine],
+        ["dataflow engine", run.dataflow_engine],
     ]
     print(
         format_table(
@@ -228,7 +244,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(f"--cache-dir {args.cache_dir!r} is not a directory")
     ca_values = tuple(args.ca) if args.ca else None
     driver = ParallelDriver(
-        jobs=args.jobs, cache_dir=args.cache_dir, cr=args.cr, check=args.check
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cr=args.cr,
+        check=args.check,
+        dataflow_engine=args.dataflow_engine,
     )
     with _trace_capture(args):
         if ca_values is None:
@@ -262,7 +282,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from .obs import capture, render_trace_report, write_trace_jsonl
+    from contextlib import ExitStack
+
+    from .obs import (
+        capture,
+        memory_sampling,
+        render_trace_report,
+        stream_trace_jsonl,
+    )
     from .pipeline.cached_run import make_run
     from .workloads import WORKLOAD_NAMES, get_workload
 
@@ -275,12 +302,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
         )
-    with capture() as (tracer, registry):
-        run = make_run(get_workload(name), args.cache_dir, engine=args.engine)
+    with ExitStack() as stack:
+        tracer, registry = stack.enter_context(capture())
+        if args.mem_spans:
+            stack.enter_context(memory_sampling())
+        if args.trace_out:
+            stack.enter_context(
+                stream_trace_jsonl(args.trace_out, tracer, registry)
+            )
+        run = make_run(
+            get_workload(name),
+            args.cache_dir,
+            engine=args.engine,
+            dataflow_engine=args.dataflow_engine,
+        )
         run.aggregate_classification(args.ca, args.cr)
     print(render_trace_report(tracer, registry, top=args.top))
     if args.trace_out:
-        write_trace_jsonl(args.trace_out, tracer, registry)
         print(f"# trace written to {args.trace_out}", file=sys.stderr)
     if args.self_check:
         required = {
@@ -394,6 +432,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 args.cache_dir,
                 engine=args.engine,
                 check=True,
+                dataflow_engine=args.dataflow_engine,
             )
             run.qualified(args.ca, args.cr)
             diags = run.checker.diagnostics
@@ -413,6 +452,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 cr=args.cr,
                 engine=args.engine,
                 workload="running_example",
+                dataflow_engine=args.dataflow_engine,
             )
         else:
             from .checks.runner import check_program
@@ -427,6 +467,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 cr=args.cr,
                 engine=args.engine,
                 workload=args.target,
+                dataflow_engine=args.dataflow_engine,
             )
     if args.json:
         print(diags.to_json())
@@ -465,6 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 2 on error findings)",
     )
     _add_trace_out(p)
+    _add_dataflow_engine(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("optimize", help="path-qualified optimization")
@@ -501,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 2 on error findings)",
     )
     _add_trace_out(p)
+    _add_dataflow_engine(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -535,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 2 on error findings)",
     )
     _add_trace_out(p)
+    _add_dataflow_engine(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -570,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(CI smoke test)",
     )
     _add_trace_out(p)
+    _add_dataflow_engine(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -612,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
         "errors and a seeded defect is caught (CI smoke test)",
     )
     _add_trace_out(p)
+    _add_dataflow_engine(p)
     p.set_defaults(func=cmd_check)
 
     return parser
@@ -621,7 +667,24 @@ def _add_trace_out(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace-out",
         metavar="FILE",
-        help="write the command's spans and metrics as JSONL",
+        help="stream the command's spans (then metrics) as line-buffered "
+        "JSONL — tailable while the command runs",
+    )
+    p.add_argument(
+        "--mem-spans",
+        action="store_true",
+        help="annotate every span with its tracemalloc peak (mem_peak_kb); "
+        "implies observability capture",
+    )
+
+
+def _add_dataflow_engine(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--dataflow-engine",
+        choices=("auto", "generic", "compiled"),
+        default="auto",
+        help="dataflow solver engine for the set-problem analyses "
+        "(auto = bitset kernel for separable problems, generic otherwise)",
     )
 
 

@@ -2,11 +2,15 @@
 solver, and Wegman–Zadek conditional constant propagation."""
 
 from .framework import (
+    DATAFLOW_ENGINES,
     DataflowProblem,
     Solution,
     SolverBudgetExceeded,
     SolverStats,
+    engine_scope,
+    get_default_engine,
     priority_order,
+    set_default_engine,
     solve,
 )
 from .graph_view import GraphView
@@ -38,6 +42,10 @@ __all__ = [
     "analyze",
     "block_site_values",
     "BOT",
+    "DATAFLOW_ENGINES",
+    "engine_scope",
+    "get_default_engine",
+    "set_default_engine",
     "priority_order",
     "SolverBudgetExceeded",
     "SolverStats",

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Generic, Hashable, Optional, TypeVar
 
@@ -46,6 +47,43 @@ L = TypeVar("L")
 Vertex = Hashable
 
 SOLVER_STRATEGIES = ("rpo", "lifo", "round_robin")
+
+#: ``generic`` re-runs transfer functions each relaxation (the oracle);
+#: ``compiled`` lowers separable problems to gen/kill bitsets (see
+#: :mod:`repro.dataflow.compiled`); ``auto`` picks compiled exactly when the
+#: problem overrides :meth:`DataflowProblem.as_genkill`.
+DATAFLOW_ENGINES = ("auto", "generic", "compiled")
+
+_DEFAULT_ENGINE = "auto"
+
+
+def get_default_engine() -> str:
+    """The engine :func:`solve` uses when called without ``engine=``."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: str) -> str:
+    """Install a new process-wide default engine; returns the previous one."""
+    global _DEFAULT_ENGINE
+    if engine not in DATAFLOW_ENGINES:
+        raise ValueError(
+            f"bad dataflow engine {engine!r}; choose from {DATAFLOW_ENGINES}"
+        )
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous
+
+
+@contextmanager
+def engine_scope(engine: str):
+    """Run a block under a different default engine (how the harness and
+    CLI thread ``--dataflow-engine`` through code that calls :func:`solve`
+    many layers down without widening every signature)."""
+    previous = set_default_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
 
 
 class DataflowProblem(ABC, Generic[L]):
@@ -76,6 +114,18 @@ class DataflowProblem(ABC, Generic[L]):
         """Lattice-value equality (override for non-``==`` representations)."""
         return a == b
 
+    def as_genkill(self, view: GraphView):
+        """Lower this problem over ``view`` to a gen/kill bitset spec.
+
+        The base implementation returns ``None``: the problem is not
+        separable and always solves through the generic engine.  Separable
+        problems override this (usually via
+        :func:`repro.dataflow.compiled.build_genkill`) and thereby opt in
+        to the compiled engine under ``engine="auto"``.  An override may
+        still return ``None`` for a particular view to decline it.
+        """
+        return None
+
 
 class SolverBudgetExceeded(RuntimeError):
     """A vertex exceeded the solver's per-vertex visit budget.
@@ -92,6 +142,8 @@ class SolverStats:
     """Work accounting for one :func:`solve` call."""
 
     strategy: str
+    #: Which engine did the work ("generic" or "compiled").
+    engine: str = "generic"
     #: Vertices popped (or swept) and relaxed, total.
     visits: int = 0
     #: Relaxations per vertex.
@@ -170,6 +222,7 @@ def solve(
     strategy: str = "rpo",
     max_visits: Optional[int] = None,
     collect_stats: bool = False,
+    engine: Optional[str] = None,
 ) -> Solution[L]:
     """Iterate ``problem`` over ``view`` to its greatest fixpoint.
 
@@ -177,9 +230,12 @@ def solve(
     ``max_visits`` caps relaxations per vertex (a divergence safety valve —
     :class:`SolverBudgetExceeded` is raised when exceeded); with
     ``collect_stats`` the returned :class:`Solution` carries a
-    :class:`SolverStats` describing the work done.
+    :class:`SolverStats` describing the work done.  ``engine`` overrides the
+    process default (:func:`set_default_engine`): ``"compiled"`` demands the
+    bitset kernel (an error for non-separable problems), ``"generic"``
+    forces the oracle, ``"auto"`` — the default default — compiles exactly
+    the problems that declare a gen/kill lowering.
     """
-    cfg = view.cfg
     forward = problem.direction == "forward"
     if not forward and problem.direction != "backward":
         raise ValueError(f"bad direction {problem.direction!r}")
@@ -187,7 +243,33 @@ def solve(
         raise ValueError(
             f"bad strategy {strategy!r}; choose from {SOLVER_STRATEGIES}"
         )
+    if engine is None:
+        engine = _DEFAULT_ENGINE
+    if engine not in DATAFLOW_ENGINES:
+        raise ValueError(
+            f"bad dataflow engine {engine!r}; choose from {DATAFLOW_ENGINES}"
+        )
+    if engine != "generic":
+        separable = type(problem).as_genkill is not DataflowProblem.as_genkill
+        if separable:
+            from .compiled import solve_compiled
 
+            solution = solve_compiled(
+                problem,
+                view,
+                strategy=strategy,
+                max_visits=max_visits,
+                collect_stats=collect_stats,
+            )
+            if solution is not None:
+                return solution
+        elif engine == "compiled":
+            raise ValueError(
+                f"{type(problem).__name__} declares no gen/kill lowering; "
+                f"it cannot run on the compiled engine"
+            )
+
+    cfg = view.cfg
     start = cfg.entry if forward else cfg.exit
     next_of = cfg.succs if forward else cfg.preds
     prev_of = cfg.preds if forward else cfg.succs
@@ -238,6 +320,7 @@ def solve(
         strategy=strategy,
         direction=problem.direction,
         vertices=len(value_in),
+        engine="generic",
     ) as span:
         if strategy == "round_robin":
             order = list(cfg.vertices)
@@ -295,7 +378,7 @@ def _emit_solver_metrics(stats: SolverStats, max_visits: Optional[int]) -> None:
     metrics = get_metrics()
     if not metrics.enabled:
         return
-    labels = {"strategy": stats.strategy}
+    labels = {"strategy": stats.strategy, "engine": stats.engine}
     metrics.counter("solver_solves", **labels).inc()
     metrics.counter("solver_visits", **labels).inc(stats.visits)
     metrics.counter("solver_pushes", **labels).inc(stats.pushes)

@@ -13,6 +13,7 @@ from ...ir.basic_block import BasicBlock
 from ...ir.instructions import BinOp, Instr, UnOp
 from ...ir.operands import Const, Operand, Var
 from ...ir.ops import COMMUTATIVE
+from ..compiled import build_genkill
 from ..framework import DataflowProblem
 
 Vertex = Hashable
@@ -100,3 +101,25 @@ class AvailableExpressions(DataflowProblem[ExprSet]):
                     e for e in current if instr.dest not in _expr_vars(e)
                 }
         return frozenset(current)
+
+    def as_genkill(self, view):
+        def lower(vertex, block):
+            # Forward scan, gen before kill per instruction (transfer()
+            # adds the computed expression, then the destination clears
+            # expressions using it — including that one, for x = x + y).
+            gen = dict[Expr, bool]()
+            killed = set()
+            for instr in block.instrs:
+                expr = expression_of(instr)
+                if expr is not None:
+                    gen[expr] = True
+                if instr.dest is not None:
+                    killed.add(instr.dest)
+                    for e in [e for e in gen if instr.dest in _expr_vars(e)]:
+                        del gen[e]
+            return tuple(gen), tuple(killed)
+
+        return build_genkill(
+            self, view, meet="intersection", lower_block=lower,
+            fact_vars=_expr_vars,
+        )

@@ -10,6 +10,7 @@ from typing import Hashable, Optional, Union
 from ...ir.basic_block import BasicBlock
 from ...ir.instructions import Assign
 from ...ir.operands import Var
+from ..compiled import build_genkill
 from ..framework import DataflowProblem
 from .available_exprs import ALL, _All
 
@@ -58,3 +59,24 @@ class CopyPropagation(DataflowProblem[CopySet]):
                 if instr.dest != instr.src.name:
                     current.add((instr.dest, instr.src.name))
         return frozenset(current)
+
+    def as_genkill(self, view):
+        def lower(vertex, block):
+            # A copy is cleared when EITHER side is redefined, so both
+            # tuple components are the fact's variables.
+            gen = dict[Copy, bool]()
+            killed = set()
+            for instr in block.instrs:
+                if instr.dest is not None:
+                    killed.add(instr.dest)
+                    for c in [c for c in gen if instr.dest in c]:
+                        del gen[c]
+                if isinstance(instr, Assign) and isinstance(instr.src, Var):
+                    if instr.dest != instr.src.name:
+                        gen[(instr.dest, instr.src.name)] = True
+            return tuple(gen), tuple(killed)
+
+        return build_genkill(
+            self, view, meet="intersection", lower_block=lower,
+            fact_vars=lambda c: c,
+        )

@@ -6,6 +6,7 @@ from typing import Hashable, Optional
 
 from ...ir.basic_block import BasicBlock
 from ...ir.operands import Var
+from ..compiled import build_genkill
 from ..framework import DataflowProblem
 
 Vertex = Hashable
@@ -43,3 +44,28 @@ class LiveVariables(DataflowProblem[frozenset]):
                 if isinstance(op, Var):
                     live.add(op.name)
         return frozenset(live)
+
+    def as_genkill(self, view):
+        def lower(vertex, block):
+            # Net gen = upward-exposed uses: the same backward scan as
+            # transfer() (terminator uses count as the block's end), run
+            # from the empty set.
+            gen = dict[str, bool]()
+            killed = set()
+            if block.terminator is not None:
+                for op in block.terminator.uses():
+                    if isinstance(op, Var):
+                        gen[op.name] = True
+            for instr in reversed(block.instrs):
+                if instr.dest is not None:
+                    gen.pop(instr.dest, None)
+                    killed.add(instr.dest)
+                for op in instr.uses():
+                    if isinstance(op, Var):
+                        gen[op.name] = True
+            return tuple(gen), tuple(killed)
+
+        return build_genkill(
+            self, view, meet="union", lower_block=lower,
+            fact_vars=lambda v: (v,),
+        )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Hashable, Optional
 
 from ...ir.basic_block import BasicBlock
+from ..compiled import build_genkill
 from ..framework import DataflowProblem
 
 Vertex = Hashable
@@ -54,6 +55,22 @@ class ReachingDefinitions(DataflowProblem[frozenset]):
         killed_vars = set(defs)
         survivors = frozenset(d for d in value if d[2] not in killed_vars)
         return survivors | frozenset(defs.values())
+
+    def as_genkill(self, view):
+        def lower(vertex, block):
+            # Net gen is the LAST definition per variable, mirroring the
+            # dict overwrite in transfer(); the kill covers every defined
+            # variable.
+            defs = dict[str, Definition]()
+            for idx, instr in enumerate(block.instrs):
+                if instr.dest is not None:
+                    defs[instr.dest] = (vertex, idx, instr.dest)
+            return tuple(defs.values()), tuple(defs)
+
+        return build_genkill(
+            self, view, meet="union", lower_block=lower,
+            fact_vars=lambda d: (d[2],),
+        )
 
 
 def definitions_of(block: BasicBlock, vertex: Vertex) -> tuple[Definition, ...]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Hashable, Optional, Union
 
 from ...ir.basic_block import BasicBlock
+from ..compiled import build_genkill
 from ..framework import DataflowProblem
 from .available_exprs import ALL, Expr, _All, _expr_vars, expression_of
 
@@ -63,3 +64,25 @@ class VeryBusyExpressions(DataflowProblem[ExprSet]):
             if expr is not None:
                 current.add(expr)
         return frozenset(current)
+
+    def as_genkill(self, view):
+        def lower(vertex, block):
+            # Reversed scan, kill before gen per instruction — so an
+            # expression using its own destination IS anticipated above
+            # the redefinition, exactly as in transfer().
+            gen = dict[Expr, bool]()
+            killed = set()
+            for instr in reversed(block.instrs):
+                if instr.dest is not None:
+                    killed.add(instr.dest)
+                    for e in [e for e in gen if instr.dest in _expr_vars(e)]:
+                        del gen[e]
+                expr = expression_of(instr)
+                if expr is not None:
+                    gen[expr] = True
+            return tuple(gen), tuple(killed)
+
+        return build_genkill(
+            self, view, meet="intersection", lower_block=lower,
+            fact_vars=_expr_vars,
+        )

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..core.qualified import QualifiedAnalysis, run_qualified
+from ..dataflow import DATAFLOW_ENGINES, engine_scope
 from ..obs import Span, Tracer, get_tracer
 from ..frontend.lower import compile_program
 from ..interp.interpreter import Interpreter, RunResult
@@ -88,11 +89,21 @@ class WorkloadRun:
         engine: str = "compiled",
         tracer: Optional[Tracer] = None,
         checker=None,
+        dataflow_engine: str = "auto",
     ) -> None:
         if engine not in ("reference", "compiled"):
             raise ValueError(f"bad engine {engine!r}")
+        if dataflow_engine not in DATAFLOW_ENGINES:
+            raise ValueError(
+                f"bad dataflow engine {dataflow_engine!r}; "
+                f"choose from {DATAFLOW_ENGINES}"
+            )
         self.workload = workload
         self.engine = engine
+        #: Which dataflow solver engine runs the set-problem analyses this
+        #: harness triggers (lints, qualified pipelines, DCE in the Table 2
+        #: builds) — threaded through :func:`repro.dataflow.engine_scope`.
+        self.dataflow_engine = dataflow_engine
         # Self-verification hooks (null object when disabled; see
         # repro.checks.runner).  Imported lazily: the checks package must
         # stay importable from repro.ir, which this module imports.
@@ -116,7 +127,8 @@ class WorkloadRun:
             validate_module(self.module)
         self._stage_spans["compile"] = span
         if checker.enabled:
-            checker.after_compile(workload.name, self.module)
+            with engine_scope(dataflow_engine):
+                checker.after_compile(workload.name, self.module)
 
         with tr.span(
             "workload.train_run", workload=workload.name, engine=engine
@@ -194,16 +206,17 @@ class WorkloadRun:
         """Per-routine pipeline results at the given coverage, cached."""
         key = (ca, cr)
         if key not in self._qualified:
-            with self.tracer.span(
-                "workload.qualify", workload=self.workload.name, ca=ca, cr=cr
-            ):
-                self._qualified[key] = self._compute_qualified(ca, cr)
-            # Deliberately also covers subclass cache hits: a corrupted
-            # cached artifact fails its invariants just like a fresh one.
-            if self.checker.enabled:
-                self.checker.after_qualified(
-                    self.workload.name, self._qualified[key]
-                )
+            with engine_scope(self.dataflow_engine):
+                with self.tracer.span(
+                    "workload.qualify", workload=self.workload.name, ca=ca, cr=cr
+                ):
+                    self._qualified[key] = self._compute_qualified(ca, cr)
+                # Deliberately also covers subclass cache hits: a corrupted
+                # cached artifact fails its invariants just like a fresh one.
+                if self.checker.enabled:
+                    self.checker.after_qualified(
+                        self.workload.name, self._qualified[key]
+                    )
         return self._qualified[key]
 
     def classification(
@@ -277,6 +290,10 @@ class WorkloadRun:
 
     def build_base_module(self) -> Module:
         """Original CFG + Wegman–Zadek folding + DCE + layout."""
+        with engine_scope(self.dataflow_engine):
+            return self._build_base_module()
+
+    def _build_base_module(self) -> Module:
         out = self._fresh_module()
         for name, fn in self.module.functions.items():
             qa = self.qualified(0.0)[name]
@@ -297,6 +314,12 @@ class WorkloadRun:
         self, ca: float = DEFAULT_CA, cr: float = DEFAULT_CR
     ) -> Module:
         """Reduced hot-path graph + qualified folding + DCE + layout."""
+        with engine_scope(self.dataflow_engine):
+            return self._build_optimized_module(ca, cr)
+
+    def _build_optimized_module(
+        self, ca: float = DEFAULT_CA, cr: float = DEFAULT_CR
+    ) -> Module:
         out = self._fresh_module()
         for name, fn in self.module.functions.items():
             qa = self.qualified(ca, cr)[name]

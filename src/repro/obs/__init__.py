@@ -23,12 +23,20 @@ with :func:`capture`::
 from contextlib import contextmanager
 
 from .export import (
+    JsonlStreamWriter,
     metrics_to_prometheus,
     render_metrics,
     render_span_tree,
     render_trace_report,
+    stream_trace_jsonl,
     trace_to_jsonl,
     write_trace_jsonl,
+)
+from .memsample import (
+    disable_memory_sampling,
+    enable_memory_sampling,
+    memory_sampling,
+    memory_sampling_enabled,
 )
 from .metrics import (
     MetricsRegistry,
@@ -60,14 +68,20 @@ def capture(enabled: bool = True):
 
 
 __all__ = [
+    "JsonlStreamWriter",
     "MetricsRegistry",
     "Span",
     "Tracer",
     "capture",
     "diff_snapshots",
+    "disable_memory_sampling",
+    "enable_memory_sampling",
     "get_metrics",
     "get_tracer",
+    "memory_sampling",
+    "memory_sampling_enabled",
     "metrics_to_prometheus",
+    "stream_trace_jsonl",
     "observability_enabled",
     "render_metrics",
     "render_span_tree",

@@ -13,6 +13,8 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import threading
+from contextlib import contextmanager
 from typing import Iterable, Mapping, Optional, Sequence
 
 from .metrics import MetricsRegistry, get_metrics
@@ -75,6 +77,64 @@ def write_trace_jsonl(
 ) -> None:
     with open(path, "w") as f:
         f.write(trace_to_jsonl(tracer, registry))
+
+
+class JsonlStreamWriter:
+    """Line-buffered JSONL trace writer for live tailing.
+
+    Attach :meth:`on_span` as a :meth:`~repro.obs.tracer.Tracer.add_listener`
+    hook and each span record hits the file the moment the span closes —
+    ``tail -f`` shows a sweep's progress while it runs, instead of the whole
+    trace materializing at command end.  Metric records (which only have
+    final values) are appended by :meth:`finish`.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        # buffering=1 -> line buffered: every record is one line, flushed
+        # to the OS as it is written.
+        self._file = open(path, "w", buffering=1)
+        self._lock = threading.Lock()
+
+    def on_span(self, span: Span) -> None:
+        line = json.dumps(span.to_record(), sort_keys=True, default=str)
+        with self._lock:
+            if not self._file.closed:
+                self._file.write(line + "\n")
+
+    def write_metrics(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else get_metrics()
+        with self._lock:
+            if not self._file.closed:
+                self._file.write(to_jsonl(metric_records(registry.snapshot())))
+
+    def finish(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Append the final metric records and close the file."""
+        self.write_metrics(registry)
+        self.close()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+@contextmanager
+def stream_trace_jsonl(
+    path,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Stream the given (default: global) tracer's spans to ``path`` for
+    the duration of the block; metrics are appended on exit."""
+    tracer = tracer if tracer is not None else get_tracer()
+    writer = JsonlStreamWriter(path)
+    tracer.add_listener(writer.on_span)
+    try:
+        yield writer
+    finally:
+        tracer.remove_listener(writer.on_span)
+        writer.finish(registry)
 
 
 # -- Prometheus text format --------------------------------------------------

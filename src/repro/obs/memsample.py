@@ -1,0 +1,103 @@
+"""Opt-in per-span peak-memory sampling backed by :mod:`tracemalloc`.
+
+The paper discusses the hot-path graph's size blow-up but the harness only
+measured its *time* cost; with sampling enabled every finished span carries
+a ``mem_peak_kb`` attribute — the peak traced allocation observed while the
+span was open — so the qualify/solve stages' memory appetite lands in the
+JSONL trace and the span-tree report alongside their wall time.
+
+``tracemalloc`` exposes one process-wide peak, so nesting is handled by
+bookkeeping: entering a span folds the running peak into every open span's
+tally and resets the process peak; exiting folds the final reading back
+into the parent.  A child's peak therefore never exceeds its parent's, and
+a parent's own allocations between children are still counted.
+
+Off by default and explicitly opt-in (``--mem-spans`` on the CLI,
+:func:`memory_sampling` in code): tracing allocations costs real time, so
+it must never leak into benchmarks that did not ask for it.  The hooks are
+called by :class:`~repro.obs.tracer.Tracer` behind a single module-bool
+check, which is free when sampling is off.
+
+Spans opened before sampling was enabled (or on other threads mid-toggle)
+simply get no attribute — the per-thread entry stack only tracks spans
+entered while sampling was on.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from contextlib import contextmanager
+
+_enabled = False
+_started_tracing = False
+_local = threading.local()
+
+
+def memory_sampling_enabled() -> bool:
+    """Whether spans are currently annotated with ``mem_peak_kb``."""
+    return _enabled
+
+
+def enable_memory_sampling() -> None:
+    """Start annotating spans (starts ``tracemalloc`` if needed)."""
+    global _enabled, _started_tracing
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _started_tracing = True
+    _enabled = True
+
+
+def disable_memory_sampling() -> None:
+    """Stop annotating spans; stops ``tracemalloc`` if we started it."""
+    global _enabled, _started_tracing
+    _enabled = False
+    if _started_tracing and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _started_tracing = False
+    _local.__dict__.pop("stack", None)
+
+
+@contextmanager
+def memory_sampling():
+    """Scoped form: sample inside the block, restore the off state after."""
+    enable_memory_sampling()
+    try:
+        yield
+    finally:
+        disable_memory_sampling()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def on_span_enter(span) -> None:
+    """Tracer hook: credit the peak so far to the open spans, then reset
+    the process peak so the new span starts from its own baseline."""
+    size, peak = tracemalloc.get_traced_memory()
+    stack = _stack()
+    for i, tally in enumerate(stack):
+        if peak > tally:
+            stack[i] = peak
+    tracemalloc.reset_peak()
+    stack.append(size)
+
+
+def on_span_exit(span) -> None:
+    """Tracer hook: finish the span's tally, fold it into the parent, and
+    attach the ``mem_peak_kb`` attribute."""
+    stack = _stack()
+    if not stack:
+        return
+    _, peak = tracemalloc.get_traced_memory()
+    tally = stack.pop()
+    if peak > tally:
+        tally = peak
+    if stack and tally > stack[-1]:
+        stack[-1] = tally
+    tracemalloc.reset_peak()
+    span.set(mem_peak_kb=round(tally / 1024.0, 1))

@@ -42,6 +42,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Optional
 
+from . import memsample as _memsample
+
 
 class Span:
     """One timed, attributed region of work.  Also its own context manager:
@@ -170,6 +172,22 @@ class Tracer:
         self._finished: list[Span] = []
         self._ids = itertools.count(1)
         self._local = threading.local()
+        self._listeners: list[Callable[[Span], None]] = []
+
+    # -- streaming listeners ----------------------------------------------
+
+    def add_listener(self, fn: Callable[[Span], None]) -> None:
+        """Call ``fn(span)`` whenever a span finishes (spans and events
+        alike) — the hook streaming exporters attach to."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[Span], None]) -> None:
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    def _notify(self, span: Span) -> None:
+        for fn in self._listeners:
+            fn(span)
 
     # -- span creation -----------------------------------------------------
 
@@ -196,6 +214,8 @@ class Tracer:
         span.end = span.start
         with self._lock:
             self._finished.append(span)
+        if self._listeners:
+            self._notify(span)
 
     def wrap(self, name: Optional[str] = None, **attrs: Any) -> Callable:
         """Decorator form: time every call to the wrapped function."""
@@ -265,6 +285,8 @@ class Tracer:
 
     def _enter(self, span: Span) -> None:
         self._stack().append(span)
+        if _memsample._enabled:
+            _memsample.on_span_enter(span)
 
     def _finish(self, span: Span) -> None:
         span.end = time.perf_counter()
@@ -273,8 +295,12 @@ class Tracer:
             stack.pop()
         elif span in stack:  # unbalanced exit; recover rather than corrupt
             stack.remove(span)
+        if _memsample._enabled:
+            _memsample.on_span_exit(span)
         with self._lock:
             self._finished.append(span)
+        if self._listeners:
+            self._notify(span)
 
 
 # -- the process-global default ---------------------------------------------

@@ -50,9 +50,15 @@ class CachedWorkloadRun(WorkloadRun):
         cache: ArtifactCache,
         engine: str = "compiled",
         checker=None,
+        dataflow_engine: str = "auto",
     ) -> None:
         self.cache = cache
-        super().__init__(workload, engine=engine, checker=checker)
+        super().__init__(
+            workload,
+            engine=engine,
+            checker=checker,
+            dataflow_engine=dataflow_engine,
+        )
 
     # -- pipeline steps, memoized -----------------------------------------
 
@@ -86,12 +92,16 @@ class CachedWorkloadRun(WorkloadRun):
     def _compute_qualified(
         self, ca: float, cr: float
     ) -> dict[str, QualifiedAnalysis]:
+        # The dataflow engine is part of the key: both engines prove equal
+        # Solutions, but a cached artifact should always be reproducible by
+        # the exact configuration that produced it.
         key = content_key(
             "qualified",
             self.workload.source,
             fingerprint_profiles(self.train.profiles),
             ca,
             cr,
+            self.dataflow_engine,
         )
         return self._memo(
             KIND_QUALIFIED, key, lambda: super(CachedWorkloadRun, self)._compute_qualified(ca, cr)
@@ -103,6 +113,7 @@ def make_run(
     cache_dir=None,
     engine: str = "compiled",
     check: bool = False,
+    dataflow_engine: str = "auto",
 ) -> WorkloadRun:
     """Build a run, cached when a cache directory (or cache) is given.
 
@@ -115,6 +126,17 @@ def make_run(
 
         checker = PipelineChecker()
     if cache_dir is None:
-        return WorkloadRun(workload, engine=engine, checker=checker)
+        return WorkloadRun(
+            workload,
+            engine=engine,
+            checker=checker,
+            dataflow_engine=dataflow_engine,
+        )
     cache = cache_dir if isinstance(cache_dir, ArtifactCache) else ArtifactCache(cache_dir)
-    return CachedWorkloadRun(workload, cache, engine=engine, checker=checker)
+    return CachedWorkloadRun(
+        workload,
+        cache,
+        engine=engine,
+        checker=checker,
+        dataflow_engine=dataflow_engine,
+    )

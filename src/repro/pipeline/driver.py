@@ -204,16 +204,24 @@ class SweepResult:
 
 #: Per-process memo of built runs, so a pool worker that already compiled
 #: and profiled a workload serves its remaining coverage jobs from memory.
-_RUN_TABLE: dict[tuple[str, Optional[str], bool], WorkloadRun] = {}
+_RUN_TABLE: dict[tuple[str, Optional[str], bool, str], WorkloadRun] = {}
 
 
 def _obtain_run(
-    name: str, cache_dir: Optional[str], check: bool = False
+    name: str,
+    cache_dir: Optional[str],
+    check: bool = False,
+    dataflow_engine: str = "auto",
 ) -> WorkloadRun:
-    key = (name, cache_dir, check)
+    key = (name, cache_dir, check, dataflow_engine)
     run = _RUN_TABLE.get(key)
     if run is None:
-        run = make_run(get_workload(name), cache_dir, check=check)
+        run = make_run(
+            get_workload(name),
+            cache_dir,
+            check=check,
+            dataflow_engine=dataflow_engine,
+        )
         _RUN_TABLE[key] = run
     return run
 
@@ -322,13 +330,14 @@ def _cell_job(
     cache_dir: Optional[str],
     obs: bool = False,
     check: bool = False,
+    dataflow_engine: str = "auto",
 ) -> tuple[
     str, float, SweepCell, CacheStats, list[dict],
     Optional[tuple[list[dict], dict]],
 ]:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.cell", workload=name, ca=ca):
-        run = _obtain_run(name, cache_dir, check)
+        run = _obtain_run(name, cache_dir, check, dataflow_engine)
         cell = _cell_from_run(run, ca, cr)
     return (
         name,
@@ -347,13 +356,14 @@ def _summary_job(
     cache_dir: Optional[str],
     obs: bool = False,
     check: bool = False,
+    dataflow_engine: str = "auto",
 ) -> tuple[
     str, WorkloadSummary, CacheStats, list[dict],
     Optional[tuple[list[dict], dict]],
 ]:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.summary", workload=name):
-        run = _obtain_run(name, cache_dir, check)
+        run = _obtain_run(name, cache_dir, check, dataflow_engine)
         summary = _summary_from_run(run, default_ca, cr)
     return (
         name,
@@ -380,6 +390,7 @@ class ParallelDriver:
         cr: float = DEFAULT_CR,
         default_ca: float = DEFAULT_CA,
         check: bool = False,
+        dataflow_engine: str = "auto",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -389,6 +400,8 @@ class ParallelDriver:
         self.default_ca = default_ca
         #: Verify every pipeline stage of every job (SweepResult.diagnostics).
         self.check = check
+        #: Dataflow solver engine for every job's analyses.
+        self.dataflow_engine = dataflow_engine
 
     def sweep(
         self,
@@ -430,7 +443,12 @@ class ParallelDriver:
     def _sweep_serial(self, result: SweepResult) -> None:
         for name in result.workloads:
             with get_tracer().span("driver.workload", workload=name):
-                run = make_run(get_workload(name), self.cache_dir, check=self.check)
+                run = make_run(
+                    get_workload(name),
+                    self.cache_dir,
+                    check=self.check,
+                    dataflow_engine=self.dataflow_engine,
+                )
                 for ca in result.ca_values:
                     result.cells[(name, ca)] = _cell_from_run(run, ca, self.cr)
                 result.summaries[name] = _summary_from_run(
@@ -454,7 +472,8 @@ class ParallelDriver:
         ) as pool:
             futures = [
                 pool.submit(
-                    _cell_job, name, ca, self.cr, self.cache_dir, obs, self.check
+                    _cell_job, name, ca, self.cr, self.cache_dir, obs,
+                    self.check, self.dataflow_engine,
                 )
                 for name in result.workloads
                 for ca in result.ca_values
@@ -468,6 +487,7 @@ class ParallelDriver:
                     self.cache_dir,
                     obs,
                     self.check,
+                    self.dataflow_engine,
                 )
                 for name in result.workloads
             ]

@@ -381,3 +381,59 @@ class TestCheck:
         )
         assert rc == 0
         assert "# checks" in capsys.readouterr().err
+
+
+class TestDataflowEngineFlag:
+    """``--dataflow-engine`` and ``--mem-spans`` plumbing."""
+
+    def test_report_shows_engine_row(self, capsys):
+        assert main(
+            ["report", "compress95", "--dataflow-engine", "generic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dataflow engine" in out
+        assert "generic" in out
+
+    def test_trace_engine_choices_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "compress95", "--dataflow-engine", "simd"])
+
+    def test_check_runs_clean_on_both_engines(self, capsys):
+        for engine in ("compiled", "generic"):
+            assert main(
+                ["check", "compress95", "--dataflow-engine", engine]
+            ) == 0
+            assert "FAIL" not in capsys.readouterr().err
+
+    def test_trace_mem_spans_annotates_every_span(self, tmp_path, capsys):
+        trace = tmp_path / "mem.jsonl"
+        rc = main(
+            [
+                "trace",
+                "compress95",
+                "--mem-spans",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        spans = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        assert spans
+        assert all("mem_peak_kb" in s["attrs"] for s in spans)
+
+    def test_trace_without_mem_spans_has_no_annotation(self, tmp_path):
+        trace = tmp_path / "plain.jsonl"
+        assert main(
+            ["trace", "compress95", "--trace-out", str(trace)]
+        ) == 0
+        spans = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        assert spans
+        assert all("mem_peak_kb" not in s["attrs"] for s in spans)

@@ -347,3 +347,130 @@ class TestExporters:
 
     def test_render_metrics_empty(self):
         assert render_metrics(MetricsRegistry().snapshot()) == "(no metrics recorded)"
+
+
+class TestMemorySampling:
+    """Opt-in per-span peak-memory annotation (``repro.obs.memsample``)."""
+
+    def test_off_by_default(self):
+        from repro.obs import memory_sampling_enabled
+
+        assert not memory_sampling_enabled()
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        assert "mem_peak_kb" not in tracer.spans()[0].attrs
+
+    def test_spans_annotated_and_parent_dominates_child(self):
+        from repro.obs import memory_sampling
+
+        tracer = Tracer()
+        with memory_sampling():
+            with tracer.span("outer") as outer:
+                junk = [0] * 50_000  # parent-side allocation
+                with tracer.span("inner") as inner:
+                    more = [1] * 10_000
+                del more
+            del junk
+        assert outer.attrs["mem_peak_kb"] > 0
+        assert inner.attrs["mem_peak_kb"] > 0
+        # tracemalloc's peak is process-wide; the bookkeeping must fold a
+        # child's reading into its parent, never the other way round.
+        assert outer.attrs["mem_peak_kb"] >= inner.attrs["mem_peak_kb"]
+
+    def test_scope_restores_off_state(self):
+        import tracemalloc
+
+        from repro.obs import memory_sampling, memory_sampling_enabled
+
+        assert not tracemalloc.is_tracing()
+        with memory_sampling():
+            assert memory_sampling_enabled()
+            assert tracemalloc.is_tracing()
+        assert not memory_sampling_enabled()
+        assert not tracemalloc.is_tracing()
+
+    def test_span_opened_before_enable_is_unannotated(self):
+        from repro.obs import disable_memory_sampling, enable_memory_sampling
+
+        tracer = Tracer()
+        span = tracer.span("early")
+        span.__enter__()
+        enable_memory_sampling()
+        try:
+            with tracer.span("late") as late:
+                pass
+        finally:
+            disable_memory_sampling()
+        span.__exit__(None, None, None)
+        assert "mem_peak_kb" not in span.attrs
+        assert "mem_peak_kb" in late.attrs
+
+
+class TestStreamWriter:
+    """Line-buffered JSONL streaming (``--trace-out`` while running)."""
+
+    def test_span_lines_land_before_finish(self, tmp_path):
+        from repro.obs import stream_trace_jsonl
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        path = tmp_path / "live.jsonl"
+        with stream_trace_jsonl(path, tracer, registry):
+            with tracer.span("first"):
+                pass
+            registry.counter("hits").inc()
+            # The span record must be on disk NOW — mid-run, pre-finish —
+            # or `tail -f` shows nothing until the command exits.
+            live = [json.loads(l) for l in path.read_text().splitlines()]
+            assert [r["name"] for r in live if r["type"] == "span"] == ["first"]
+            assert not any(r["type"] == "counter" for r in live)
+            with tracer.span("second"):
+                pass
+        final = [json.loads(l) for l in path.read_text().splitlines()]
+        names = [r["name"] for r in final if r["type"] == "span"]
+        assert names == ["first", "second"]
+        assert any(r["type"] == "counter" for r in final)
+
+    def test_listener_removed_after_scope(self, tmp_path):
+        from repro.obs import stream_trace_jsonl
+
+        tracer = Tracer()
+        path = tmp_path / "scoped.jsonl"
+        with stream_trace_jsonl(path, tracer, MetricsRegistry()):
+            with tracer.span("inside"):
+                pass
+        with tracer.span("after"):
+            pass
+        names = [
+            json.loads(l)["name"]
+            for l in path.read_text().splitlines()
+            if json.loads(l)["type"] == "span"
+        ]
+        assert names == ["inside"]
+
+    def test_writer_close_is_idempotent(self, tmp_path):
+        from repro.obs import JsonlStreamWriter
+
+        writer = JsonlStreamWriter(tmp_path / "w.jsonl")
+        writer.finish(MetricsRegistry())
+        writer.close()  # second close must not raise
+        with Tracer().span("late") as span:
+            pass
+        writer.on_span(span)  # post-close writes are dropped, not errors
+
+    def test_streamed_spans_carry_mem_peak(self, tmp_path):
+        from repro.obs import memory_sampling, stream_trace_jsonl
+
+        tracer = Tracer()
+        path = tmp_path / "mem.jsonl"
+        with memory_sampling(), stream_trace_jsonl(path, tracer, MetricsRegistry()):
+            with tracer.span("work"):
+                junk = [0] * 10_000
+                del junk
+        record = next(
+            json.loads(l)
+            for l in path.read_text().splitlines()
+            if json.loads(l)["type"] == "span"
+        )
+        assert record["attrs"]["mem_peak_kb"] > 0

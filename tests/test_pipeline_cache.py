@@ -182,3 +182,27 @@ def test_make_run_dispatches_on_cache_dir(tmp_path):
     assert isinstance(make_run(get_workload(WORKLOAD)), WorkloadRun)
     cached = make_run(get_workload(WORKLOAD), tmp_path)
     assert isinstance(cached, CachedWorkloadRun)
+
+
+def test_dataflow_engine_is_part_of_the_qualified_key(tmp_path):
+    """Artifacts must record which solver engine produced them: switching
+    ``dataflow_engine`` on the same cache may not serve the other engine's
+    qualified results."""
+    cache = ArtifactCache(tmp_path)
+    first = CachedWorkloadRun(
+        get_workload(WORKLOAD), cache, dataflow_engine="compiled"
+    )
+    first.qualified(DEFAULT_CA, DEFAULT_CR)
+    assert cache.stats.misses.get("qualified", 0) == 1
+
+    second = CachedWorkloadRun(
+        get_workload(WORKLOAD), ArtifactCache(tmp_path), dataflow_engine="generic"
+    )
+    second.qualified(DEFAULT_CA, DEFAULT_CR)
+    assert second.cache.stats.misses.get("qualified", 0) == 1  # not a hit
+
+    third = CachedWorkloadRun(
+        get_workload(WORKLOAD), ArtifactCache(tmp_path), dataflow_engine="compiled"
+    )
+    third.qualified(DEFAULT_CA, DEFAULT_CR)
+    assert third.cache.stats.hits.get("qualified", 0) == 1  # same engine hits
