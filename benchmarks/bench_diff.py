@@ -53,6 +53,18 @@ def _dataflow_metrics(data):
     return out
 
 
+def _suite_metrics(data):
+    """Organic suite targets (bench_suite.py): gate the gen-1k cases; the
+    sieve case is below the kernel crossover and reported only."""
+    out = {}
+    for case, d in data.items():
+        if not case.startswith("gen_1k"):
+            continue
+        out[f"{case}.speedup"] = (d["speedup"], "higher")
+        out[f"{case}.mem_ratio"] = (d["mem_ratio"], "lower")
+    return out
+
+
 def _obs_metrics(data):
     return {"disabled_over_enabled": (data["disabled_over_enabled"], "higher")}
 
@@ -64,6 +76,7 @@ def _check_metrics(data):
 TRACKED = {
     "BENCH_interp": _interp_metrics,
     "BENCH_dataflow": _dataflow_metrics,
+    "BENCH_suite": _suite_metrics,
     "BENCH_obs_overhead": _obs_metrics,
     "BENCH_check_overhead": _check_metrics,
 }

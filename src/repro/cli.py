@@ -281,6 +281,81 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .pipeline import ParallelDriver
+    from .workloads.matrix import (
+        INSTANCES,
+        TARGET_NAMES,
+        build_targets,
+        load_archived,
+        resolve_instances,
+        resolve_target,
+    )
+
+    if args.list:
+        print("targets  :", " ".join(TARGET_NAMES))
+        print("instances:", " ".join(INSTANCES))
+        print("(targets also accept ad-hoc gen:key=value,... specs)")
+        return 0
+    targets = tuple(args.targets) if args.targets else ("sieve", "gen-small")
+    instance_names = tuple(args.instances) if args.instances else ("base", "reference")
+    for name in targets:
+        try:
+            resolve_target(name)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+    try:
+        instances = resolve_instances(instance_names)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+
+    with _trace_capture(args):
+        if args.phase in ("build", "all"):
+            print(build_targets(targets))
+            print()
+            if args.phase == "build":
+                return 0
+        if args.phase == "report":
+            if not args.archive:
+                raise SystemExit("suite: --phase report needs --archive DIR")
+            try:
+                result = load_archived(args.archive, targets, instances)
+            except FileNotFoundError as exc:
+                raise SystemExit(str(exc))
+        else:
+            driver = ParallelDriver(jobs=args.jobs, cache_dir=args.cache_dir)
+            result = driver.suite(
+                targets, instance_names, archive_dir=args.archive
+            )
+    report = result.report()
+    if args.out:
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "suite.txt")
+        with open(path, "w") as f:
+            f.write(report + "\n")
+        print(f"# wrote {path}", file=sys.stderr)
+    else:
+        print(report)
+    print(f"# {result.summary()}", file=sys.stderr)
+    for cell in result.failures():
+        detail = []
+        if not cell.interp_parity:
+            detail.append(f"interp mismatch on {cell.interp_mismatches}")
+        if not cell.dataflow_parity:
+            detail.append(f"dataflow mismatch on {cell.dataflow_mismatches}")
+        if not cell.checks_clean:
+            detail.append(f"{cell.checks_errors} check error(s)")
+        print(
+            f"#   {cell.target}/{cell.instance}: {'; '.join(detail)}",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 2
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
@@ -580,6 +655,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_out(p)
     _add_dataflow_engine(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "suite",
+        help="target x instance workload matrix: generated + hand-written "
+        "targets, each cell a differential test (interp parity, dataflow "
+        "parity, checks-clean)",
+    )
+    p.add_argument(
+        "--targets",
+        nargs="*",
+        metavar="NAME",
+        help="targets: workload/handwritten/preset names or gen:k=v,... "
+        "specs (default: sieve gen-small)",
+    )
+    p.add_argument(
+        "--instances",
+        nargs="*",
+        metavar="NAME",
+        help="instance configurations (default: base reference)",
+    )
+    p.add_argument(
+        "--phase",
+        choices=("build", "run", "report", "all"),
+        default="all",
+        help="build = compile+validate only; run = execute cells; "
+        "report = re-render from --archive without recomputation",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, help="process-pool width (1 = serial)"
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache (omit for in-memory only)",
+    )
+    p.add_argument(
+        "--archive",
+        metavar="DIR",
+        help="content-addressed cell archive (required for --phase report)",
+    )
+    p.add_argument("--out", metavar="DIR", help="write the suite table here")
+    p.add_argument(
+        "--list", action="store_true", help="list targets and instances"
+    )
+    _add_trace_out(p)
+    p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser(
         "trace",

@@ -58,6 +58,16 @@ from .graph_view import GraphView
 
 Vertex = Hashable
 
+#: Below this many CFG vertices ``engine="auto"`` prefers the generic
+#: solver: the kernel's fixed costs (gen/kill lowering, dense-graph
+#: freezing, mask decode) are not amortized on tiny graphs.  Measured on
+#: organic generated programs and the SPEC95-alike workload CFGs
+#: (``benchmarks/bench_suite.py``): the kernel loses 0.4–0.9x below ~10
+#: vertices and wins from ~13 up (1.1–1.9x), so the boundary sits in the
+#: break-even band.  ``engine="compiled"`` still forces the kernel at any
+#: size; ``tests/test_compiled_dataflow.py`` pins both sides.
+AUTO_MIN_VERTICES = 12
+
 #: Bits per machine word of a CPython big int (the unit of meet parallelism).
 _WORD_BITS = 64
 

@@ -233,8 +233,11 @@ def solve(
     :class:`SolverStats` describing the work done.  ``engine`` overrides the
     process default (:func:`set_default_engine`): ``"compiled"`` demands the
     bitset kernel (an error for non-separable problems), ``"generic"``
-    forces the oracle, ``"auto"`` — the default default — compiles exactly
-    the problems that declare a gen/kill lowering.
+    forces the oracle, ``"auto"`` — the default default — compiles the
+    problems that declare a gen/kill lowering, but only on graphs with at
+    least :data:`~repro.dataflow.compiled.AUTO_MIN_VERTICES` vertices; below
+    that the kernel's fixed costs are not amortized and the generic solver
+    is faster.
     """
     forward = problem.direction == "forward"
     if not forward and problem.direction != "backward":
@@ -252,17 +255,24 @@ def solve(
     if engine != "generic":
         separable = type(problem).as_genkill is not DataflowProblem.as_genkill
         if separable:
-            from .compiled import solve_compiled
+            from .compiled import AUTO_MIN_VERTICES, solve_compiled
 
-            solution = solve_compiled(
-                problem,
-                view,
-                strategy=strategy,
-                max_visits=max_visits,
-                collect_stats=collect_stats,
-            )
-            if solution is not None:
-                return solution
+            # Under "auto" the kernel must also *pay off*: on tiny graphs
+            # its lowering/decode overhead loses to the generic solver, so
+            # auto takes the generic path below the measured crossover.
+            if (
+                engine == "compiled"
+                or view.cfg.num_vertices >= AUTO_MIN_VERTICES
+            ):
+                solution = solve_compiled(
+                    problem,
+                    view,
+                    strategy=strategy,
+                    max_visits=max_visits,
+                    collect_stats=collect_stats,
+                )
+                if solution is not None:
+                    return solution
         elif engine == "compiled":
             raise ValueError(
                 f"{type(problem).__name__} declares no gen/kill lowering; "

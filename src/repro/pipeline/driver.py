@@ -374,6 +374,31 @@ def _summary_job(
     )
 
 
+def _suite_cell_job(
+    target: str,
+    instance_name: str,
+    cache_dir: Optional[str],
+    archive_dir: Optional[str],
+    obs: bool = False,
+):
+    """One workload-matrix cell, shipped to a pool worker by name.
+
+    Targets and instances cross the process boundary as strings and are
+    resolved worker-side (generated targets re-derive deterministically from
+    their spec), mirroring the workload-name convention of :func:`_cell_job`.
+    """
+    from ..workloads.matrix import resolve_instance, run_cell
+
+    active = _ensure_worker_obs(obs)
+    with get_tracer().span(
+        "driver.suite_cell", target=target, instance=instance_name
+    ):
+        cell = run_cell(
+            target, resolve_instance(instance_name), cache_dir, archive_dir
+        )
+    return target, instance_name, cell, _obs_delta(active)
+
+
 class ParallelDriver:
     """Runs coverage sweeps serially or over a process pool.
 
@@ -436,6 +461,75 @@ class ParallelDriver:
         ]
         if missing or set(result.summaries) != set(workloads):
             raise RuntimeError(f"sweep incomplete: missing {missing}")
+        return result
+
+    def suite(
+        self,
+        targets: Sequence[str],
+        instances: Sequence[str],
+        archive_dir: Optional[str] = None,
+    ):
+        """Run the workload matrix (:mod:`repro.workloads.matrix`) over the
+        driver's pool.
+
+        ``jobs == 1`` delegates to the serial :func:`run_suite` reference
+        path; ``jobs > 1`` fans each (target, instance) cell out as its own
+        process-pool job.  Both produce identical
+        :class:`~repro.workloads.matrix.MatrixResult` values — cells are
+        deterministic and the archive is content-addressed, so concurrent
+        writers agree.
+        """
+        from ..workloads.matrix import (
+            MatrixResult,
+            resolve_instances,
+            run_suite,
+        )
+
+        insts = resolve_instances(instances)
+        if self.jobs == 1:
+            return run_suite(targets, insts, self.cache_dir, archive_dir)
+        result = MatrixResult(
+            targets=tuple(targets),
+            instances=tuple(i.name for i in insts),
+        )
+        tracer = get_tracer()
+        obs = observability_enabled()
+        with tracer.span(
+            "suite.run",
+            targets=len(result.targets),
+            instances=len(result.instances),
+            jobs=self.jobs,
+        ) as span:
+            parent_id = span.span_id if span is not None else None
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.jobs
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _suite_cell_job, target, name, self.cache_dir,
+                        archive_dir, obs,
+                    )
+                    for target in result.targets
+                    for name in result.instances
+                ]
+                for future in concurrent.futures.as_completed(futures):
+                    target, name, cell, obs_payload = future.result()
+                    result.cells[(target, name)] = cell
+                    if obs_payload is not None:
+                        records, metric_delta = obs_payload
+                        if tracer.enabled:
+                            tracer.absorb_records(records, parent_id=parent_id)
+                        metrics = get_metrics()
+                        if metrics.enabled:
+                            metrics.merge_snapshot(metric_delta)
+        missing = [
+            (t, i)
+            for t in result.targets
+            for i in result.instances
+            if (t, i) not in result.cells
+        ]
+        if missing:
+            raise RuntimeError(f"suite incomplete: missing {missing}")
         return result
 
     # -- serial fallback ---------------------------------------------------

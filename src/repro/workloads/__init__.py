@@ -1,6 +1,23 @@
-"""Workloads: the paper's running example plus synthetic SPEC95-like
-programs with train/ref inputs."""
+"""Workloads: the paper's running example, synthetic SPEC95-like programs,
+hand-written algorithm ports, and the seeded MiniC program generator.
 
+The target × instance suite over all of them lives in
+:mod:`repro.workloads.matrix`; it is imported lazily here (and imports the
+pipeline lazily itself) because :mod:`repro.pipeline.driver` imports this
+package.
+"""
+
+from .generate import (
+    GEN_PRESETS,
+    GeneratorSpec,
+    cfg_fingerprint,
+    generate_source,
+    generated_workload,
+    module_vertices,
+    parse_genspec,
+    spec_name,
+)
+from .handwritten import HANDWRITTEN_NAMES, all_handwritten, get_handwritten
 from .running_example import (
     running_example_function,
     running_example_module,
@@ -9,10 +26,21 @@ from .running_example import (
 from .spec import WORKLOAD_NAMES, all_workloads, get_workload
 
 __all__ = [
+    "all_handwritten",
     "all_workloads",
+    "cfg_fingerprint",
+    "GEN_PRESETS",
+    "generate_source",
+    "generated_workload",
+    "GeneratorSpec",
+    "get_handwritten",
     "get_workload",
+    "HANDWRITTEN_NAMES",
+    "module_vertices",
+    "parse_genspec",
     "running_example_function",
     "running_example_module",
+    "spec_name",
     "training_run_inputs",
     "WORKLOAD_NAMES",
 ]

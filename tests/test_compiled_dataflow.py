@@ -28,6 +28,7 @@ from repro.dataflow import (
     set_default_engine,
     solve,
 )
+from repro.dataflow.compiled import AUTO_MIN_VERTICES
 from repro.dataflow.framework import SOLVER_STRATEGIES, SolverBudgetExceeded
 from repro.dataflow.problems import (
     AvailableExpressions,
@@ -223,10 +224,55 @@ def test_empty_blocks_and_budget():
 # -- engine selection ---------------------------------------------------------
 
 
-def test_auto_compiles_separable_problems(example_module):
+def test_auto_compiles_separable_problems_on_large_graphs(example_module):
     view = GraphView.from_function(example_module.function("work"))
-    sol = solve(LiveVariables(), view, collect_stats=True)
+    big = tile_view(view, 3)
+    assert big.cfg.num_vertices >= AUTO_MIN_VERTICES
+    sol = solve(LiveVariables(), big, collect_stats=True)
     assert sol.stats.engine == "compiled"
+
+
+def test_auto_prefers_generic_on_small_graphs(example_module):
+    """Below the crossover the kernel's fixed costs lose to the generic
+    solver (BENCH_dataflow measured 0.83-0.89x), so auto must not compile."""
+    view = GraphView.from_function(example_module.function("work"))
+    assert view.cfg.num_vertices < AUTO_MIN_VERTICES
+    sol = solve(LiveVariables(), view, collect_stats=True)
+    assert sol.stats.engine == "generic"
+    # An explicit engine request still forces the kernel at any size.
+    sol = solve(LiveVariables(), view, engine="compiled", collect_stats=True)
+    assert sol.stats.engine == "compiled"
+
+
+def test_auto_crossover_boundary():
+    """Pin the selection boundary itself: auto flips from generic to
+    compiled exactly at AUTO_MIN_VERTICES real vertices."""
+    assert AUTO_MIN_VERTICES == 12
+
+    def chain_view(num_blocks):
+        b = IRBuilder("f", ["p"])
+        for i in range(num_blocks):
+            b.block(f"b{i}")
+            b.assign(f"x{i}", i)
+            if i + 1 < num_blocks:
+                b.jump(f"b{i + 1}")
+            else:
+                b.ret(f"x{i}")
+        return GraphView.from_function(b.finish())
+
+    # A chain of n blocks has n + 2 vertices (virtual entry and exit).
+    below = chain_view(AUTO_MIN_VERTICES - 3)
+    at = chain_view(AUTO_MIN_VERTICES - 2)
+    assert below.cfg.num_vertices == AUTO_MIN_VERTICES - 1
+    assert at.cfg.num_vertices == AUTO_MIN_VERTICES
+    assert (
+        solve(LiveVariables(), below, collect_stats=True).stats.engine
+        == "generic"
+    )
+    assert (
+        solve(LiveVariables(), at, collect_stats=True).stats.engine
+        == "compiled"
+    )
 
 
 def test_auto_falls_back_for_non_separable(example_module):

@@ -1,0 +1,67 @@
+"""Hand-written algorithm targets: real control flow, real sharpening.
+
+The sieve is an actual algorithm port, not a synthetic tile — its branch
+structure (prime/composite in the outer loop, fresh/overlapping mark in the
+inner loop) comes from number theory, not from the generator.  The paper's
+claim must survive contact with it: at full path coverage (CA = 1.0),
+path-qualified constant propagation must find *strictly more* dynamic
+non-local constants than the unqualified Wegman-Zadek analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import WorkloadRun
+from repro.frontend import compile_program
+from repro.ir import validate_module
+from repro.workloads.handwritten import (
+    HANDWRITTEN_NAMES,
+    all_handwritten,
+    get_handwritten,
+)
+
+
+def test_registry():
+    assert "sieve" in HANDWRITTEN_NAMES
+    assert set(all_handwritten()) == set(HANDWRITTEN_NAMES)
+    with pytest.raises(KeyError, match="unknown hand-written"):
+        get_handwritten("nonesuch")
+
+
+@pytest.fixture(scope="module")
+def sieve_run():
+    return WorkloadRun(get_handwritten("sieve"))
+
+
+def test_sieve_compiles_and_computes_primes(sieve_run):
+    validate_module(compile_program(get_handwritten("sieve").source))
+    # pi(400) = 78: the program must actually be a sieve.
+    assert sieve_run.train.return_value == 78
+
+
+def test_sieve_qualified_beats_wz_at_full_coverage(sieve_run):
+    """The satellite assertion: strictly more qualified than iterative
+    non-local constants at CA = 1.0."""
+    agg = sieve_run.aggregate_classification(1.0, 0.95)
+    assert agg.qualified_nonlocal > agg.iterative_nonlocal
+    assert agg.constant_increase > 0
+    # WZ itself is not degenerate on this program — the win is real
+    # sharpening, not a vacuous baseline.
+    assert agg.iterative_nonlocal > 0
+
+
+def test_sieve_is_checks_clean():
+    from repro.checks.runner import check_program
+
+    wl = get_handwritten("sieve")
+    diags = check_program(
+        compile_program(wl.source),
+        list(wl.train_args),
+        wl.train_inputs,
+        ca=1.0,
+        cr=0.95,
+        workload="sieve",
+    )
+    assert not diags.has_errors, diags.render_text()
+    assert not diags.warnings, diags.render_text()
