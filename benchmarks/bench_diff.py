@@ -65,6 +65,18 @@ def _suite_metrics(data):
     return out
 
 
+def _wz_metrics(data):
+    """WZ engine cases (bench_wz.py): gate the organic gen-1k and the tiled
+    paper-scale li95 cases; sieve is below the crossover and reported only."""
+    out = {}
+    for case, d in data.items():
+        if not (case.startswith("gen_1k") or "_x" in case):
+            continue
+        out[f"{case}.speedup"] = (d["speedup"], "higher")
+        out[f"{case}.mem_ratio"] = (d["mem_ratio"], "lower")
+    return out
+
+
 def _obs_metrics(data):
     return {"disabled_over_enabled": (data["disabled_over_enabled"], "higher")}
 
@@ -77,6 +89,7 @@ TRACKED = {
     "BENCH_interp": _interp_metrics,
     "BENCH_dataflow": _dataflow_metrics,
     "BENCH_suite": _suite_metrics,
+    "BENCH_wz": _wz_metrics,
     "BENCH_obs_overhead": _obs_metrics,
     "BENCH_check_overhead": _check_metrics,
 }

@@ -1,0 +1,165 @@
+"""Dense env-array WZ engine vs the generic persistent-dict oracle.
+
+Conditional constant propagation runs three times per routine in the
+qualified pipeline (baseline CFG, hot-path graph, reduced graph), so the
+Wegman–Zadek solver dominates pipeline time on paper-scale targets.  This
+bench measures :func:`repro.dataflow.analyze` under both engines in the
+regimes the pipeline actually solves over:
+
+* the organic ``gen-1k`` generated target — per-function CFGs and the
+  hot-path graphs built at the default coverage (both **gated**: the dense
+  engine must hold a ``>= 3x`` floor and a modest memory ceiling);
+* ``li95`` tiled to paper scale with
+  :func:`repro.dataflow.tiling.tile_view` (gated the same way); and
+* the hand-written ``sieve`` (13 blocks — below the engine's
+  ``WZ_AUTO_MIN_VERTICES`` crossover, reported for honesty but not gated).
+
+Ratios land in ``BENCH_wz.json`` for :mod:`bench_diff` to track across
+commits.
+"""
+
+import time
+import tracemalloc
+
+from repro.core.qualified import run_qualified
+from repro.dataflow import analyze
+from repro.dataflow.graph_view import GraphView
+from repro.dataflow.tiling import tile_view
+from repro.evaluation import format_table
+from repro.frontend import compile_program
+from repro.interp import Interpreter
+from repro.profiles.path_profile import PathProfile
+from repro.workloads.matrix import resolve_target
+
+from conftest import once
+
+ENGINES = ("generic", "compiled")
+#: Gated floor for every paper-scale case, organic and tiled alike.
+MIN_WZ_SPEEDUP = 3.0
+#: Tracemalloc peak of the dense engine may cost at most this factor over
+#: the generic solver on the gated cases (it typically undercuts it: flat
+#: int arrays vs one persistent dict per set()).
+MAX_MEM_RATIO = 1.25
+#: Tile counts matching bench_dataflow's paper-scale li95 regime.
+CFG_COPIES = 48
+HPG_COPIES = 12
+
+
+def _best_of(n, fn):
+    best = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _analyze_all(views, engine):
+    for view in views:
+        analyze(view, engine=engine)
+
+
+def _measure_case(views, repeats=3):
+    """Per-engine best wall time and tracemalloc peak over ``views``."""
+    case = {
+        "vertices": sum(len(list(v.cfg.vertices)) for v in views),
+        "solves": len(views),
+    }
+    for engine in ENGINES:
+        seconds = _best_of(repeats, lambda: _analyze_all(views, engine))
+        tracemalloc.start()
+        _analyze_all(views, engine)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        case[engine] = {
+            "seconds": seconds,
+            "peak_kb": round(peak / 1024.0, 1),
+        }
+    case["speedup"] = case["generic"]["seconds"] / case["compiled"]["seconds"]
+    case["mem_ratio"] = case["compiled"]["peak_kb"] / case["generic"]["peak_kb"]
+    return case
+
+
+def _target_views(name):
+    """(cfg views, hpg views) of one suite target at default coverage."""
+    wl = resolve_target(name)
+    module = compile_program(wl.source)
+    profiles = Interpreter(
+        module, profile_mode="bl", track_sites=False
+    ).run(wl.train_args, wl.train_inputs).profiles
+    cfg_views, hpg_views = [], []
+    for fname, fn in module.functions.items():
+        cfg_views.append(GraphView.from_function(fn))
+        qa = run_qualified(fn, profiles.get(fname, PathProfile()), 0.97, 0.95)
+        if qa.hpg is not None:
+            hpg_views.append(qa.hpg.view())
+    return cfg_views, hpg_views
+
+
+def compute_bench_wz():
+    gen_cfg, gen_hpg = _target_views("gen-1k")
+    sieve_cfg, sieve_hpg = _target_views("sieve")
+    li95_cfg, li95_hpg = _target_views("li95")
+    return {
+        "gen_1k_cfg": _measure_case(gen_cfg),
+        "gen_1k_hpg": _measure_case(gen_hpg),
+        "sieve_cfg": _measure_case(sieve_cfg + sieve_hpg),
+        # One timed pass each: a generic solve of the x48 tiling runs tens
+        # of seconds, so best-of-3 would triple an already long-tail case
+        # while the ratio it produces is stable to a few percent.
+        f"li95_cfg_x{CFG_COPIES}": _measure_case(
+            [tile_view(v, CFG_COPIES) for v in li95_cfg], repeats=1
+        ),
+        f"li95_hpg_x{HPG_COPIES}": _measure_case(
+            [tile_view(v, HPG_COPIES) for v in li95_hpg], repeats=1
+        ),
+    }
+
+
+GATED = ("gen_1k_cfg", "gen_1k_hpg", f"li95_cfg_x{CFG_COPIES}",
+         f"li95_hpg_x{HPG_COPIES}")
+
+
+def test_bench_wz(benchmark, record, record_json):
+    cases = once(benchmark, compute_bench_wz)
+    assert cases["gen_1k_cfg"]["vertices"] >= 1000, (
+        "gen-1k no longer reaches the 1k-vertex organic regime"
+    )
+    rows = []
+    for case, data in cases.items():
+        for engine in ENGINES:
+            m = data[engine]
+            rows.append(
+                [
+                    case,
+                    engine,
+                    data["vertices"],
+                    f"{m['seconds'] * 1000:.1f}",
+                    f"{m['peak_kb']:.0f}",
+                    f"{data['speedup']:.2f}x" if engine == "compiled" else "",
+                ]
+            )
+    record(
+        "BENCH_wz",
+        format_table(
+            ["case", "engine", "vertices", "best ms", "peak KiB", "speedup"],
+            rows,
+            title=(
+                "Wegman-Zadek engines: conditional constants per view "
+                "(best of 3; tiled li95 cases timed once)"
+            ),
+        ),
+    )
+    record_json("BENCH_wz", cases)
+    for gated in GATED:
+        data = cases[gated]
+        assert data["speedup"] >= MIN_WZ_SPEEDUP, (
+            f"dense WZ engine is only {data['speedup']:.2f}x the generic "
+            f"solver on {gated} (need >= {MIN_WZ_SPEEDUP}x)"
+        )
+        assert data["mem_ratio"] <= MAX_MEM_RATIO, (
+            f"dense WZ engine peaks at {data['mem_ratio']:.2f}x the generic "
+            f"solver's memory on {gated} (allowed <= {MAX_MEM_RATIO}x)"
+        )

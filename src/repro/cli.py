@@ -101,9 +101,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"# profile saved to {args.save_profile}", file=sys.stderr)
     if args.check:
         from .checks.runner import check_module, check_run_result
-        from .dataflow import engine_scope
+        from .dataflow import engine_scope, wz_engine_scope
 
-        with engine_scope(args.dataflow_engine):
+        with engine_scope(args.dataflow_engine), wz_engine_scope(args.wz_engine):
             diags = check_module(module, workload=args.file)
             check_run_result(module, result, workload=args.file, out=diags)
         print(f"# checks: {diags.summary()}", file=sys.stderr)
@@ -186,6 +186,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             engine=args.engine,
             checker=checker,
             dataflow_engine=args.dataflow_engine,
+            wz_engine=args.wz_engine,
         )
         agg = run.aggregate_classification(args.ca, args.cr)
         orig, hpg, red = run.graph_sizes(args.ca, args.cr)
@@ -203,6 +204,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         ["speedup", f"{row.speedup:.3f}x"],
         ["engine", run.engine],
         ["dataflow engine", run.dataflow_engine],
+        ["wz engine", run.wz_engine],
     ]
     print(
         format_table(
@@ -249,6 +251,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cr=args.cr,
         check=args.check,
         dataflow_engine=args.dataflow_engine,
+        wz_engine=args.wz_engine,
     )
     with _trace_capture(args):
         if ca_values is None:
@@ -308,6 +311,14 @@ def cmd_suite(args: argparse.Namespace) -> int:
         instances = resolve_instances(instance_names)
     except KeyError as exc:
         raise SystemExit(str(exc))
+    if args.wz_engine is not None:
+        # The override is part of each cell's configuration (and hence its
+        # archive key), so run and report phases must agree on it.
+        from dataclasses import replace
+
+        instances = tuple(
+            replace(i, wz_engine=args.wz_engine) for i in instances
+        )
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
 
@@ -327,7 +338,10 @@ def cmd_suite(args: argparse.Namespace) -> int:
         else:
             driver = ParallelDriver(jobs=args.jobs, cache_dir=args.cache_dir)
             result = driver.suite(
-                targets, instance_names, archive_dir=args.archive
+                targets,
+                instance_names,
+                archive_dir=args.archive,
+                wz_engine=args.wz_engine,
             )
     report = result.report()
     if args.out:
@@ -347,6 +361,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
             detail.append(f"interp mismatch on {cell.interp_mismatches}")
         if not cell.dataflow_parity:
             detail.append(f"dataflow mismatch on {cell.dataflow_mismatches}")
+        if not cell.wz_parity:
+            detail.append(f"wz mismatch on {cell.wz_mismatches}")
         if not cell.checks_clean:
             detail.append(f"{cell.checks_errors} check error(s)")
         print(
@@ -390,6 +406,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             args.cache_dir,
             engine=args.engine,
             dataflow_engine=args.dataflow_engine,
+            wz_engine=args.wz_engine,
         )
         run.aggregate_classification(args.ca, args.cr)
     print(render_trace_report(tracer, registry, top=args.top))
@@ -421,10 +438,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _check_self_check() -> int:
+def _check_self_check(wz_engine: str = "auto") -> int:
     """Smoke-test the checker layer itself: a clean run must report zero
     errors with the expected spans, and a deliberately corrupted profile
-    must be caught (CI's guarantee that the checkers can actually fail)."""
+    must be caught (CI's guarantee that the checkers can actually fail).
+
+    ``wz_engine`` runs the clean pipeline under the chosen
+    conditional-constant engine, so CI can smoke the dense lowering too."""
     from .checks.profile_checks import PROF_FLOW_IMBALANCE, check_profile
     from .checks.runner import check_program
     from .ir.cfg import Cfg
@@ -440,7 +460,8 @@ def _check_self_check() -> int:
     n, inputs = training_run_inputs()
     with capture() as (tracer, registry):
         diags = check_program(
-            module, [n], inputs, ca=1.0, cr=0.95, workload="running_example"
+            module, [n], inputs, ca=1.0, cr=0.95,
+            workload="running_example", wz_engine=wz_engine,
         )
     problems = []
     if diags.has_errors:
@@ -493,7 +514,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     from .workloads import WORKLOAD_NAMES
 
     if args.self_check:
-        return _check_self_check()
+        return _check_self_check(args.wz_engine)
     if not args.target:
         raise SystemExit("check: give a workload name, a .mc file, or --self-check")
 
@@ -508,6 +529,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 check=True,
                 dataflow_engine=args.dataflow_engine,
+                wz_engine=args.wz_engine,
             )
             run.qualified(args.ca, args.cr)
             diags = run.checker.diagnostics
@@ -528,6 +550,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 workload="running_example",
                 dataflow_engine=args.dataflow_engine,
+                wz_engine=args.wz_engine,
             )
         else:
             from .checks.runner import check_program
@@ -543,6 +566,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 engine=args.engine,
                 workload=args.target,
                 dataflow_engine=args.dataflow_engine,
+                wz_engine=args.wz_engine,
             )
     if args.json:
         print(diags.to_json())
@@ -582,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_out(p)
     _add_dataflow_engine(p)
+    _add_wz_engine(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("optimize", help="path-qualified optimization")
@@ -619,6 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_out(p)
     _add_dataflow_engine(p)
+    _add_wz_engine(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
@@ -654,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_out(p)
     _add_dataflow_engine(p)
+    _add_wz_engine(p)
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -700,6 +727,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list targets and instances"
     )
     _add_trace_out(p)
+    _add_wz_engine(p, default=None)
     p.set_defaults(func=cmd_suite)
 
     p = sub.add_parser(
@@ -736,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_out(p)
     _add_dataflow_engine(p)
+    _add_wz_engine(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
@@ -779,6 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_out(p)
     _add_dataflow_engine(p)
+    _add_wz_engine(p)
     p.set_defaults(func=cmd_check)
 
     return parser
@@ -806,6 +836,16 @@ def _add_dataflow_engine(p: argparse.ArgumentParser) -> None:
         default="auto",
         help="dataflow solver engine for the set-problem analyses "
         "(auto = bitset kernel for separable problems, generic otherwise)",
+    )
+
+
+def _add_wz_engine(p: argparse.ArgumentParser, default: Optional[str] = "auto") -> None:
+    p.add_argument(
+        "--wz-engine",
+        choices=("auto", "generic", "compiled"),
+        default=default,
+        help="Wegman-Zadek conditional-constant engine (auto = dense "
+        "env-array lowering above the size crossover, generic below it)",
     )
 
 

@@ -36,7 +36,14 @@ from .transfer import (
     transfer_block,
     transfer_instr,
 )
-from .wegman_zadek import CondConstResult, analyze
+from .wegman_zadek import (
+    WZ_ENGINES,
+    CondConstResult,
+    analyze,
+    get_default_wz_engine,
+    set_default_wz_engine,
+    wz_engine_scope,
+)
 
 __all__ = [
     "analyze",
@@ -71,4 +78,8 @@ __all__ = [
     "transfer_block",
     "transfer_instr",
     "UNREACHABLE",
+    "WZ_ENGINES",
+    "get_default_wz_engine",
+    "set_default_wz_engine",
+    "wz_engine_scope",
 ]

@@ -88,12 +88,29 @@ class ConstEnv:
                 if v is not TOP:
                     self._values[name] = v
 
+    @classmethod
+    def _from_raw(cls, values: dict[str, FlatValue]) -> "ConstEnv":
+        """Adopt ``values`` (no TOP entries, caller-owned) without copying —
+        the decode path of the dense engines."""
+        env = cls()
+        env._values = values
+        return env
+
     def get(self, name: str) -> FlatValue:
         """The lattice value of ``name`` (TOP if absent)."""
         return self._values.get(name, TOP)
 
     def set(self, name: str, value: FlatValue) -> "ConstEnv":
-        """A new environment with ``name`` bound to ``value``."""
+        """A new environment with ``name`` bound to ``value``.
+
+        Returns ``self`` when the binding is already in place (sentinels by
+        identity, constants by value) — rebinding a variable to its current
+        value is the common case at a fixpoint, and the environment is
+        immutable, so aliasing is safe.
+        """
+        existing = self._values.get(name, TOP)
+        if value is existing or value == existing:
+            return self
         new = ConstEnv()
         new._values = dict(self._values)
         if value is TOP:
@@ -103,7 +120,18 @@ class ConstEnv:
         return new
 
     def meet(self, other: "ConstEnv") -> "ConstEnv":
-        """Pointwise meet of two environments."""
+        """Pointwise meet of two environments.
+
+        ``meet`` is idempotent and TOP (the empty environment) is its
+        identity, so the aliasing fast paths below return an existing
+        object whenever the result would be pointwise equal to one.
+        """
+        if self is other or not other._values:
+            return self
+        if not self._values:
+            return other
+        if self._values == other._values:
+            return self
         new = ConstEnv()
         values: dict[str, FlatValue] = {}
         for name in self._values.keys() | other._values.keys():
@@ -123,6 +151,11 @@ class ConstEnv:
     def items(self) -> Iterator[tuple[str, FlatValue]]:
         """Non-TOP bindings, sorted by name for determinism."""
         return iter(sorted(self._values.items(), key=lambda kv: kv[0]))
+
+    def to_dict(self) -> dict[str, FlatValue]:
+        """A mutable copy of the non-TOP bindings (scratch space for the
+        dense transfer lowering)."""
+        return dict(self._values)
 
     def constants(self) -> dict[str, int]:
         """The known-constant bindings."""

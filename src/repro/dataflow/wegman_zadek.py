@@ -15,12 +15,13 @@ in the IR.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Hashable, Optional
 
 from ..ir.basic_block import BasicBlock
 from ..ir.cfg import Edge
 from ..ir.instructions import Branch, Jump, Ret
-from ..obs import get_metrics
+from ..obs import get_metrics, get_tracer
 from .graph_view import GraphView
 from .lattice import (
     BOT,
@@ -31,23 +32,75 @@ from .lattice import (
     FlatValue,
     meet_env,
 )
-from .transfer import eval_operand, transfer_block, transfer_instr
+from .transfer import eval_operand, transfer_block
+from .wz_dense import lower_transfer, run_program
 
 Vertex = Hashable
 
+#: ``generic`` is the persistent-dict oracle below; ``compiled`` is the
+#: dense env-array engine of :mod:`repro.dataflow.wz_compiled`; ``auto``
+#: picks compiled at/above ``WZ_AUTO_MIN_VERTICES`` vertices.
+WZ_ENGINES = ("auto", "generic", "compiled")
+
+_DEFAULT_WZ_ENGINE = "auto"
+
+
+def get_default_wz_engine() -> str:
+    """The engine :func:`analyze` uses when called without ``engine=``."""
+    return _DEFAULT_WZ_ENGINE
+
+
+def set_default_wz_engine(engine: str) -> str:
+    """Install a new process-wide default WZ engine; returns the previous."""
+    global _DEFAULT_WZ_ENGINE
+    if engine not in WZ_ENGINES:
+        raise ValueError(f"bad wz engine {engine!r}; choose from {WZ_ENGINES}")
+    previous = _DEFAULT_WZ_ENGINE
+    _DEFAULT_WZ_ENGINE = engine
+    return previous
+
+
+@contextmanager
+def wz_engine_scope(engine: str):
+    """Run a block under a different default WZ engine (how the harness and
+    CLI thread ``--wz-engine`` through code that calls :func:`analyze` many
+    layers down without widening every signature)."""
+    previous = set_default_wz_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_wz_engine(previous)
+
 
 class CondConstResult:
-    """The solution of a conditional constant propagation run."""
+    """The solution of a conditional constant propagation run.
+
+    ``visits``/``visit_counts`` record the solver's worklist work (total
+    pops and pops per vertex) and are identical between engines — the
+    differential suite pins them.  Class-level defaults keep results
+    unpickled from pre-``visits`` artifact caches usable.
+    """
+
+    visits: int = 0
+    visit_counts: Optional[dict[Vertex, int]] = None
+    engine: str = "generic"
 
     def __init__(
         self,
         view: GraphView,
         env_in: dict[Vertex, EnvValue],
         executable_edges: frozenset[Edge],
+        *,
+        visits: int = 0,
+        visit_counts: Optional[dict[Vertex, int]] = None,
+        engine: str = "generic",
     ) -> None:
         self.view = view
         self.env_in = env_in
         self.executable_edges = executable_edges
+        self.visits = visits
+        self.visit_counts = visit_counts
+        self.engine = engine
 
     def input_env(self, vertex: Vertex) -> EnvValue:
         """Environment at the entry of ``vertex`` (UNREACHABLE if no
@@ -58,20 +111,45 @@ class CondConstResult:
         """True if some executable path reaches ``vertex``."""
         return self.input_env(vertex) is not UNREACHABLE
 
+    def _block_values(self, vertex: Vertex):
+        """Memoized (program, per-step values, output bindings) of ``vertex``,
+        or None for virtual/unreachable vertices.
+
+        Evaluates the block's *cached* micro-op lowering once per vertex;
+        repeated ``site_values()``/``output_env()`` calls re-walk nothing —
+        not the instruction list, not the micro-ops.
+        """
+        memo = self.__dict__.setdefault("_block_memo", {})
+        if vertex in memo:
+            return memo[vertex]
+        env = self.input_env(vertex)
+        block = self.view.block_of(vertex)
+        if block is None or env is UNREACHABLE:
+            memo[vertex] = None
+            return None
+        program = lower_transfer(block)
+        values = env.to_dict()
+        results = run_program(program, values)
+        memo[vertex] = entry = (program, results, values)
+        return entry
+
     def site_values(self, vertex: Vertex) -> dict[int, FlatValue]:
         """Abstract result of each value-producing instruction at ``vertex``,
         keyed by instruction index.  Empty for virtual/unreachable vertices.
         """
-        env = self.input_env(vertex)
-        block = self.view.block_of(vertex)
-        if block is None or env is UNREACHABLE:
+        entry = self._block_values(vertex)
+        if entry is None:
             return {}
-        values: dict[int, FlatValue] = {}
-        for idx, instr in enumerate(block.instrs):
-            env, value = transfer_instr(instr, env)
-            if instr.dest is not None:
-                values[idx] = value if value is not None else BOT
-        return values
+        program, results, _ = entry
+        return dict(zip(program.sites, results))
+
+    def __getstate__(self):
+        # Lowered-program memos hold operator lambdas (unpicklable) and are
+        # pure caches: rebuild them lazily after unpickling.
+        state = self.__dict__.copy()
+        state.pop("_block_memo", None)
+        state.pop("_out_memo", None)
+        return state
 
     def constant_sites(self, vertex: Vertex) -> dict[int, int]:
         """Value-producing instruction indices at ``vertex`` whose result is a
@@ -96,19 +174,50 @@ class CondConstResult:
         }
 
     def output_env(self, vertex: Vertex) -> EnvValue:
-        """Environment at the exit of ``vertex``."""
-        env = self.input_env(vertex)
-        block = self.view.block_of(vertex)
-        if env is UNREACHABLE or block is None:
-            return env
-        return transfer_block(block, env)
+        """Environment at the exit of ``vertex`` (memoized)."""
+        memo = self.__dict__.setdefault("_out_memo", {})
+        if vertex in memo:
+            return memo[vertex]
+        entry = self._block_values(vertex)
+        if entry is None:
+            out = self.input_env(vertex)  # identity transfer / UNREACHABLE
+        else:
+            _, _, values = entry
+            out = ConstEnv(values)
+        memo[vertex] = out
+        return out
 
 
-def analyze(view: GraphView, entry_env: Optional[ConstEnv] = None) -> CondConstResult:
+def analyze(
+    view: GraphView,
+    entry_env: Optional[ConstEnv] = None,
+    *,
+    engine: Optional[str] = None,
+) -> CondConstResult:
     """Run conditional constant propagation over ``view``.
 
     ``entry_env`` defaults to "all parameters BOT, everything else TOP".
+    ``engine`` is ``"generic"`` (the persistent-dict oracle), ``"compiled"``
+    (the dense env-array engine), or ``"auto"`` (compiled at/above
+    :data:`~repro.dataflow.wz_compiled.WZ_AUTO_MIN_VERTICES` vertices);
+    ``None`` uses the ambient default (:func:`wz_engine_scope`).  Both
+    engines produce identical results, visit counts included.
     """
+    if engine is None:
+        engine = _DEFAULT_WZ_ENGINE
+    elif engine not in WZ_ENGINES:
+        raise ValueError(f"bad wz engine {engine!r}; choose from {WZ_ENGINES}")
+    if engine != "generic":
+        from .wz_compiled import WZ_AUTO_MIN_VERTICES, analyze_compiled
+
+        if engine == "compiled" or view.cfg.num_vertices >= WZ_AUTO_MIN_VERTICES:
+            result = analyze_compiled(view, entry_env)
+            if result is not None:
+                return result
+            # The view declined to compile (unresolvable branch labels):
+            # fall through to the oracle, which only faults on a bad leg
+            # if the fixpoint actually takes it.
+
     if entry_env is None:
         entry_env = ConstEnv({p: BOT for p in view.params})
 
@@ -118,34 +227,40 @@ def analyze(view: GraphView, entry_env: Optional[ConstEnv] = None) -> CondConstR
     worklist: list[Vertex] = [cfg.entry]
     on_list: set[Vertex] = {cfg.entry}
     visits = 0
+    visit_counts: dict[Vertex, int] = {}
 
-    while worklist:
-        v = worklist.pop()
-        on_list.discard(v)
-        visits += 1
-        env = env_in.get(v, UNREACHABLE)
-        if env is UNREACHABLE:
-            continue
+    with get_tracer().span(
+        "dataflow.wz.solve", engine="generic", vertices=cfg.num_vertices
+    ) as span:
+        while worklist:
+            v = worklist.pop()
+            on_list.discard(v)
+            visits += 1
+            visit_counts[v] = visit_counts.get(v, 0) + 1
+            env = env_in.get(v, UNREACHABLE)
+            if env is UNREACHABLE:
+                continue
 
-        block = view.block_of(v)
-        if block is None:
-            out_env: ConstEnv = env  # virtual vertex: identity transfer
-            out_targets = list(cfg.succs(v))
-        else:
-            out_env = transfer_block(block, env)
-            out_targets = _executable_targets(view, v, block, out_env)
+            block = view.block_of(v)
+            if block is None:
+                out_env: ConstEnv = env  # virtual vertex: identity transfer
+                out_targets = list(cfg.succs(v))
+            else:
+                out_env = transfer_block(block, env)
+                out_targets = _executable_targets(view, v, block, out_env)
 
-        for w in out_targets:
-            edge = (v, w)
-            newly_exec = edge not in executable
-            executable.add(edge)
-            old = env_in.get(w, UNREACHABLE)
-            new = meet_env(old, out_env)
-            if newly_exec or new != old:
-                env_in[w] = new
-                if w not in on_list:
-                    worklist.append(w)
-                    on_list.add(w)
+            for w in out_targets:
+                edge = (v, w)
+                newly_exec = edge not in executable
+                executable.add(edge)
+                old = env_in.get(w, UNREACHABLE)
+                new = meet_env(old, out_env)
+                if newly_exec or new != old:
+                    env_in[w] = new
+                    if w not in on_list:
+                        worklist.append(w)
+                        on_list.add(w)
+        span.set(visits=visits)
 
     metrics = get_metrics()
     if metrics.enabled:
@@ -153,7 +268,14 @@ def analyze(view: GraphView, entry_env: Optional[ConstEnv] = None) -> CondConstR
         metrics.counter("wz_visits").inc(visits)
         metrics.counter("wz_executable_edges").inc(len(executable))
 
-    return CondConstResult(view, env_in, frozenset(executable))
+    return CondConstResult(
+        view,
+        env_in,
+        frozenset(executable),
+        visits=visits,
+        visit_counts=visit_counts,
+        engine="generic",
+    )
 
 
 def _executable_targets(

@@ -1,0 +1,405 @@
+"""Dense env-array engine for Wegman–Zadek conditional constant propagation.
+
+The generic solver in :mod:`repro.dataflow.wegman_zadek` carries a
+persistent :class:`~repro.dataflow.lattice.ConstEnv` (a frozen dict) per
+vertex and re-walks each block's instruction list on every worklist visit —
+each instruction allocating a fresh dict through ``ConstEnv.set``.  The
+qualified pipeline runs this solver three times per routine (baseline CFG,
+hot-path graph, reduced graph), so on paper-scale targets WZ dominates the
+pipeline even after the separable problems moved to the bitset kernel.
+
+This engine lowers one :func:`analyze` call into dense form:
+
+* every variable in the view is interned to a dense **var-id**; every flat
+  lattice cell becomes a small int — ``0`` is TOP, ``1`` is BOT, and
+  ``2 + k`` is the ``k``-th interned constant (new constants produced by
+  folding are interned on the fly).  The code↔value mapping is injective,
+  so two env arrays are equal iff the environments they encode are;
+* each vertex's environment is one flat mutable list of cells indexed by
+  var-id (``None`` encodes UNREACHABLE).  Arrays are copied only at meet
+  points — a block evaluates into a scratch copy, and a successor either
+  adopts a copy (first executable edge in) or meets pointwise in place;
+* each block's transfer chain is pre-lowered once via
+  :mod:`repro.dataflow.wz_dense` and re-indexed from names to var-ids, so a
+  visit is a tight loop over micro-op tuples with no instruction dispatch
+  and no dict allocation;
+* terminators are pre-resolved: jumps, returns, and constant-condition
+  branches become fixed target tuples at compile time; a variable-condition
+  branch keeps its cond var-id and picks the leg(s) from its out-array per
+  visit, exactly like ``_executable_targets``.
+
+The worklist is the same LIFO stack seeded with the entry, pushing in the
+same target order under the same ``newly-executable or env-changed``
+condition — so visit counts, executable-edge discovery, and the final
+environments are **identical** to the generic solver's, which remains the
+oracle (``tests/test_wz_differential.py``).  Decoding memoizes one
+:class:`ConstEnv` per distinct array, aliasing equal environments the way
+the generic solver's meet fast paths alias theirs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..ir.instructions import Branch, Jump, Ret
+from ..ir.operands import Const
+from ..obs import get_metrics, get_tracer
+from .graph_view import GraphView
+from .lattice import BOT, TOP, ConstEnv
+from .wz_dense import (
+    W_BIN_CV,
+    W_BIN_VC,
+    W_BIN_VV,
+    W_BOT,
+    W_CONST,
+    W_COPY,
+    W_UN,
+    lower_transfer,
+)
+
+Vertex = Hashable
+
+#: Below this many vertices ``engine="auto"`` keeps the generic solver: the
+#: compile step (interning, program re-indexing, terminator resolution) is
+#: not amortized on tiny graphs.  Measured on the suite workloads' CFGs
+#: (``benchmarks/bench_wz.py``): the dense engine breaks even around 8–12
+#: vertices and wins clearly from ~15 up.  ``engine="compiled"`` forces the
+#: dense engine at any size.
+WZ_AUTO_MIN_VERTICES = 12
+
+#: Lattice-cell codes.  Constants are ``2 + intern_index``.
+_CELL_TOP = 0
+_CELL_BOT = 1
+
+#: Terminator kinds after compile-time resolution.
+_T_FIXED = 0  #: ``(_T_FIXED, targets)`` — target ids independent of the env
+_T_BRANCH = 1  #: ``(_T_BRANCH, cond_id, both, true_leg, false_leg)``
+
+
+class _WzSpec:
+    """One view lowered to dense form (built per :func:`analyze_compiled`)."""
+
+    __slots__ = (
+        "verts",
+        "var_names",
+        "var_ids",
+        "programs",
+        "terms",
+        "const_code",
+        "const_vals",
+        "entry_id",
+    )
+
+    def __init__(self) -> None:
+        self.var_names: list[str] = []
+        self.var_ids: dict[str, int] = {}
+        self.const_code: dict[int, int] = {}
+        self.const_vals: list[int] = []
+
+    def var_id(self, name: str) -> int:
+        vid = self.var_ids.get(name)
+        if vid is None:
+            vid = self.var_ids[name] = len(self.var_names)
+            self.var_names.append(name)
+        return vid
+
+    def cell_of(self, value) -> int:
+        """The cell code of a flat lattice value."""
+        if value is BOT:
+            return _CELL_BOT
+        if value is TOP:
+            return _CELL_TOP
+        code = self.const_code.get(value)
+        if code is None:
+            code = self.const_code[value] = len(self.const_vals) + 2
+            self.const_vals.append(value)
+        return code
+
+
+def _compile(view: GraphView, entry_env: ConstEnv) -> Optional[_WzSpec]:
+    """Lower ``view`` to a :class:`_WzSpec`, or None if the view's branch
+    labels cannot be resolved to edges (malformed view: fall back to the
+    generic solver, which only faults if the bad leg is actually taken)."""
+    cfg = view.cfg
+    spec = _WzSpec()
+    spec.verts = verts = list(cfg.vertices)
+    vid_of = {v: i for i, v in enumerate(verts)}
+    var_id = spec.var_id
+    for p in view.params:
+        var_id(p)
+    for name, _ in entry_env.items():
+        var_id(name)
+
+    programs: list[tuple] = []
+    terms: list[tuple] = []
+    for v in verts:
+        block = view.block_of(v)
+        if block is None:
+            programs.append(())
+            terms.append((_T_FIXED, tuple(vid_of[w] for w in cfg.succs(v))))
+            continue
+        steps = []
+        for step in lower_transfer(block).steps:
+            op = step[0]
+            if op == W_CONST:
+                steps.append((W_CONST, var_id(step[1]), spec.cell_of(step[2])))
+            elif op == W_COPY:
+                steps.append((W_COPY, var_id(step[1]), var_id(step[2])))
+            elif op == W_BOT:
+                steps.append((W_BOT, var_id(step[1])))
+            elif op == W_UN:
+                steps.append((W_UN, var_id(step[1]), step[2], var_id(step[3])))
+            elif op == W_BIN_VV:
+                steps.append(
+                    (W_BIN_VV, var_id(step[1]), step[2], var_id(step[3]), var_id(step[4]))
+                )
+            elif op == W_BIN_VC:
+                steps.append(
+                    (W_BIN_VC, var_id(step[1]), step[2], var_id(step[3]), step[4])
+                )
+            else:  # W_BIN_CV
+                steps.append(
+                    (W_BIN_CV, var_id(step[1]), step[2], step[3], var_id(step[4]))
+                )
+        programs.append(tuple(steps))
+
+        term = block.terminator
+        try:
+            if isinstance(term, Jump):
+                terms.append(
+                    (_T_FIXED, (vid_of[view.succ_for_label(v, term.target)],))
+                )
+            elif isinstance(term, Ret):
+                terms.append((_T_FIXED, tuple(vid_of[w] for w in cfg.succs(v))))
+            elif isinstance(term, Branch):
+                true_id = vid_of[view.succ_for_label(v, term.if_true)]
+                false_id = vid_of[view.succ_for_label(v, term.if_false)]
+                cond = term.cond
+                if isinstance(cond, Const):  # resolve the branch now
+                    taken = true_id if cond.value != 0 else false_id
+                    terms.append((_T_FIXED, (taken,)))
+                else:
+                    terms.append(
+                        (
+                            _T_BRANCH,
+                            var_id(cond.name),
+                            (true_id, false_id),
+                            (true_id,),
+                            (false_id,),
+                        )
+                    )
+            else:
+                raise TypeError(f"unknown terminator {term!r}")
+        except KeyError:
+            return None
+    spec.programs = programs
+    spec.terms = terms
+    spec.entry_id = vid_of[cfg.entry]
+    return spec
+
+
+def analyze_compiled(view: GraphView, entry_env: Optional[ConstEnv] = None):
+    """Run the dense WZ engine over ``view``.
+
+    Returns the decoded :class:`~repro.dataflow.wegman_zadek.CondConstResult`
+    — bit-identical to the generic solver's, visit counts included — or
+    ``None`` when the view declines to compile (caller falls back).
+    """
+    from .wegman_zadek import CondConstResult
+
+    if entry_env is None:
+        entry_env = ConstEnv({p: BOT for p in view.params})
+
+    tracer = get_tracer()
+    with tracer.span("dataflow.wz.compile", engine="compiled") as cspan:
+        spec = _compile(view, entry_env)
+        if spec is None:
+            return None
+        width = len(spec.var_names)
+        n = len(spec.verts)
+        cspan.set(vertices=n, env_width=width)
+
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.counter("wz_compiled_solves").inc()
+        metrics.gauge("wz_env_width").set(width)
+
+    cell_of = spec.cell_of
+    entry_arr = [_CELL_TOP] * width
+    for name, value in entry_env.items():
+        entry_arr[spec.var_ids[name]] = cell_of(value)
+
+    programs = spec.programs
+    terms = spec.terms
+    const_vals = spec.const_vals
+    const_code = spec.const_code
+    entry_id = spec.entry_id
+
+    env_in: list = [None] * n  # None == UNREACHABLE
+    env_in[entry_id] = entry_arr
+    executable: set[int] = set()  # edge (v, w) encoded as v * n + w
+    worklist = [entry_id]
+    on_list = bytearray(n)
+    on_list[entry_id] = 1
+    visits = 0
+    counts = [0] * n
+
+    with tracer.span(
+        "dataflow.wz.solve", engine="compiled", vertices=n
+    ) as span:
+        while worklist:
+            vid = worklist.pop()
+            on_list[vid] = 0
+            visits += 1
+            counts[vid] += 1
+            env = env_in[vid]
+            if env is None:
+                continue
+
+            steps = programs[vid]
+            if steps:
+                out = env[:]
+                for step in steps:
+                    op = step[0]
+                    if op == W_BIN_VV:
+                        a = out[step[3]]
+                        b = out[step[4]]
+                        if a == 0 or b == 0:
+                            out[step[1]] = 0
+                        elif a == 1 or b == 1:
+                            out[step[1]] = 1
+                        else:
+                            r = step[2](const_vals[a - 2], const_vals[b - 2])
+                            c = const_code.get(r)
+                            if c is None:
+                                c = const_code[r] = len(const_vals) + 2
+                                const_vals.append(r)
+                            out[step[1]] = c
+                    elif op == W_COPY:
+                        out[step[1]] = out[step[2]]
+                    elif op == W_CONST:
+                        out[step[1]] = step[2]
+                    elif op == W_BIN_VC:
+                        a = out[step[3]]
+                        if a < 2:
+                            out[step[1]] = a
+                        else:
+                            r = step[2](const_vals[a - 2], step[4])
+                            c = const_code.get(r)
+                            if c is None:
+                                c = const_code[r] = len(const_vals) + 2
+                                const_vals.append(r)
+                            out[step[1]] = c
+                    elif op == W_BIN_CV:
+                        b = out[step[4]]
+                        if b < 2:
+                            out[step[1]] = b
+                        else:
+                            r = step[2](step[3], const_vals[b - 2])
+                            c = const_code.get(r)
+                            if c is None:
+                                c = const_code[r] = len(const_vals) + 2
+                                const_vals.append(r)
+                            out[step[1]] = c
+                    elif op == W_UN:
+                        a = out[step[3]]
+                        if a < 2:
+                            out[step[1]] = a
+                        else:
+                            r = step[2](const_vals[a - 2])
+                            c = const_code.get(r)
+                            if c is None:
+                                c = const_code[r] = len(const_vals) + 2
+                                const_vals.append(r)
+                            out[step[1]] = c
+                    else:  # W_BOT
+                        out[step[1]] = 1
+            else:
+                out = env  # virtual vertex: identity transfer
+
+            term = terms[vid]
+            if term[0] == _T_FIXED:
+                targets = term[1]
+            else:
+                code = out[term[1]]
+                if code == 0:
+                    # Optimistic: unresolved condition propagates nowhere yet.
+                    targets = ()
+                elif code == 1:
+                    targets = term[2]
+                elif const_vals[code - 2] != 0:
+                    targets = term[3]
+                else:
+                    targets = term[4]
+
+            base = vid * n
+            for wid in targets:
+                edge = base + wid
+                newly_exec = edge not in executable
+                if newly_exec:
+                    executable.add(edge)
+                old = env_in[wid]
+                if old is None:
+                    env_in[wid] = out[:]  # first flow in: adopt a copy
+                    changed = True
+                elif old == out:
+                    changed = False
+                else:
+                    changed = False
+                    for i, b in enumerate(out):
+                        a = old[i]
+                        if a == b or b == 0:
+                            continue  # equal, or meet with TOP: keep a
+                        if a == 0:
+                            old[i] = b  # meet(TOP, b) = b
+                            changed = True
+                        elif a != 1:
+                            old[i] = 1  # distinct non-TOP cells meet to BOT
+                            changed = True
+                        # a == BOT stays BOT
+                if newly_exec or changed:
+                    if not on_list[wid]:
+                        worklist.append(wid)
+                        on_list[wid] = 1
+        span.set(visits=visits)
+
+    if metrics.enabled:
+        metrics.counter("wz_analyses").inc()
+        metrics.counter("wz_visits").inc(visits)
+        metrics.counter("wz_executable_edges").inc(len(executable))
+
+    # Decode.  One ConstEnv per distinct array: equal environments alias a
+    # single object, mirroring the generic solver's meet/set fast paths.
+    # Each array is released as soon as its tuple key exists — duplicated
+    # vertices (the hot-path-graph case) then share one key and one env, so
+    # the decode's peak tracks the number of *distinct* environments.
+    verts = spec.verts
+    var_names = spec.var_names
+    seen: dict = {}
+    decoded_env_in: dict = {}
+    for vid in range(n):
+        arr = env_in[vid]
+        if arr is None:
+            continue
+        env_in[vid] = None
+        key = tuple(arr)
+        del arr
+        env = seen.get(key)
+        if env is None:
+            values = {}
+            for i, c in enumerate(key):
+                if c:
+                    values[var_names[i]] = BOT if c == 1 else const_vals[c - 2]
+            env = seen[key] = ConstEnv._from_raw(values)
+        decoded_env_in[verts[vid]] = env
+
+    edges = frozenset((verts[k // n], verts[k % n]) for k in executable)
+    visit_counts = {verts[vid]: c for vid, c in enumerate(counts) if c}
+    return CondConstResult(
+        view,
+        decoded_env_in,
+        edges,
+        visits=visits,
+        visit_counts=visit_counts,
+        engine="compiled",
+    )

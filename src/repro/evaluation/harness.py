@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..core.qualified import QualifiedAnalysis, run_qualified
-from ..dataflow import DATAFLOW_ENGINES, engine_scope
+from ..dataflow import DATAFLOW_ENGINES, WZ_ENGINES, engine_scope, wz_engine_scope
 from ..obs import Span, Tracer, get_tracer
 from ..frontend.lower import compile_program
 from ..interp.interpreter import Interpreter, RunResult
@@ -90,6 +90,7 @@ class WorkloadRun:
         tracer: Optional[Tracer] = None,
         checker=None,
         dataflow_engine: str = "auto",
+        wz_engine: str = "auto",
     ) -> None:
         if engine not in ("reference", "compiled"):
             raise ValueError(f"bad engine {engine!r}")
@@ -98,12 +99,22 @@ class WorkloadRun:
                 f"bad dataflow engine {dataflow_engine!r}; "
                 f"choose from {DATAFLOW_ENGINES}"
             )
+        if wz_engine not in WZ_ENGINES:
+            raise ValueError(
+                f"bad wz engine {wz_engine!r}; choose from {WZ_ENGINES}"
+            )
         self.workload = workload
         self.engine = engine
         #: Which dataflow solver engine runs the set-problem analyses this
         #: harness triggers (lints, qualified pipelines, DCE in the Table 2
         #: builds) — threaded through :func:`repro.dataflow.engine_scope`.
         self.dataflow_engine = dataflow_engine
+        #: Which Wegman–Zadek engine runs conditional constant propagation
+        #: everywhere this harness triggers it (qualified pipelines, lints,
+        #: Table 2 builds) — threaded through
+        #: :func:`repro.dataflow.wz_engine_scope` and, for the pipeline
+        #: proper, passed explicitly to :func:`run_qualified`.
+        self.wz_engine = wz_engine
         # Self-verification hooks (null object when disabled; see
         # repro.checks.runner).  Imported lazily: the checks package must
         # stay importable from repro.ir, which this module imports.
@@ -127,7 +138,7 @@ class WorkloadRun:
             validate_module(self.module)
         self._stage_spans["compile"] = span
         if checker.enabled:
-            with engine_scope(dataflow_engine):
+            with engine_scope(dataflow_engine), wz_engine_scope(wz_engine):
                 checker.after_compile(workload.name, self.module)
 
         with tr.span(
@@ -184,7 +195,9 @@ class WorkloadRun:
         self, ca: float, cr: float
     ) -> dict[str, QualifiedAnalysis]:
         return {
-            name: run_qualified(fn, self.train_profile(name), ca, cr)
+            name: run_qualified(
+                fn, self.train_profile(name), ca, cr, wz_engine=self.wz_engine
+            )
             for name, fn in self.module.functions.items()
         }
 
@@ -206,7 +219,9 @@ class WorkloadRun:
         """Per-routine pipeline results at the given coverage, cached."""
         key = (ca, cr)
         if key not in self._qualified:
-            with engine_scope(self.dataflow_engine):
+            with engine_scope(self.dataflow_engine), wz_engine_scope(
+                self.wz_engine
+            ):
                 with self.tracer.span(
                     "workload.qualify", workload=self.workload.name, ca=ca, cr=cr
                 ):
@@ -290,7 +305,7 @@ class WorkloadRun:
 
     def build_base_module(self) -> Module:
         """Original CFG + Wegman–Zadek folding + DCE + layout."""
-        with engine_scope(self.dataflow_engine):
+        with engine_scope(self.dataflow_engine), wz_engine_scope(self.wz_engine):
             return self._build_base_module()
 
     def _build_base_module(self) -> Module:
@@ -314,7 +329,7 @@ class WorkloadRun:
         self, ca: float = DEFAULT_CA, cr: float = DEFAULT_CR
     ) -> Module:
         """Reduced hot-path graph + qualified folding + DCE + layout."""
-        with engine_scope(self.dataflow_engine):
+        with engine_scope(self.dataflow_engine), wz_engine_scope(self.wz_engine):
             return self._build_optimized_module(ca, cr)
 
     def _build_optimized_module(

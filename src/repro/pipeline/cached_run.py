@@ -51,6 +51,7 @@ class CachedWorkloadRun(WorkloadRun):
         engine: str = "compiled",
         checker=None,
         dataflow_engine: str = "auto",
+        wz_engine: str = "auto",
     ) -> None:
         self.cache = cache
         super().__init__(
@@ -58,6 +59,7 @@ class CachedWorkloadRun(WorkloadRun):
             engine=engine,
             checker=checker,
             dataflow_engine=dataflow_engine,
+            wz_engine=wz_engine,
         )
 
     # -- pipeline steps, memoized -----------------------------------------
@@ -92,9 +94,9 @@ class CachedWorkloadRun(WorkloadRun):
     def _compute_qualified(
         self, ca: float, cr: float
     ) -> dict[str, QualifiedAnalysis]:
-        # The dataflow engine is part of the key: both engines prove equal
-        # Solutions, but a cached artifact should always be reproducible by
-        # the exact configuration that produced it.
+        # The dataflow and WZ engines are part of the key: the engines prove
+        # equal solutions, but a cached artifact should always be
+        # reproducible by the exact configuration that produced it.
         key = content_key(
             "qualified",
             self.workload.source,
@@ -102,6 +104,7 @@ class CachedWorkloadRun(WorkloadRun):
             ca,
             cr,
             self.dataflow_engine,
+            self.wz_engine,
         )
         return self._memo(
             KIND_QUALIFIED, key, lambda: super(CachedWorkloadRun, self)._compute_qualified(ca, cr)
@@ -114,6 +117,7 @@ def make_run(
     engine: str = "compiled",
     check: bool = False,
     dataflow_engine: str = "auto",
+    wz_engine: str = "auto",
 ) -> WorkloadRun:
     """Build a run, cached when a cache directory (or cache) is given.
 
@@ -131,6 +135,7 @@ def make_run(
             engine=engine,
             checker=checker,
             dataflow_engine=dataflow_engine,
+            wz_engine=wz_engine,
         )
     cache = cache_dir if isinstance(cache_dir, ArtifactCache) else ArtifactCache(cache_dir)
     return CachedWorkloadRun(
@@ -139,4 +144,5 @@ def make_run(
         engine=engine,
         checker=checker,
         dataflow_engine=dataflow_engine,
+        wz_engine=wz_engine,
     )

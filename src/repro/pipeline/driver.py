@@ -204,7 +204,7 @@ class SweepResult:
 
 #: Per-process memo of built runs, so a pool worker that already compiled
 #: and profiled a workload serves its remaining coverage jobs from memory.
-_RUN_TABLE: dict[tuple[str, Optional[str], bool, str], WorkloadRun] = {}
+_RUN_TABLE: dict[tuple[str, Optional[str], bool, str, str], WorkloadRun] = {}
 
 
 def _obtain_run(
@@ -212,8 +212,9 @@ def _obtain_run(
     cache_dir: Optional[str],
     check: bool = False,
     dataflow_engine: str = "auto",
+    wz_engine: str = "auto",
 ) -> WorkloadRun:
-    key = (name, cache_dir, check, dataflow_engine)
+    key = (name, cache_dir, check, dataflow_engine, wz_engine)
     run = _RUN_TABLE.get(key)
     if run is None:
         run = make_run(
@@ -221,6 +222,7 @@ def _obtain_run(
             cache_dir,
             check=check,
             dataflow_engine=dataflow_engine,
+            wz_engine=wz_engine,
         )
         _RUN_TABLE[key] = run
     return run
@@ -331,13 +333,14 @@ def _cell_job(
     obs: bool = False,
     check: bool = False,
     dataflow_engine: str = "auto",
+    wz_engine: str = "auto",
 ) -> tuple[
     str, float, SweepCell, CacheStats, list[dict],
     Optional[tuple[list[dict], dict]],
 ]:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.cell", workload=name, ca=ca):
-        run = _obtain_run(name, cache_dir, check, dataflow_engine)
+        run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
         cell = _cell_from_run(run, ca, cr)
     return (
         name,
@@ -357,13 +360,14 @@ def _summary_job(
     obs: bool = False,
     check: bool = False,
     dataflow_engine: str = "auto",
+    wz_engine: str = "auto",
 ) -> tuple[
     str, WorkloadSummary, CacheStats, list[dict],
     Optional[tuple[list[dict], dict]],
 ]:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.summary", workload=name):
-        run = _obtain_run(name, cache_dir, check, dataflow_engine)
+        run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
         summary = _summary_from_run(run, default_ca, cr)
     return (
         name,
@@ -380,22 +384,28 @@ def _suite_cell_job(
     cache_dir: Optional[str],
     archive_dir: Optional[str],
     obs: bool = False,
+    wz_engine: Optional[str] = None,
 ):
     """One workload-matrix cell, shipped to a pool worker by name.
 
     Targets and instances cross the process boundary as strings and are
     resolved worker-side (generated targets re-derive deterministically from
     their spec), mirroring the workload-name convention of :func:`_cell_job`.
+    ``wz_engine``, when given, overrides the resolved instance's
+    Wegman-Zadek engine (the ``suite --wz-engine`` flag).
     """
+    from dataclasses import replace
+
     from ..workloads.matrix import resolve_instance, run_cell
 
     active = _ensure_worker_obs(obs)
+    instance = resolve_instance(instance_name)
+    if wz_engine is not None:
+        instance = replace(instance, wz_engine=wz_engine)
     with get_tracer().span(
         "driver.suite_cell", target=target, instance=instance_name
     ):
-        cell = run_cell(
-            target, resolve_instance(instance_name), cache_dir, archive_dir
-        )
+        cell = run_cell(target, instance, cache_dir, archive_dir)
     return target, instance_name, cell, _obs_delta(active)
 
 
@@ -416,6 +426,7 @@ class ParallelDriver:
         default_ca: float = DEFAULT_CA,
         check: bool = False,
         dataflow_engine: str = "auto",
+        wz_engine: str = "auto",
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -427,6 +438,8 @@ class ParallelDriver:
         self.check = check
         #: Dataflow solver engine for every job's analyses.
         self.dataflow_engine = dataflow_engine
+        #: Wegman-Zadek engine for every job's conditional-constant runs.
+        self.wz_engine = wz_engine
 
     def sweep(
         self,
@@ -468,6 +481,7 @@ class ParallelDriver:
         targets: Sequence[str],
         instances: Sequence[str],
         archive_dir: Optional[str] = None,
+        wz_engine: Optional[str] = None,
     ):
         """Run the workload matrix (:mod:`repro.workloads.matrix`) over the
         driver's pool.
@@ -477,8 +491,11 @@ class ParallelDriver:
         process-pool job.  Both produce identical
         :class:`~repro.workloads.matrix.MatrixResult` values — cells are
         deterministic and the archive is content-addressed, so concurrent
-        writers agree.
+        writers agree.  ``wz_engine``, when given, overrides every
+        instance's Wegman-Zadek engine (and hence the cell keys).
         """
+        from dataclasses import replace
+
         from ..workloads.matrix import (
             MatrixResult,
             resolve_instances,
@@ -486,6 +503,8 @@ class ParallelDriver:
         )
 
         insts = resolve_instances(instances)
+        if wz_engine is not None:
+            insts = tuple(replace(i, wz_engine=wz_engine) for i in insts)
         if self.jobs == 1:
             return run_suite(targets, insts, self.cache_dir, archive_dir)
         result = MatrixResult(
@@ -507,7 +526,7 @@ class ParallelDriver:
                 futures = [
                     pool.submit(
                         _suite_cell_job, target, name, self.cache_dir,
-                        archive_dir, obs,
+                        archive_dir, obs, wz_engine,
                     )
                     for target in result.targets
                     for name in result.instances
@@ -542,6 +561,7 @@ class ParallelDriver:
                     self.cache_dir,
                     check=self.check,
                     dataflow_engine=self.dataflow_engine,
+                    wz_engine=self.wz_engine,
                 )
                 for ca in result.ca_values:
                     result.cells[(name, ca)] = _cell_from_run(run, ca, self.cr)
@@ -567,7 +587,7 @@ class ParallelDriver:
             futures = [
                 pool.submit(
                     _cell_job, name, ca, self.cr, self.cache_dir, obs,
-                    self.check, self.dataflow_engine,
+                    self.check, self.dataflow_engine, self.wz_engine,
                 )
                 for name in result.workloads
                 for ca in result.ca_values
@@ -582,6 +602,7 @@ class ParallelDriver:
                     obs,
                     self.check,
                     self.dataflow_engine,
+                    self.wz_engine,
                 )
                 for name in result.workloads
             ]

@@ -7,7 +7,7 @@ Modelled on the vusec ``instrumentation-infra`` layout, the suite crosses
   generated presets (:data:`repro.workloads.generate.GEN_PRESETS`), and
   ad-hoc ``gen:key=value,...`` specs parsed on the fly; with
 * **instances** — configurations: interpreter engine × dataflow engine ×
-  solver strategy × (CA, CR) coverage.
+  Wegman–Zadek engine × solver strategy × (CA, CR) coverage.
 
 Each cell of the cross product is simultaneously a measurement and a
 **differential test**:
@@ -17,7 +17,11 @@ Each cell of the cross product is simultaneously a measurement and a
 2. every separable dataflow problem is solved on every routine's CFG by
    *both* solver engines under the instance's strategy and the fixpoints
    must match (``dataflow_parity``);
-3. the pipeline checkers run over every stage and must report no errors
+3. conditional constant propagation runs on every routine's CFG — and on
+   its hot-path graph, when traced — under *both* Wegman–Zadek engines and
+   the environments, executable edges, and worklist visit counts must all
+   match (``wz_parity``);
+4. the pipeline checkers run over every stage and must report no errors
    (``checks_clean``).
 
 So the matrix doubles as the largest test surface in the repo: a cell that
@@ -44,6 +48,7 @@ from typing import Iterable, Optional, Sequence
 
 from ..dataflow import solve
 from ..dataflow.framework import SOLVER_STRATEGIES
+from ..dataflow.wegman_zadek import WZ_ENGINES
 from ..dataflow.graph_view import GraphView
 from ..evaluation.harness import DEFAULT_CA, DEFAULT_CR, Workload
 from ..evaluation.tables import format_table
@@ -81,6 +86,8 @@ class Instance:
     engine: str = "compiled"
     #: Dataflow solver engine for the pipeline's separable analyses.
     dataflow_engine: str = "auto"
+    #: Wegman–Zadek engine for the pipeline's conditional-constant runs.
+    wz_engine: str = "auto"
     #: Worklist strategy for the cell's differential dataflow stage.
     strategy: str = "rpo"
     ca: float = DEFAULT_CA
@@ -89,6 +96,8 @@ class Instance:
     def __post_init__(self) -> None:
         if self.engine not in ("reference", "compiled"):
             raise ValueError(f"bad engine {self.engine!r}")
+        if self.wz_engine not in WZ_ENGINES:
+            raise ValueError(f"bad wz_engine {self.wz_engine!r}")
         if self.strategy not in SOLVER_STRATEGIES:
             raise ValueError(f"bad strategy {self.strategy!r}")
 
@@ -102,8 +111,10 @@ INSTANCES: dict[str, Instance] = {
     inst.name: inst
     for inst in (
         Instance("base"),
-        Instance("reference", engine="reference", dataflow_engine="generic"),
+        Instance("reference", engine="reference", dataflow_engine="generic",
+                 wz_engine="generic"),
         Instance("bitset", dataflow_engine="compiled"),
+        Instance("wz-compiled", wz_engine="compiled"),
         Instance("lifo", strategy="lifo"),
         Instance("full-cover", ca=1.0),
     )
@@ -218,6 +229,8 @@ class MatrixCell:
     interp_mismatches: list = field(default_factory=list)
     dataflow_parity: bool = False
     dataflow_mismatches: list = field(default_factory=list)
+    wz_parity: bool = False
+    wz_mismatches: list = field(default_factory=list)
     checks_errors: int = 0
     checks_warnings: int = 0
     # -- timings (reported, never gated: machine-bound) --
@@ -230,7 +243,12 @@ class MatrixCell:
     @property
     def ok(self) -> bool:
         """The cell's differential-test verdict."""
-        return self.interp_parity and self.dataflow_parity and self.checks_clean
+        return (
+            self.interp_parity
+            and self.dataflow_parity
+            and self.wz_parity
+            and self.checks_clean
+        )
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -294,6 +312,33 @@ def _dataflow_parity(run, instance: Instance) -> tuple[bool, list]:
     return not mismatches, mismatches
 
 
+def _wz_parity(run, instance: Instance) -> tuple[bool, list]:
+    """Run Wegman–Zadek with both engines on every routine's CFG — and on
+    its hot-path graph, when the cell's coverage traced one — and require
+    bit-identical fixpoints, edge sets, and worklist visit counts."""
+    from ..dataflow.wegman_zadek import analyze
+
+    views = {
+        fname: GraphView.from_function(fn)
+        for fname, fn in run.module.functions.items()
+    }
+    for fname, qa in run.qualified(instance.ca, instance.cr).items():
+        if qa.hpg is not None:
+            views[f"{fname}@hpg"] = qa.hpg.view()
+    mismatches = []
+    for vname, view in views.items():
+        generic = analyze(view, engine="generic")
+        compiled = analyze(view, engine="compiled")
+        if (
+            generic.env_in != compiled.env_in
+            or generic.executable_edges != compiled.executable_edges
+            or generic.visits != compiled.visits
+            or generic.visit_counts != compiled.visit_counts
+        ):
+            mismatches.append(vname)
+    return not mismatches, mismatches
+
+
 def run_cell(
     target: str,
     instance: Instance,
@@ -314,11 +359,13 @@ def run_cell(
             engine=instance.engine,
             check=True,
             dataflow_engine=instance.dataflow_engine,
+            wz_engine=instance.wz_engine,
         )
         agg = run.aggregate_classification(instance.ca, instance.cr)
         orig, hpg, red = run.graph_sizes(instance.ca, instance.cr)
         interp_ok, interp_bad = _interp_parity(run, workload, instance)
         df_ok, df_bad = _dataflow_parity(run, instance)
+        wz_ok, wz_bad = _wz_parity(run, instance)
         diags = run.checker.diagnostics
         cell = MatrixCell(
             target=target,
@@ -337,6 +384,8 @@ def run_cell(
             interp_mismatches=interp_bad,
             dataflow_parity=df_ok,
             dataflow_mismatches=df_bad,
+            wz_parity=wz_ok,
+            wz_mismatches=wz_bad,
             checks_errors=len(diags.errors),
             checks_warnings=len(diags.warnings),
             timings={
@@ -455,6 +504,7 @@ class MatrixResult:
                         f"{c.constant_increase:+.1%}",
                         "ok" if c.interp_parity else "FAIL",
                         "ok" if c.dataflow_parity else "FAIL",
+                        "ok" if c.wz_parity else "FAIL",
                         "clean" if c.checks_clean else f"{c.checks_errors} err",
                     ]
                 )
@@ -470,6 +520,7 @@ class MatrixResult:
                 "increase",
                 "interp",
                 "dataflow",
+                "wz",
                 "checks",
             ],
             rows,

@@ -125,3 +125,62 @@ class TestConstEnv:
     @given(env_values)
     def test_env_leq_reflexive(self, a):
         assert leq_env(a, a)
+
+
+class TestConstEnvFastPaths:
+    """Aliasing fast paths: redundant updates and trivial meets must return
+    an existing object, not an equal copy — the WZ solver leans on this to
+    keep fixpoint iterations allocation-free."""
+
+    def test_set_same_constant_returns_self(self):
+        env = ConstEnv({"x": 1})
+        assert env.set("x", 1) is env
+
+    def test_set_same_sentinel_returns_self(self):
+        env = ConstEnv({"x": BOT})
+        assert env.set("x", BOT) is env
+
+    def test_set_top_on_absent_returns_self(self):
+        env = ConstEnv({"x": 1})
+        assert env.set("y", TOP) is env
+
+    def test_set_different_value_allocates(self):
+        env = ConstEnv({"x": 1})
+        assert env.set("x", 2) is not env
+
+    def test_meet_with_self_returns_self(self):
+        env = ConstEnv({"x": 1})
+        assert env.meet(env) is env
+
+    def test_meet_with_empty_returns_self(self):
+        env = ConstEnv({"x": 1, "y": BOT})
+        assert env.meet(ConstEnv()) is env
+
+    def test_empty_meet_returns_other(self):
+        env = ConstEnv({"x": 1})
+        assert ConstEnv().meet(env) is env
+
+    def test_meet_pointwise_equal_returns_self(self):
+        a = ConstEnv({"x": 1, "y": BOT})
+        b = ConstEnv({"x": 1, "y": BOT})
+        m = a.meet(b)
+        assert m is a and m is not b
+
+    def test_meet_fast_paths_never_change_the_result(self):
+        # The fast paths are pure aliasing: results equal the naive meet.
+        a = ConstEnv({"x": 1})
+        b = ConstEnv({"x": 1, "y": 2})
+        assert a.meet(b) == ConstEnv({"x": 1, "y": 2})
+        assert b.meet(a) == ConstEnv({"x": 1, "y": 2})
+
+    @given(env_values, env_values)
+    @settings(max_examples=100)
+    def test_fast_meet_matches_pointwise_meet(self, a, b):
+        m = meet_env(a, b)
+        if m is UNREACHABLE:
+            assert a is UNREACHABLE and b is UNREACHABLE
+            return
+        for name in ("a", "b", "c"):
+            av = TOP if a is UNREACHABLE else a.get(name)
+            bv = TOP if b is UNREACHABLE else b.get(name)
+            assert m.get(name) == meet_flat(av, bv)
