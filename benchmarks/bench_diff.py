@@ -85,6 +85,16 @@ def _check_metrics(data):
     return {"enabled_over_disabled": (data["enabled_over_disabled"], "lower")}
 
 
+def _serve_metrics(data):
+    """Service daemon (bench_serve.py): the warm-cache amortization factor
+    and the concurrent-over-serial throughput ratio are host-transferable;
+    raw millisecond latencies are reported in the table only."""
+    return {
+        "warm_speedup": (data["warm_speedup"], "higher"),
+        "concurrency_ratio": (data["concurrency_ratio"], "higher"),
+    }
+
+
 TRACKED = {
     "BENCH_interp": _interp_metrics,
     "BENCH_dataflow": _dataflow_metrics,
@@ -92,6 +102,7 @@ TRACKED = {
     "BENCH_wz": _wz_metrics,
     "BENCH_obs_overhead": _obs_metrics,
     "BENCH_check_overhead": _check_metrics,
+    "BENCH_serve": _serve_metrics,
 }
 
 

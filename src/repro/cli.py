@@ -10,6 +10,8 @@ analyzes and optimizes) as subcommands::
     python -m repro dot      prog.mc --function work --profile prog.prof
     python -m repro report   m88ksim95
     python -m repro bench    --jobs 4 --cache-dir .repro-cache --out results/
+    python -m repro serve    --port 8321 --jobs 4 --cache-dir .repro-cache
+    python -m repro submit   gen-small --url http://127.0.0.1:8321
 
 All subcommands are pure functions of their inputs, so they are unit-tested
 by invoking :func:`main` directly.
@@ -575,6 +577,122 @@ def cmd_check(args: argparse.Namespace) -> int:
     return diags.exit_code(args.fail_on)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .obs import Tracer, render_span_tree
+    from .service import AnalysisService, make_server
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.cache_dir:
+        import os
+
+        if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
+            raise SystemExit(f"--cache-dir {args.cache_dir!r} is not a directory")
+
+    tracer = Tracer(enabled=True) if args.trace else None
+    service = AnalysisService(
+        jobs=args.jobs, cache_dir=args.cache_dir, tracer=tracer
+    )
+    server = make_server(args.host, args.port, service, verbose=args.verbose)
+    host, port = server.server_address[:2]
+
+    def _interrupt(signum, frame):
+        # Re-raise as KeyboardInterrupt so one shutdown path serves ^C,
+        # SIGTERM, and test-driven server.shutdown() alike.
+        raise KeyboardInterrupt
+
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, _interrupt)
+        signal.signal(signal.SIGTERM, _interrupt)
+
+    print(f"# repro serve listening on http://{host}:{port}", file=sys.stderr)
+    print(
+        f"# workers: {args.jobs}; cache: {args.cache_dir or '(in-memory)'}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        abandoned = service.shutdown(drain=True)
+        print(
+            f"# repro serve stopped; pool drained"
+            + (f" ({abandoned} queued job(s) abandoned)" if abandoned else ""),
+            file=sys.stderr,
+        )
+        print(f"# cache activity: {service.status()['cache']}", file=sys.stderr)
+        if tracer is not None and tracer.spans():
+            print(render_span_tree(tracer.spans(), top=5), file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import AnalysisRequest, ServiceClient, ServiceError
+
+    if (args.target is None) == (args.file is None):
+        raise SystemExit("submit: give a target name or --file, not both")
+    source = None
+    if args.file is not None:
+        with open(args.file) as f:
+            source = f.read()
+    try:
+        request = AnalysisRequest(
+            target=args.target,
+            source=source,
+            name=args.file or "inline",
+            args=tuple(args.args),
+            inputs=_parse_inputs(args.input),
+            engine=args.engine,
+            dataflow_engine=args.dataflow_engine,
+            wz_engine=args.wz_engine,
+            ca=args.ca,
+            cr=args.cr,
+            check=not args.no_check,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"submit: {exc}")
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        if args.wait_ready:
+            client.wait_ready(args.wait_ready)
+        result = client.analyze(request, timeout=args.timeout)
+    except ServiceError as exc:
+        raise SystemExit(f"submit: {exc}")
+
+    if args.json:
+        import json
+
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        summary = result["summary"]
+        sharp = summary["sharpening"]
+        ratio = sharp["improvement_ratio"]
+        print(f"workload              : {result['workload']}")
+        print(f"CFG nodes             : {summary['cfg_nodes']}")
+        print(f"executed paths (train): {summary['executed_paths']}")
+        print(f"hot paths (CA={args.ca}) : {summary['hot_paths']}")
+        print(f"WZ non-local constants: {sharp['iterative_nonlocal']}")
+        print(f"qualified non-local   : {sharp['qualified_nonlocal']}")
+        print(
+            "improvement ratio     : "
+            + (f"{ratio:.3f}x" if ratio is not None else "inf")
+        )
+    diagnostics = result.get("diagnostics")
+    if diagnostics is not None:
+        print(f"# checks: {diagnostics['summary']}", file=sys.stderr)
+        if diagnostics["has_errors"]:
+            for record in diagnostics["records"]:
+                print(f"#   {record}", file=sys.stderr)
+            return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -766,6 +884,90 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataflow_engine(p)
     _add_wz_engine(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="analysis-as-a-service daemon: HTTP/JSON job API over a shared "
+        "artifact cache and worker pool (see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port (0 = ephemeral; the chosen port is printed to stderr)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=2, help="request worker threads"
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache shared by every request "
+        "(omit for in-memory only)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="retain request spans and print the span tree on shutdown",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one analysis to a running 'repro serve' daemon and "
+        "wait for the result",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        help="target name (workload/handwritten/preset or gen:k=v,... spec); "
+        "omit when submitting a file with --file",
+    )
+    p.add_argument(
+        "--file", metavar="FILE.mc", help="submit inline MiniC source instead"
+    )
+    p.add_argument(
+        "--url",
+        default="http://127.0.0.1:8321",
+        help="daemon base URL (default: %(default)s)",
+    )
+    p.add_argument("--args", type=int, nargs="*", default=[])
+    p.add_argument("--input", action="append", default=[], metavar="NAME=V1,V2")
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine for the profiling runs",
+    )
+    p.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the invariant checkers (they run by default; "
+        "error findings exit 2)",
+    )
+    p.add_argument("--json", action="store_true", help="print the full result payload")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="seconds to wait for the job (default: %(default)s)",
+    )
+    p.add_argument(
+        "--wait-ready",
+        type=float,
+        metavar="SECONDS",
+        help="first retry /healthz for up to SECONDS (for freshly "
+        "backgrounded daemons)",
+    )
+    _add_dataflow_engine(p)
+    _add_wz_engine(p)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
         "check",

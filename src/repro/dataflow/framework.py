@@ -33,6 +33,7 @@ began.
 
 from __future__ import annotations
 
+import contextvars
 import heapq
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
@@ -56,10 +57,21 @@ DATAFLOW_ENGINES = ("auto", "generic", "compiled")
 
 _DEFAULT_ENGINE = "auto"
 
+#: Context-carried engine override (:func:`engine_scope`).  A contextvar
+#: rather than the module global, so concurrent threads — e.g. two analysis
+#: service requests with different ``dataflow_engine`` knobs — scope their
+#: engines independently instead of racing on a process-wide default.
+_SCOPED_ENGINE: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_dataflow_engine", default=None
+)
+
 
 def get_default_engine() -> str:
-    """The engine :func:`solve` uses when called without ``engine=``."""
-    return _DEFAULT_ENGINE
+    """The engine :func:`solve` uses when called without ``engine=``: the
+    innermost :func:`engine_scope` of the current context, else the
+    process-wide default."""
+    scoped = _SCOPED_ENGINE.get()
+    return scoped if scoped is not None else _DEFAULT_ENGINE
 
 
 def set_default_engine(engine: str) -> str:
@@ -78,12 +90,17 @@ def set_default_engine(engine: str) -> str:
 def engine_scope(engine: str):
     """Run a block under a different default engine (how the harness and
     CLI thread ``--dataflow-engine`` through code that calls :func:`solve`
-    many layers down without widening every signature)."""
-    previous = set_default_engine(engine)
+    many layers down without widening every signature).  Thread-safe: the
+    override is visible only to the context that entered the scope."""
+    if engine not in DATAFLOW_ENGINES:
+        raise ValueError(
+            f"bad dataflow engine {engine!r}; choose from {DATAFLOW_ENGINES}"
+        )
+    token = _SCOPED_ENGINE.set(engine)
     try:
         yield
     finally:
-        set_default_engine(previous)
+        _SCOPED_ENGINE.reset(token)
 
 
 class DataflowProblem(ABC, Generic[L]):
@@ -247,7 +264,7 @@ def solve(
             f"bad strategy {strategy!r}; choose from {SOLVER_STRATEGIES}"
         )
     if engine is None:
-        engine = _DEFAULT_ENGINE
+        engine = get_default_engine()
     if engine not in DATAFLOW_ENGINES:
         raise ValueError(
             f"bad dataflow engine {engine!r}; choose from {DATAFLOW_ENGINES}"

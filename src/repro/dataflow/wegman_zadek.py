@@ -15,6 +15,7 @@ in the IR.
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Hashable, Optional
 
@@ -44,10 +45,20 @@ WZ_ENGINES = ("auto", "generic", "compiled")
 
 _DEFAULT_WZ_ENGINE = "auto"
 
+#: Context-carried engine override (:func:`wz_engine_scope`); a contextvar
+#: so concurrent threads scope their engines independently (see the
+#: matching comment in :mod:`repro.dataflow.framework`).
+_SCOPED_WZ_ENGINE: contextvars.ContextVar[Optional[str]] = (
+    contextvars.ContextVar("repro_wz_engine", default=None)
+)
+
 
 def get_default_wz_engine() -> str:
-    """The engine :func:`analyze` uses when called without ``engine=``."""
-    return _DEFAULT_WZ_ENGINE
+    """The engine :func:`analyze` uses when called without ``engine=``: the
+    innermost :func:`wz_engine_scope` of the current context, else the
+    process-wide default."""
+    scoped = _SCOPED_WZ_ENGINE.get()
+    return scoped if scoped is not None else _DEFAULT_WZ_ENGINE
 
 
 def set_default_wz_engine(engine: str) -> str:
@@ -64,12 +75,15 @@ def set_default_wz_engine(engine: str) -> str:
 def wz_engine_scope(engine: str):
     """Run a block under a different default WZ engine (how the harness and
     CLI thread ``--wz-engine`` through code that calls :func:`analyze` many
-    layers down without widening every signature)."""
-    previous = set_default_wz_engine(engine)
+    layers down without widening every signature).  Thread-safe: the
+    override is visible only to the context that entered the scope."""
+    if engine not in WZ_ENGINES:
+        raise ValueError(f"bad wz engine {engine!r}; choose from {WZ_ENGINES}")
+    token = _SCOPED_WZ_ENGINE.set(engine)
     try:
         yield
     finally:
-        set_default_wz_engine(previous)
+        _SCOPED_WZ_ENGINE.reset(token)
 
 
 class CondConstResult:
@@ -204,7 +218,7 @@ def analyze(
     engines produce identical results, visit counts included.
     """
     if engine is None:
-        engine = _DEFAULT_WZ_ENGINE
+        engine = get_default_wz_engine()
     elif engine not in WZ_ENGINES:
         raise ValueError(f"bad wz engine {engine!r}; choose from {WZ_ENGINES}")
     if engine != "generic":

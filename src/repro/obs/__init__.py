@@ -23,6 +23,7 @@ with :func:`capture`::
 from contextlib import contextmanager
 
 from .export import (
+    PROMETHEUS_CONTENT_TYPE,
     JsonlStreamWriter,
     metrics_to_prometheus,
     render_metrics,
@@ -42,9 +43,10 @@ from .metrics import (
     MetricsRegistry,
     diff_snapshots,
     get_metrics,
+    scoped_metrics,
     set_metrics,
 )
-from .tracer import Span, Tracer, get_tracer, set_tracer, traced
+from .tracer import Span, Tracer, get_tracer, scoped_tracer, set_tracer, traced
 
 
 def observability_enabled() -> bool:
@@ -67,9 +69,46 @@ def capture(enabled: bool = True):
         set_metrics(prev_registry)
 
 
+@contextmanager
+def request_scope(
+    tracer: "Tracer | None" = None,
+    registry: "MetricsRegistry | None" = None,
+    drain: bool = True,
+):
+    """Run the block under an isolated, enabled tracer + registry carried by
+    contextvars — the per-request capture the analysis service uses.
+
+    Unlike :func:`capture`, nothing process-global is touched while the
+    block runs: concurrent threads each see only their own scope through
+    :func:`get_tracer`/:func:`get_metrics`, so two interleaved requests
+    produce disjoint span trees and independent counters.  On exit (when
+    ``drain`` is true) the scope's spans are absorbed into whatever tracer
+    is ambient *outside* the scope (usually the process global) if that
+    tracer is enabled, and its metrics are merged the same way — which is
+    how per-request counts accumulate into the daemon's ``/metrics``
+    registry without double counting.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    registry = registry if registry is not None else MetricsRegistry()
+    try:
+        with scoped_tracer(tracer), scoped_metrics(registry):
+            yield tracer, registry
+    finally:
+        # Drain even when the request failed: errors are exactly the
+        # requests whose metrics an operator wants to see.
+        if drain:
+            outer_tracer = get_tracer()
+            if outer_tracer.enabled and outer_tracer is not tracer:
+                outer_tracer.absorb_records(tracer.drain_records())
+            outer_registry = get_metrics()
+            if outer_registry.enabled and outer_registry is not registry:
+                outer_registry.merge_snapshot(registry.snapshot())
+
+
 __all__ = [
     "JsonlStreamWriter",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "Span",
     "Tracer",
     "capture",
@@ -81,6 +120,9 @@ __all__ = [
     "memory_sampling",
     "memory_sampling_enabled",
     "metrics_to_prometheus",
+    "request_scope",
+    "scoped_metrics",
+    "scoped_tracer",
     "stream_trace_jsonl",
     "observability_enabled",
     "render_metrics",

@@ -13,6 +13,7 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import re
 import threading
 from contextlib import contextmanager
 from typing import Iterable, Mapping, Optional, Sequence
@@ -139,13 +140,40 @@ def stream_trace_jsonl(
 
 # -- Prometheus text format --------------------------------------------------
 
+#: The Content-Type a scrape endpoint must answer with for the text
+#: exposition format (Prometheus rejects plain ``text/plain`` expositions
+#: from some ingestion paths without the version parameter).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Characters legal in an exposition metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
 
 def _prom_name(prefix: str, name: str) -> str:
-    return f"{prefix}_{name}".replace(".", "_").replace("-", "_")
+    """Sanitize a dotted/dashed instrument name (``dataflow.wz.solve``,
+    ``cache-hits``) into a legal exposition metric name."""
+    full = _PROM_NAME_BAD.sub("_", f"{prefix}_{name}")
+    if full[:1].isdigit():
+        full = "_" + full
+    return full
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the text format: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _prom_labels(labels: Sequence[tuple[str, str]], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [
+        f'{_PROM_LABEL_BAD.sub("_", str(k))}="{_prom_label_value(v)}"'
+        for k, v in labels
+    ]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -158,7 +186,13 @@ def _fmt_value(value) -> str:
 
 
 def metrics_to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
-    """Render a registry snapshot in the Prometheus exposition format."""
+    """Render a registry snapshot in the Prometheus exposition format.
+
+    Scrape-safe: names are sanitized to the legal charset, label values are
+    escaped, and the exposition is terminated by a trailing newline (which
+    the format requires — Prometheus treats an unterminated final line as a
+    parse error).  Serve it with :data:`PROMETHEUS_CONTENT_TYPE`.
+    """
     lines: list[str] = []
     typed: set[str] = set()
 
@@ -168,7 +202,9 @@ def metrics_to_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
             lines.append(f"# TYPE {full} {kind}")
 
     for (name, labels), value in sorted(snapshot.get("counters", {}).items()):
-        full = _prom_name(prefix, name) + "_total"
+        full = _prom_name(prefix, name)
+        if not full.endswith("_total"):
+            full += "_total"
         declare(full, "counter")
         lines.append(f"{full}{_prom_labels(labels)} {_fmt_value(value)}")
     for (name, labels), value in sorted(snapshot.get("gauges", {}).items()):

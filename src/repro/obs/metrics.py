@@ -15,8 +15,10 @@ are no-ops, so instrumented code never branches on enablement itself.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from bisect import bisect_left
+from contextlib import contextmanager
 from typing import Any, Mapping, Optional, Sequence
 
 #: (name, ((label, value), ...)) — the registry's instrument key.
@@ -243,14 +245,38 @@ def diff_snapshots(new: Mapping, old: Mapping) -> dict:
     return out
 
 
-# -- the process-global default ---------------------------------------------
+# -- the process-global default and the request-scoped override -------------
 
 _GLOBAL_REGISTRY = MetricsRegistry(enabled=False)
 
+#: Context-carried registry override (the metrics twin of
+#: ``tracer._SCOPED_TRACER``): each request of a concurrent service counts
+#: into its own registry, which is later merged into the global one.
+_SCOPED_REGISTRY: contextvars.ContextVar[Optional[MetricsRegistry]] = (
+    contextvars.ContextVar("repro_scoped_metrics", default=None)
+)
+
 
 def get_metrics() -> MetricsRegistry:
-    """The process-global registry (disabled until something installs one)."""
-    return _GLOBAL_REGISTRY
+    """The ambient registry: the context-scoped one when inside a
+    :func:`scoped_metrics` block, else the process-global default (disabled
+    until something installs one)."""
+    scoped = _SCOPED_REGISTRY.get()
+    return scoped if scoped is not None else _GLOBAL_REGISTRY
+
+
+@contextmanager
+def scoped_metrics(registry: MetricsRegistry):
+    """Make ``registry`` the ambient registry for the current context.
+
+    The override is carried by a contextvar, so concurrent threads each
+    count into their own scoped registry; scopes nest and restore the
+    previous scope on exit."""
+    token = _SCOPED_REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _SCOPED_REGISTRY.reset(token)
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:

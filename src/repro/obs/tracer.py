@@ -35,11 +35,13 @@ durations, never absolute starts, are comparable across processes.
 
 from __future__ import annotations
 
+import contextvars
 import functools
 import itertools
 import os
 import threading
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Optional
 
 from . import memsample as _memsample
@@ -303,14 +305,41 @@ class Tracer:
             self._notify(span)
 
 
-# -- the process-global default ---------------------------------------------
+# -- the process-global default and the request-scoped override -------------
 
 _GLOBAL_TRACER = Tracer(enabled=False)
 
+#: Context-carried tracer override.  A service handling many concurrent
+#: requests gives each request its own tracer via :func:`scoped_tracer`
+#: without touching the process global; ``contextvars`` keeps the override
+#: local to the thread (or task) serving that request.
+_SCOPED_TRACER: contextvars.ContextVar[Optional[Tracer]] = contextvars.ContextVar(
+    "repro_scoped_tracer", default=None
+)
+
 
 def get_tracer() -> Tracer:
-    """The process-global tracer (disabled until something installs one)."""
-    return _GLOBAL_TRACER
+    """The ambient tracer: the context-scoped one when inside a
+    :func:`scoped_tracer` block, else the process-global default (disabled
+    until something installs one)."""
+    scoped = _SCOPED_TRACER.get()
+    return scoped if scoped is not None else _GLOBAL_TRACER
+
+
+@contextmanager
+def scoped_tracer(tracer: Tracer):
+    """Make ``tracer`` the ambient tracer for the current context.
+
+    Unlike :func:`set_tracer`, the override is carried by a contextvar —
+    concurrent threads each see their own scoped tracer, so instrumented
+    library code calling :func:`get_tracer` records into the scope that is
+    actually running it.  Scopes nest; the previous scope is restored on
+    exit."""
+    token = _SCOPED_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _SCOPED_TRACER.reset(token)
 
 
 def set_tracer(tracer: Tracer) -> Tracer:

@@ -24,6 +24,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Optional, Union
@@ -162,12 +163,24 @@ class ArtifactCache:
     fallback when no ``--cache-dir`` is configured.  All artifacts are plain
     Python object graphs (IR modules, run results, analysis bundles), so the
     on-disk format is pickle; the *keys* carry all the invalidation logic.
+
+    Safe to share across threads (the analysis service hands one cache to
+    every request worker): the memory layer and statistics are lock-guarded,
+    disk writes go through a temp file + atomic ``os.replace``, torn or
+    stale on-disk artifacts read back as misses, and concurrent ``memo``
+    calls for the *same* key single-flight — the first caller computes, the
+    rest block and reuse its artifact (counted as hits, so ``misses`` still
+    equals the number of times the computation actually ran).
     """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root: Optional[Path] = Path(root) if root is not None else None
         self.stats = CacheStats()
         self._memory: dict[tuple[str, str], Any] = {}
+        self._lock = threading.Lock()
+        #: In-flight computations, keyed like ``_memory``; followers wait on
+        #: the leader's event instead of recomputing.
+        self._inflight: dict[tuple[str, str], threading.Event] = {}
 
     # -- core protocol -----------------------------------------------------
 
@@ -175,21 +188,45 @@ class ArtifactCache:
         """Return the cached artifact for ``(kind, key)``, computing on miss."""
         mem_key = (kind, key)
         metrics = get_metrics()
-        if mem_key in self._memory:
-            self.stats.record_hit(kind)
-            metrics.counter("cache_hits", kind=kind, level="memory").inc()
-            return self._memory[mem_key]
-        value = self._load(kind, key)
-        if value is not None:
-            self.stats.record_hit(kind)
-            metrics.counter("cache_hits", kind=kind, level="disk").inc()
-            self._memory[mem_key] = value
-            return value
-        self.stats.record_miss(kind)
-        metrics.counter("cache_misses", kind=kind).inc()
-        value = compute()
-        self._memory[mem_key] = value
-        self._store(kind, key, value)
+        while True:
+            with self._lock:
+                if mem_key in self._memory:
+                    self.stats.record_hit(kind)
+                    value = self._memory[mem_key]
+                    hit_level = "memory"
+                    break
+                event = self._inflight.get(mem_key)
+                if event is None:
+                    self._inflight[mem_key] = threading.Event()
+                    event = None  # we are the leader
+            if event is not None:
+                # Another thread is computing this artifact; wait for it and
+                # re-check.  If the leader failed, its event fires with the
+                # key still absent and the loop elects a new leader.
+                event.wait()
+                continue
+            try:
+                value = self._load(kind, key)
+                if value is not None:
+                    with self._lock:
+                        self.stats.record_hit(kind)
+                        self._memory[mem_key] = value
+                    metrics.counter("cache_hits", kind=kind, level="disk").inc()
+                    return value
+                with self._lock:
+                    self.stats.record_miss(kind)
+                metrics.counter("cache_misses", kind=kind).inc()
+                value = compute()
+                with self._lock:
+                    self._memory[mem_key] = value
+                self._store(kind, key, value)
+                return value
+            finally:
+                with self._lock:
+                    event = self._inflight.pop(mem_key, None)
+                if event is not None:
+                    event.set()
+        metrics.counter("cache_hits", kind=kind, level=hit_level).inc()
         return value
 
     def contains(self, kind: str, key: str) -> bool:
@@ -197,11 +234,32 @@ class ArtifactCache:
             return True
         return self.root is not None and self._path(kind, key).exists()
 
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of the statistics, safe to take while other
+        threads are actively counting into this cache."""
+        with self._lock:
+            return self.stats.copy()
+
     # -- disk layer --------------------------------------------------------
 
     def _path(self, kind: str, key: str) -> Path:
         assert self.root is not None
         return self.root / kind / f"{key}.pkl"
+
+    #: Everything a torn, truncated, or stale pickle can raise while being
+    #: deserialized.  ``ValueError`` covers ``struct.error`` and unicode
+    #: decode failures; Index/Key/Type errors come from opcode streams cut
+    #: mid-object.  Anything else (e.g. ``MemoryError``) still propagates.
+    _TORN_READ_ERRORS = (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        KeyError,
+        TypeError,
+        ValueError,
+    )
 
     def _load(self, kind: str, key: str) -> Optional[Any]:
         if self.root is None:
@@ -212,12 +270,13 @@ class ArtifactCache:
                 return pickle.load(f)
         except (FileNotFoundError, NotADirectoryError):
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        except self._TORN_READ_ERRORS + (OSError,):
             # A truncated or stale artifact is a miss, never an error: the
             # recomputation overwrites it atomically below.  It is still an
             # *event* worth surfacing — a persistently corrupting store is a
             # deployment problem the counters make visible.
-            self.stats.record_corrupt(kind)
+            with self._lock:
+                self.stats.record_corrupt(kind)
             get_metrics().counter("cache_corrupt", kind=kind).inc()
             get_tracer().event("cache.corrupt", kind=kind, path=str(path))
             return None
@@ -227,10 +286,18 @@ class ArtifactCache:
             return
         path = self._path(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # The temp file lives in the destination directory so the final
+        # ``os.replace`` is a same-filesystem atomic rename: a concurrent
+        # reader sees either the old complete artifact or the new one,
+        # never a partial write.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as f:
                 pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            # Size from the temp file, not the destination: another writer
+            # may replace (or a cleaner unlink) the destination between our
+            # rename and a stat of it.
+            size = os.path.getsize(tmp)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -238,10 +305,9 @@ class ArtifactCache:
             except FileNotFoundError:
                 pass
             raise
-        self.stats.record_store(kind)
+        with self._lock:
+            self.stats.record_store(kind)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("cache_stores", kind=kind).inc()
-            metrics.counter("cache_store_bytes", kind=kind).inc(
-                path.stat().st_size
-            )
+            metrics.counter("cache_store_bytes", kind=kind).inc(size)

@@ -1,0 +1,42 @@
+"""Analysis-as-a-service: the ``repro serve`` daemon and its client.
+
+The service is the front door that lets many clients share one warm
+process — one :class:`~repro.pipeline.cache.ArtifactCache`, one worker
+pool — instead of paying compile + profile + qualify cold-start per CLI
+invocation (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.api` — the request/response schema and the
+  deterministic execution core (:func:`execute_request`), shared between
+  the daemon and the differential tests;
+* :mod:`repro.service.daemon` — :class:`AnalysisService` (job queue,
+  worker pool, request coalescing, per-request observability capture) and
+  the stdlib :class:`ThreadingHTTPServer` front end;
+* :mod:`repro.service.client` — the stdlib-``urllib`` client the tests
+  and the ``repro submit`` CLI verb use.
+"""
+
+from .api import (
+    AnalysisRequest,
+    SweepRequest,
+    analysis_payload,
+    comparable_payload,
+    execute_request,
+    execute_sweep,
+    resolve_workload,
+)
+from .client import ServiceClient, ServiceError
+from .daemon import AnalysisService, make_server
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisService",
+    "ServiceClient",
+    "ServiceError",
+    "SweepRequest",
+    "analysis_payload",
+    "comparable_payload",
+    "execute_request",
+    "execute_sweep",
+    "make_server",
+    "resolve_workload",
+]

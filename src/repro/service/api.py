@@ -1,0 +1,395 @@
+"""Request/response schema and execution core of the analysis service.
+
+An :class:`AnalysisRequest` names a program — a registered workload, a
+``gen:key=value,...`` generator spec, or inline MiniC source — plus the
+pipeline knobs (interpreter/dataflow/WZ engines, CA/CR coverage, checks
+on/off).  :func:`execute_request` runs the full Ammons–Larus pipeline for
+it (profile → qualify → dataflow → diagnostics) and renders a plain-JSON
+payload.
+
+The payload is **deterministic** apart from its ``timings`` key: the same
+request against the same code produces bit-identical
+:func:`comparable_payload` values whether it ran through the daemon, a
+worker pool, or a direct in-process :class:`WorkloadRun` — that equation is
+the service's differential test.  Requests hash to a content
+:meth:`~AnalysisRequest.fingerprint`, which the daemon uses to coalesce
+identical concurrent submissions onto one computation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from ..dataflow import DATAFLOW_ENGINES, WZ_ENGINES
+from ..evaluation.harness import DEFAULT_CA, DEFAULT_CR, Workload, WorkloadRun
+from ..pipeline.cache import ArtifactCache, content_key
+
+#: Bump when the payload shape changes incompatibly.
+PAYLOAD_SCHEMA = 1
+
+_ENGINES = ("reference", "compiled")
+
+
+def _int_tuple(values: Any, what: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in values)
+    except (TypeError, ValueError):
+        raise ValueError(f"{what} must be a sequence of integers") from None
+
+
+def _inputs_map(values: Any, what: str) -> dict[str, tuple[int, ...]]:
+    if values is None:
+        return {}
+    if not isinstance(values, Mapping):
+        raise ValueError(f"{what} must map array names to integer lists")
+    return {
+        str(name): _int_tuple(vals, f"{what}[{name!r}]")
+        for name, vals in values.items()
+    }
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One analysis submission, normalized and content-addressable."""
+
+    #: Registered target name (workload / handwritten / generator preset)
+    #: or an ad-hoc ``gen:key=value,...`` spec.  Mutually exclusive with
+    #: ``source``.
+    target: Optional[str] = None
+    #: Inline MiniC source (the ``repro submit --file`` path).
+    source: Optional[str] = None
+    #: Label for inline submissions (cosmetic; part of the fingerprint).
+    name: str = "inline"
+    #: Train-run arguments / input arrays for inline submissions.
+    args: tuple[int, ...] = ()
+    inputs: Mapping[str, Sequence[int]] = field(default_factory=dict)
+    #: Ref-run arguments / inputs; default to the train ones.
+    ref_args: Optional[tuple[int, ...]] = None
+    ref_inputs: Optional[Mapping[str, Sequence[int]]] = None
+    engine: str = "compiled"
+    dataflow_engine: str = "auto"
+    wz_engine: str = "auto"
+    ca: float = DEFAULT_CA
+    cr: float = DEFAULT_CR
+    #: Run the invariant checkers over every pipeline stage.
+    check: bool = True
+    #: Also build and cost the base/optimized executables (Table 2) — two
+    #: extra interpreter runs, so off by default.
+    table2: bool = False
+
+    kind = "analyze"
+
+    def __post_init__(self) -> None:
+        if (self.target is None) == (self.source is None):
+            raise ValueError("give exactly one of 'target' or 'source'")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"bad engine {self.engine!r}; choose from {_ENGINES}")
+        if self.dataflow_engine not in DATAFLOW_ENGINES:
+            raise ValueError(
+                f"bad dataflow_engine {self.dataflow_engine!r}; "
+                f"choose from {DATAFLOW_ENGINES}"
+            )
+        if self.wz_engine not in WZ_ENGINES:
+            raise ValueError(
+                f"bad wz_engine {self.wz_engine!r}; choose from {WZ_ENGINES}"
+            )
+        if not 0.0 <= float(self.ca) <= 1.0:
+            raise ValueError(f"ca must be in [0, 1], got {self.ca}")
+        if not 0.0 <= float(self.cr) <= 1.0:
+            raise ValueError(f"cr must be in [0, 1], got {self.cr}")
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "AnalysisRequest":
+        """Parse an untrusted JSON body; raises ``ValueError`` on bad input."""
+        if not isinstance(d, Mapping):
+            raise ValueError("request body must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        target = d.get("target")
+        source = d.get("source")
+        if target is not None and not isinstance(target, str):
+            raise ValueError("'target' must be a string")
+        if source is not None and not isinstance(source, str):
+            raise ValueError("'source' must be a string")
+        ref_args = d.get("ref_args")
+        ref_inputs = d.get("ref_inputs")
+        return cls(
+            target=target,
+            source=source,
+            name=str(d.get("name", "inline")),
+            args=_int_tuple(d.get("args", ()), "args"),
+            inputs=_inputs_map(d.get("inputs"), "inputs"),
+            ref_args=None if ref_args is None else _int_tuple(ref_args, "ref_args"),
+            ref_inputs=None if ref_inputs is None else _inputs_map(ref_inputs, "ref_inputs"),
+            engine=str(d.get("engine", "compiled")),
+            dataflow_engine=str(d.get("dataflow_engine", "auto")),
+            wz_engine=str(d.get("wz_engine", "auto")),
+            ca=float(d.get("ca", DEFAULT_CA)),
+            cr=float(d.get("cr", DEFAULT_CR)),
+            check=bool(d.get("check", True)),
+            table2=bool(d.get("table2", False)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "source": self.source,
+            "name": self.name,
+            "args": list(self.args),
+            "inputs": {k: list(v) for k, v in sorted(self.inputs.items())},
+            "ref_args": None if self.ref_args is None else list(self.ref_args),
+            "ref_inputs": (
+                None
+                if self.ref_inputs is None
+                else {k: list(v) for k, v in sorted(self.ref_inputs.items())}
+            ),
+            "engine": self.engine,
+            "dataflow_engine": self.dataflow_engine,
+            "wz_engine": self.wz_engine,
+            "ca": self.ca,
+            "cr": self.cr,
+            "check": self.check,
+            "table2": self.table2,
+        }
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this request's full configuration —
+        the coalescing key for identical concurrent submissions."""
+        return content_key("service-analyze", self.to_dict())
+
+    def label(self) -> str:
+        return self.target if self.target is not None else self.name
+
+    def validate_target(self) -> None:
+        """Cheap submit-time validation of the *name* of the request (so an
+        unknown target is a 400, not a failed job).  Inline source is only
+        compiled worker-side."""
+        if self.source is not None:
+            if not self.source.strip():
+                raise ValueError("inline 'source' is empty")
+            return
+        from ..workloads.generate import parse_genspec
+        from ..workloads.matrix import TARGET_NAMES
+
+        if self.target.startswith("gen:"):
+            parse_genspec(self.target)  # raises ValueError on a bad spec
+        elif self.target not in TARGET_NAMES:
+            raise ValueError(
+                f"unknown target {self.target!r}; choose from {TARGET_NAMES} "
+                f"or a gen:key=value,... spec"
+            )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A figure/table coverage sweep, batched onto the
+    :class:`~repro.pipeline.driver.ParallelDriver` pool."""
+
+    workloads: tuple[str, ...] = ()
+    ca_values: tuple[float, ...] = ()
+    cr: float = DEFAULT_CR
+    #: Process-pool width the driver fans out with (1 = serial in-worker).
+    jobs: int = 1
+    check: bool = False
+    dataflow_engine: str = "auto"
+    wz_engine: str = "auto"
+
+    kind = "sweep"
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SweepRequest":
+        if not isinstance(d, Mapping):
+            raise ValueError("request body must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        jobs = int(d.get("jobs", 1))
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        return cls(
+            workloads=tuple(str(w) for w in d.get("workloads", ())),
+            ca_values=tuple(float(c) for c in d.get("ca_values", ())),
+            cr=float(d.get("cr", DEFAULT_CR)),
+            jobs=jobs,
+            check=bool(d.get("check", False)),
+            dataflow_engine=str(d.get("dataflow_engine", "auto")),
+            wz_engine=str(d.get("wz_engine", "auto")),
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self) | {
+            "workloads": list(self.workloads),
+            "ca_values": list(self.ca_values),
+        }
+
+    def fingerprint(self) -> str:
+        return content_key("service-sweep", self.to_dict())
+
+    def label(self) -> str:
+        return "sweep:" + ",".join(self.workloads or ("all",))
+
+    def validate_target(self) -> None:
+        from ..workloads import WORKLOAD_NAMES
+
+        unknown = [w for w in self.workloads if w not in WORKLOAD_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {unknown}; choose from {WORKLOAD_NAMES}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def resolve_workload(request: AnalysisRequest) -> Workload:
+    """The request's program as a :class:`Workload` (named targets resolve
+    through the matrix registry; inline source becomes an ad-hoc one)."""
+    if request.target is not None:
+        from ..workloads.matrix import resolve_target
+
+        return resolve_target(request.target)
+    return Workload(
+        name=request.name,
+        source=request.source,
+        train_args=tuple(request.args),
+        train_inputs={k: list(v) for k, v in request.inputs.items()},
+        ref_args=tuple(request.ref_args if request.ref_args is not None else request.args),
+        ref_inputs={
+            k: list(v)
+            for k, v in (
+                request.ref_inputs
+                if request.ref_inputs is not None
+                else request.inputs
+            ).items()
+        },
+        description="inline service submission",
+    )
+
+
+def _finite(value: float) -> Optional[float]:
+    return value if math.isfinite(value) else None
+
+
+def analysis_payload(
+    run: WorkloadRun, ca: float, cr: float, table2: bool = False
+) -> dict:
+    """The response body for one analyzed run.
+
+    Everything outside the ``timings`` key is a deterministic function of
+    the workload definition and the request configuration — the property
+    the daemon-vs-direct differential tests assert bit-for-bit.
+    """
+    agg = run.aggregate_classification(ca, cr)
+    orig, hpg, red = run.graph_sizes(ca, cr)
+    summary = {
+        "cfg_nodes": run.cfg_nodes,
+        "executed_paths": run.executed_paths,
+        "hot_paths": run.hot_path_count(ca),
+        "graph_sizes": {"original": orig, "traced": hpg, "reduced": red},
+        "classification": dataclasses.asdict(agg),
+        # The paper's headline: qualified vs. iterative (WZ) non-local
+        # constants — how much sharper path qualification made the analysis.
+        "sharpening": {
+            "iterative_nonlocal": agg.iterative_nonlocal,
+            "qualified_nonlocal": agg.qualified_nonlocal,
+            "improvement_ratio": _finite(agg.improvement_ratio),
+        },
+    }
+    if table2:
+        row = run.table2(ca, cr)
+        summary["table2"] = {
+            "base_cost": row.base_cost,
+            "optimized_cost": row.optimized_cost,
+            "speedup": row.speedup,
+        }
+    payload = {
+        "schema": PAYLOAD_SCHEMA,
+        "workload": run.workload.name,
+        "config": {
+            "engine": run.engine,
+            "dataflow_engine": run.dataflow_engine,
+            "wz_engine": run.wz_engine,
+            "ca": ca,
+            "cr": cr,
+            "check": run.checker.enabled,
+        },
+        "summary": summary,
+        "diagnostics": None,
+        "timings": {k: round(v, 6) for k, v in run.timings.items()},
+    }
+    if run.checker.enabled:
+        diags = run.checker.diagnostics
+        payload["diagnostics"] = {
+            "summary": diags.summary(),
+            "counts": diags.counts(),
+            "has_errors": diags.has_errors,
+            "records": diags.to_dicts(),
+        }
+    return payload
+
+
+def execute_request(
+    request: AnalysisRequest, cache: Optional[ArtifactCache] = None
+) -> dict:
+    """Run the full pipeline for one request; the daemon's worker body and
+    the direct-path oracle of the differential tests."""
+    from ..pipeline.cached_run import make_run
+
+    workload = resolve_workload(request)
+    run = make_run(
+        workload,
+        cache,
+        engine=request.engine,
+        check=request.check,
+        dataflow_engine=request.dataflow_engine,
+        wz_engine=request.wz_engine,
+    )
+    return analysis_payload(run, request.ca, request.cr, table2=request.table2)
+
+
+def execute_sweep(
+    request: SweepRequest, cache_dir: Optional[str] = None
+) -> dict:
+    """Run a coverage sweep through :class:`ParallelDriver`; its rendered
+    artifacts are byte-identical regardless of the pool width."""
+    from ..evaluation.harness import CA_SWEEP
+    from ..pipeline.driver import ParallelDriver
+    from ..workloads import WORKLOAD_NAMES
+
+    driver = ParallelDriver(
+        jobs=request.jobs,
+        cache_dir=cache_dir,
+        cr=request.cr,
+        check=request.check,
+        dataflow_engine=request.dataflow_engine,
+        wz_engine=request.wz_engine,
+    )
+    workloads = request.workloads or WORKLOAD_NAMES
+    ca_values = request.ca_values or CA_SWEEP
+    result = driver.sweep(workloads, ca_values)
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "workloads": list(workloads),
+        "ca_values": list(ca_values),
+        "artifacts": result.artifacts(),
+        "cache": result.cache_stats.summary(),
+        "diagnostics": {
+            "summary": result.diagnostics.summary(),
+            "has_errors": result.diagnostics.has_errors,
+            "records": result.diagnostics.to_dicts(),
+        },
+    }
+
+
+def comparable_payload(payload: Mapping) -> dict:
+    """The deterministic part of a payload: everything except wall-clock
+    ``timings`` — what daemon-vs-direct differential tests compare."""
+    return {k: v for k, v in payload.items() if k != "timings"}

@@ -1,0 +1,234 @@
+"""Concurrent access to one :class:`ArtifactCache` (and one cache dir).
+
+The service hands a single cache to every request worker, so the store must
+survive threaded hit/miss/store races, torn on-disk artifacts, and multiple
+cache *instances* (separate daemons, sweep worker processes) sharing a
+directory — without exceptions, without duplicate computations for a key
+(single-flight), and with artifacts that read back bit-identical.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.pipeline import ArtifactCache, content_key
+
+KIND = "module"
+
+
+def _artifact(seed: int) -> dict:
+    # Nested, orderable structure so byte-comparison of pickles is fair.
+    return {"seed": seed, "rows": [[seed, i, seed * i] for i in range(50)]}
+
+
+def test_single_flight_computes_once_per_key(tmp_path):
+    """N concurrent memo() calls for one key run the computation once; the
+    other callers block and share the artifact (counted as hits)."""
+    cache = ArtifactCache(tmp_path)
+    computed = []
+    release = threading.Event()
+
+    def compute():
+        computed.append(1)
+        assert release.wait(30)
+        return _artifact(7)
+
+    key = content_key("one")
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        futures = [pool.submit(cache.memo, KIND, key, compute) for _ in range(8)]
+        release.set()
+        results = [f.result(timeout=60) for f in futures]
+    assert len(computed) == 1
+    assert all(r is results[0] for r in results)
+    assert cache.stats.misses[KIND] == 1
+    assert cache.stats.hits[KIND] == 7
+
+
+def test_failed_leader_elects_a_new_one(tmp_path):
+    """If the computing thread raises, waiting threads retry instead of
+    hanging or caching the failure."""
+    cache = ArtifactCache(tmp_path)
+    calls = []
+    lock = threading.Lock()
+
+    def flaky():
+        with lock:
+            calls.append(1)
+            attempt = len(calls)
+        if attempt == 1:
+            raise RuntimeError("leader died")
+        return _artifact(1)
+
+    key = content_key("flaky")
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(cache.memo, KIND, key, flaky) for _ in range(4)]
+        outcomes = []
+        for f in futures:
+            try:
+                outcomes.append(("ok", f.result(timeout=60)))
+            except RuntimeError as exc:
+                outcomes.append(("err", str(exc)))
+    assert sum(1 for tag, _ in outcomes if tag == "err") == 1
+    good = [value for tag, value in outcomes if tag == "ok"]
+    assert len(good) == 3 and all(v == _artifact(1) for v in good)
+    assert len(calls) == 2  # one failure, one successful recompute
+
+
+def test_threaded_mixed_keys_bit_identical_on_disk(tmp_path):
+    """Threads race over overlapping keys; every artifact lands on disk
+    complete, and a fresh cache instance reads back identical bytes."""
+    cache = ArtifactCache(tmp_path)
+    keys = [content_key("k", i) for i in range(10)]
+    compute_counts = [0] * len(keys)
+    count_lock = threading.Lock()
+
+    def job(n: int):
+        i = n % len(keys)
+
+        def compute():
+            with count_lock:
+                compute_counts[i] += 1
+            return _artifact(i)
+
+        return cache.memo(KIND, keys[i], compute)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(job, range(80)))
+    assert all(results[n] == _artifact(n % len(keys)) for n in range(80))
+    assert compute_counts == [1] * len(keys)  # single-flight per key
+    snap = cache.stats_snapshot()
+    assert snap.misses[KIND] == len(keys)
+    assert snap.hits[KIND] == 80 - len(keys)
+    assert not list(tmp_path.rglob("*.tmp"))  # atomic stores leave no debris
+
+    fresh = ArtifactCache(tmp_path)
+    for i, key in enumerate(keys):
+        reloaded = fresh.memo(KIND, key, lambda: pytest.fail("should hit disk"))
+        assert pickle.dumps(reloaded) == pickle.dumps(_artifact(i))
+    assert fresh.stats.hits[KIND] == len(keys)
+    assert KIND not in fresh.stats.misses
+
+
+def test_two_instances_share_one_directory(tmp_path):
+    """Two caches over the same root (two daemons, or daemon + sweep
+    workers) interleave freely; each key computes at most once per
+    instance's memory layer and disk serves the rest."""
+    a, b = ArtifactCache(tmp_path), ArtifactCache(tmp_path)
+    keys = [content_key("shared", i) for i in range(6)]
+
+    def worker(cache, offset):
+        out = []
+        for n in range(24):
+            i = (n + offset) % len(keys)
+            out.append(cache.memo(KIND, keys[i], lambda i=i: _artifact(i)))
+        return out
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [
+            pool.submit(worker, cache, off)
+            for cache in (a, b)
+            for off in (0, 3)
+        ]
+        for f in futures:
+            for i, value in enumerate(f.result(timeout=120)):
+                assert value["seed"] in range(len(keys))
+    # Across both instances every key was computed at most twice (once per
+    # process-like instance, when disk didn't win the race) — never 4x.
+    total = a.stats.misses.get(KIND, 0) + b.stats.misses.get(KIND, 0)
+    assert total <= 2 * len(keys)
+    assert a.stats.misses.get(KIND, 0) >= 0  # and nothing raised
+
+
+def test_torn_disk_artifact_reads_as_miss_and_heals(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = content_key("torn")
+    value = cache.memo(KIND, key, lambda: _artifact(3))
+    path = cache._path(KIND, key)
+    healthy = path.read_bytes()
+
+    # Truncate mid-pickle: the classic torn concurrent write.
+    path.write_bytes(healthy[: len(healthy) // 2])
+    fresh = ArtifactCache(tmp_path)
+    recomputed = fresh.memo(KIND, key, lambda: _artifact(3))
+    assert recomputed == value
+    assert fresh.stats.corrupt[KIND] == 1
+    assert fresh.stats.misses[KIND] == 1
+    # The recomputation rewrote the artifact atomically: it reads clean now.
+    again = ArtifactCache(tmp_path)
+    assert again.memo(KIND, key, lambda: pytest.fail("not healed")) == value
+    assert "corrupt" not in again.stats.summary()
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [b"", b"not a pickle at all", b"\x80\x05garbage."],
+    ids=["empty", "text", "bad-opcodes"],
+)
+def test_garbage_artifacts_count_corrupt(tmp_path, garbage):
+    cache = ArtifactCache(tmp_path)
+    key = content_key("garbage")
+    path = cache._path(KIND, key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(garbage)
+    assert cache.memo(KIND, key, lambda: _artifact(9)) == _artifact(9)
+    assert cache.stats.corrupt[KIND] == 1
+    assert "corrupt" in cache.stats.summary()
+
+
+def test_torn_reads_race_with_writers(tmp_path):
+    """Readers over a key that keeps getting corrupted never crash and
+    always end with the true artifact."""
+    cache = ArtifactCache(tmp_path)
+    key = content_key("contested")
+    path = cache._path(KIND, key)
+    stop = threading.Event()
+
+    def vandal():
+        while not stop.is_set():
+            try:
+                path.write_bytes(b"\x80\x05torn")
+            except OSError:
+                pass
+
+    thread = threading.Thread(target=vandal)
+    thread.start()
+    try:
+        for _ in range(20):
+            fresh = ArtifactCache(tmp_path)
+            assert fresh.memo(KIND, key, lambda: _artifact(4)) == _artifact(4)
+    finally:
+        stop.set()
+        thread.join()
+    # After the vandal stops, one more recompute persists a clean artifact.
+    final = ArtifactCache(tmp_path)
+    assert final.memo(KIND, key, lambda: _artifact(4)) == _artifact(4)
+
+
+def test_stats_snapshot_is_consistent_under_load(tmp_path):
+    """stats_snapshot() taken mid-hammer never shows more misses than
+    computations that actually started."""
+    cache = ArtifactCache(tmp_path)
+    computed = []
+    lock = threading.Lock()
+
+    def job(n):
+        def compute():
+            with lock:
+                computed.append(n)
+            return _artifact(n % 4)
+
+        cache.memo(KIND, content_key("s", n % 4), compute)
+        snap = cache.stats_snapshot()
+        with lock:
+            started = len(computed)
+        assert snap.misses.get(KIND, 0) <= started
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        list(pool.map(job, range(64)))
+    final = cache.stats_snapshot()
+    assert final.misses[KIND] == len(computed) == 4
+    assert final.hits[KIND] == 64 - 4
