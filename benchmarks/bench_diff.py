@@ -85,6 +85,12 @@ def _check_metrics(data):
     return {"enabled_over_disabled": (data["enabled_over_disabled"], "lower")}
 
 
+def _lint_metrics(data):
+    """Analyzer overhead (bench_lint.py): checked+lint over checked-only
+    wall-clock on gen-1k; raw seconds are reported in the table only."""
+    return {"overhead": (data["overhead"], "lower")}
+
+
 def _serve_metrics(data):
     """Service daemon (bench_serve.py): the warm-cache amortization factor
     and the concurrent-over-serial throughput ratio are host-transferable;
@@ -103,6 +109,7 @@ TRACKED = {
     "BENCH_obs_overhead": _obs_metrics,
     "BENCH_check_overhead": _check_metrics,
     "BENCH_serve": _serve_metrics,
+    "BENCH_lint": _lint_metrics,
 }
 
 

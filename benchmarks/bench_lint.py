@@ -1,0 +1,91 @@
+"""Analyzer overhead — what ``repro lint`` costs on top of a checked run.
+
+The path-qualified analyzer reuses the pipeline's qualified results, so its
+marginal cost should be the lint passes themselves, not a second pipeline.
+This bench runs the ``gen-1k`` preset (the largest generated corpus the CI
+gate lints) through a fully checked pipeline with and without the analyzer,
+asserts the analyzer adds at most 15% wall-clock, and writes
+``BENCH_lint.json`` so ``bench_diff`` can track the overhead mechanically.
+"""
+
+import time
+
+from repro.checks.runner import PipelineChecker
+from repro.evaluation import format_table
+from repro.evaluation.harness import WorkloadRun
+from repro.workloads.matrix import resolve_target
+
+from conftest import once
+
+TARGET = "gen-1k"
+CA = 0.97
+CR = 0.95
+#: The analyzer may add at most this fraction of wall-clock on top of a
+#: plain checked run (compile, profiled runs, qualification, invariant
+#: checkers).  The lint passes reuse the run's qualified results, so the
+#: marginal cost is bounded by the data-flow solves the passes add.
+MAX_LINT_OVERHEAD = 0.15
+
+
+def _best_of(n, fn):
+    """Best wall-clock of ``n`` runs (discards scheduler noise)."""
+    best = None
+    result = None
+    for _ in range(n):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def compute_bench_lint():
+    """Checked gen-1k pipeline vs. the same pipeline plus ``run.lint``."""
+    workload = resolve_target(TARGET)
+
+    def checked():
+        run = WorkloadRun(workload, checker=PipelineChecker())
+        run.qualified(CA, CR)
+        return 0
+
+    def linted():
+        run = WorkloadRun(workload, checker=PipelineChecker())
+        run.qualified(CA, CR)
+        return len(run.lint(CA, CR, min_mass=0.0))
+
+    checked_seconds, _ = _best_of(2, checked)
+    lint_seconds, findings = _best_of(2, linted)
+    return {
+        "target": TARGET,
+        "checked_seconds": checked_seconds,
+        "lint_seconds": lint_seconds,
+        "findings": findings,
+        "overhead": lint_seconds / checked_seconds,
+    }
+
+
+def test_bench_lint(benchmark, record, record_json):
+    data = once(benchmark, compute_bench_lint)
+    record(
+        "BENCH_lint",
+        format_table(
+            ["target", "checked ms", "lint ms", "findings", "overhead"],
+            [
+                [
+                    data["target"],
+                    f"{data['checked_seconds'] * 1000:.1f}",
+                    f"{data['lint_seconds'] * 1000:.1f}",
+                    data["findings"],
+                    f"{data['overhead']:.3f}x",
+                ]
+            ],
+            title="Analyzer overhead over a checked pipeline (best of 2)",
+        ),
+    )
+    record_json("BENCH_lint", data)
+    assert data["overhead"] <= 1 + MAX_LINT_OVERHEAD, (
+        f"checked+lint takes {data['lint_seconds'] * 1000:.1f} ms vs "
+        f"{data['checked_seconds'] * 1000:.1f} ms checked-only on {TARGET} "
+        f"— the analyzer costs more than {MAX_LINT_OVERHEAD:.0%}"
+    )

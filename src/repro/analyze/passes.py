@@ -1,0 +1,788 @@
+"""Path-qualified lint passes (family ``LINT005``–``LINT010``).
+
+Where ``LINT001``–``004`` spend ordinary iterative (MFP) facts, these
+passes spend the *qualified* facts of the paper's pipeline: data-flow
+solved on the hot-path graph, where each traced copy ``(v, q)`` of a
+block sees only the executions consistent with automaton state ``q``.
+Forward facts at a copy are therefore restricted to a subset of the
+paths the iterative solution must merge over — the Theorem-1 sharpening
+— and every finding carries a :class:`~repro.checks.diagnostics.PathEvidence`
+payload quantifying how much *profile mass* flows through the copies
+that support it.
+
+The passes:
+
+* ``LINT005`` — hot-path dead store: live in the iterative solution, but
+  overwritten before any read along hot paths carrying ≥ ``min_mass`` of
+  the block's profile mass (per-path scan over the selected hot paths);
+* ``LINT006`` — hot-path-constant branch: the iterative propagator cannot
+  resolve the condition, but the hot-path copies carrying the mass all
+  resolve it (straightening candidate, cross-linked to
+  ``repro.opt.straighten``);
+* ``LINT007`` — redundant recomputation: an expression unavailable in the
+  iterative must-solution is available on the hot copies (qualified
+  available-expressions);
+* ``LINT008`` — maybe-uninitialized use proven initialized on all hot
+  copies: demoted to INFO with provenance instead of a hard warning;
+* ``LINT009`` — hot-path copy propagation: a variable read is a known
+  copy of another variable on the hot copies but not iteratively;
+* ``LINT010`` — qualified constant sharpening: a pure site the iterative
+  analysis cannot fold is constant on hot copies carrying the mass (the
+  paper's headline payoff, visible as a diagnostic).
+
+All six only fire when the qualified fact is strictly sharper than the
+iterative one, so every finding is direct evidence the qualification
+pipeline bought precision.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..checks.diagnostics import Diagnostics, FixHint, PathEvidence, Severity
+from ..checks.engine import CheckContext, CheckPass
+from ..checks.lint import DCE_FIX, STRAIGHTEN_FIX
+from ..core.hot_path_graph import HpgVertex
+from ..core.translate import translate_path
+from ..dataflow.framework import DataflowProblem, solve
+from ..dataflow.graph_view import GraphView
+from ..dataflow.lattice import UNREACHABLE
+from ..dataflow.problems.available_exprs import (
+    ALL,
+    AvailableExpressions,
+    _expr_vars,
+    expression_of,
+)
+from ..dataflow.problems.copy_prop import CopyPropagation
+from ..dataflow.problems.liveness import LiveVariables
+from ..dataflow.problems.reaching_defs import ReachingDefinitions
+from ..dataflow.transfer import eval_operand
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Assign, Branch
+from ..ir.operands import Var
+
+LINT_HOT_DEAD_STORE = "LINT005"
+LINT_HOT_CONSTANT_BRANCH = "LINT006"
+LINT_HOT_REDUNDANT_EXPR = "LINT007"
+LINT_HOT_INITIALIZED = "LINT008"
+LINT_HOT_COPY = "LINT009"
+LINT_HOT_CONSTANT_SITE = "LINT010"
+
+PATH_LINT_CODES = (
+    LINT_HOT_DEAD_STORE,
+    LINT_HOT_CONSTANT_BRANCH,
+    LINT_HOT_REDUNDANT_EXPR,
+    LINT_HOT_INITIALIZED,
+    LINT_HOT_COPY,
+    LINT_HOT_CONSTANT_SITE,
+)
+
+#: Default profile-mass threshold below which path findings are dropped.
+DEFAULT_MIN_MASS = 0.5
+
+COPY_FIX = FixHint(
+    transform="copy_prop",
+    module="repro.opt.copy_prop",
+    detail="rewrite the use to read the copied-from variable directly",
+)
+FOLD_FIX = FixHint(
+    transform="const_fold",
+    module="repro.opt.constants",
+    detail="fold the site to its constant on the reduced hot-path graph",
+)
+
+Vertex = Hashable
+
+
+class DefiniteAssignment(DataflowProblem):
+    """Which variables are definitely assigned (forward, must).
+
+    The complement of "maybe uninitialized": a variable in the solution at
+    a point has a definition on *every* path reaching it.  Not separable
+    into gen/kill bitsets worth compiling (gen-only, tiny), so it solves
+    through the generic engine.
+    """
+
+    direction = "forward"
+
+    def __init__(self, params: tuple[str, ...]) -> None:
+        self.params = tuple(params)
+
+    def top(self):
+        return ALL
+
+    def meet(self, a, b):
+        if a is ALL:
+            return b
+        if b is ALL:
+            return a
+        return a & b
+
+    def boundary(self):
+        return frozenset(self.params)
+
+    def equal(self, a, b) -> bool:
+        if a is ALL or b is ALL:
+            return a is b
+        return a == b
+
+    def transfer(self, vertex, block: Optional[BasicBlock], value):
+        if block is None:
+            return value
+        current = set() if value is ALL else set(value)
+        for instr in block.instrs:
+            if instr.dest is not None:
+                current.add(instr.dest)
+        return frozenset(current)
+
+
+# -- per-routine shared precomputation --------------------------------------
+
+
+class _PathFacts:
+    """Everything the path lints need about one traced routine, computed
+    once and shared: HPG duplicates, per-copy profile mass, lazy qualified
+    data-flow solutions, and the hot-path membership of each copy."""
+
+    def __init__(self, qa) -> None:
+        self.qa = qa
+        self.fn = qa.function
+        self.hpg = qa.hpg
+        self.hview = qa.hpg.view()
+        self.cview = GraphView.from_function(self.fn, qa.cfg)
+        #: Profile mass (interior occurrences) per traced vertex.
+        self.freq: dict[HpgVertex, int] = qa.hpg_profile.block_frequencies()
+        self.dups: dict = {
+            label: qa.hpg.duplicates(label) for label in self.fn.blocks
+        }
+        #: (hot-path id, traced vertices it touches) — for attribution.
+        self.path_vertices: list[tuple[int, frozenset]] = []
+        for idx, path in enumerate(qa.hot_paths):
+            try:
+                traced = translate_path(path, qa.hpg)
+            except ValueError:
+                continue
+            self.path_vertices.append((idx, frozenset(traced.vertices)))
+        self._solutions: dict = {}
+
+    def block_mass(self, label) -> int:
+        return sum(self.freq.get(d, 0) for d in self.dups[label])
+
+    def mass_of(self, supporting) -> int:
+        """Frequency-weighted support of a set of traced copies."""
+        return sum(self.freq.get(d, 0) for d in supporting)
+
+    def contributing_paths(self, supporting) -> tuple[int, ...]:
+        """Hot-path ids whose traced path touches a supporting copy."""
+        sup = set(supporting)
+        return tuple(
+            idx for idx, verts in self.path_vertices if verts & sup
+        )
+
+    def evidence(
+        self,
+        label,
+        supporting,
+        *,
+        iterative: str,
+        qualified: str,
+    ) -> Optional[PathEvidence]:
+        """Build the provenance payload, or None when the supporting copies
+        carry no profile mass (the finding would be unranked noise)."""
+        total = self.block_mass(label)
+        if not total:
+            return None
+        mass = self.mass_of(supporting) / total
+        return PathEvidence(
+            mass=mass,
+            hot_paths=self.contributing_paths(supporting),
+            supporting=len(supporting),
+            duplicates=len(self.dups[label]),
+            iterative=iterative,
+            qualified=qualified,
+            sharper=True,
+        )
+
+    def solution(self, problem_key: str, factory, view_key: str):
+        """Memoized data-flow solution (per problem x per graph).
+
+        :class:`DefiniteAssignment` declares no gen/kill lowering, so it is
+        pinned to the generic solver — an ambient ``engine_scope("compiled")``
+        (the matrix's lint-parity stage) must not make it unsolvable."""
+        key = (problem_key, view_key)
+        if key not in self._solutions:
+            view = self.hview if view_key == "hpg" else self.cview
+            problem = factory()
+            engine = (
+                "generic" if isinstance(problem, DefiniteAssignment) else None
+            )
+            self._solutions[key] = solve(problem, view, engine=engine)
+        return self._solutions[key]
+
+
+def _emit(
+    out: Diagnostics,
+    code: str,
+    severity: Severity,
+    message: str,
+    *,
+    facts: _PathFacts,
+    block,
+    instr=None,
+    hint=None,
+    fix_hint=None,
+    evidence: PathEvidence,
+) -> None:
+    out.emit(
+        code,
+        severity,
+        message,
+        function=facts.fn.name,
+        block=block,
+        instr=instr,
+        hint=hint,
+        fix_hint=fix_hint,
+        path_evidence=evidence,
+    )
+
+
+# -- LINT005: hot-path dead stores ------------------------------------------
+
+
+def _cfg_dead_stores(fn, view) -> set:
+    """(label, idx) of stores the iterative liveness already proves dead
+    (LINT002 territory — excluded so path findings are strictly sharper)."""
+    sol = solve(LiveVariables(), view)
+    dead = set()
+    for label, block in fn.blocks.items():
+        live = set(sol.value_in.get(label, frozenset()))
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Var):
+                    live.add(op.name)
+        for idx in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[idx]
+            if instr.dest is not None:
+                if instr.dest not in live and instr.is_pure:
+                    dead.add((label, idx))
+                live.discard(instr.dest)
+            for name in instr.use_vars():
+                live.add(name)
+    return dead
+
+
+def _dead_along_path(fn, path, occurrence: int, label, store_idx: int, dest):
+    """Is the store overwritten before any read along the remainder of the
+    Ball–Larus path?  ``occurrence`` indexes ``path.interior()``.  Reaching
+    the end of the path without a verdict means the continuation is unknown
+    — conservatively *not* dead."""
+    interior = path.interior()
+    pos = occurrence
+    first = True
+    while pos < len(interior):
+        block = fn.blocks.get(interior[pos])
+        if block is None:
+            return False
+        start = store_idx + 1 if first else 0
+        for idx in range(start, len(block.instrs)):
+            instr = block.instrs[idx]
+            if dest in instr.use_vars():
+                return False
+            if instr.dest == dest:
+                return True
+        if block.terminator is not None:
+            for op in block.terminator.uses():
+                if isinstance(op, Var) and op.name == dest:
+                    return False
+        first = False
+        pos += 1
+    return False
+
+
+def _check_hot_dead_stores(
+    facts: _PathFacts, out: Diagnostics, min_mass: float
+) -> None:
+    fn = facts.fn
+    qa = facts.qa
+    cfg_dead = _cfg_dead_stores(fn, facts.cview)
+    #: label -> interior occurrences [(hot-path id, position)].
+    occurrences: dict = {}
+    for path_id, path in enumerate(qa.hot_paths):
+        for pos, v in enumerate(path.interior()):
+            occurrences.setdefault(v, []).append((path_id, pos))
+    block_freq = qa.train_profile.block_frequencies()
+    for label, block in fn.blocks.items():
+        occs = occurrences.get(label)
+        if not occs:
+            continue
+        total = block_freq.get(label, 0)
+        if not total:
+            continue
+        for idx, instr in enumerate(block.instrs):
+            dest = instr.dest
+            if dest is None or not instr.is_pure:
+                continue
+            if (label, idx) in cfg_dead:
+                continue  # already LINT002 — not a path finding
+            supporting_mass = 0
+            supporting_ids = []
+            for path_id, pos in occs:
+                if _dead_along_path(
+                    fn, qa.hot_paths[path_id], pos, label, idx, dest
+                ):
+                    supporting_mass += qa.train_profile.count(
+                        qa.hot_paths[path_id]
+                    )
+                    supporting_ids.append(path_id)
+            if not supporting_ids:
+                continue
+            mass = supporting_mass / total
+            if mass < min_mass:
+                continue
+            evidence = PathEvidence(
+                mass=mass,
+                hot_paths=tuple(dict.fromkeys(supporting_ids)),
+                supporting=len(set(supporting_ids)),
+                duplicates=len(qa.hot_paths),
+                iterative=f"{dest!r} is live on some CFG path",
+                qualified=(
+                    f"{dest!r} is overwritten before any read along the "
+                    f"supporting hot paths"
+                ),
+                sharper=True,
+            )
+            _emit(
+                out,
+                LINT_HOT_DEAD_STORE,
+                Severity.WARNING,
+                f"{instr} writes {dest!r}, which hot paths overwrite "
+                f"before reading",
+                facts=facts,
+                block=label,
+                instr=idx,
+                hint="the store only matters on cold paths",
+                fix_hint=DCE_FIX,
+                evidence=evidence,
+            )
+
+
+# -- LINT006: hot-path-constant branches ------------------------------------
+
+
+def _check_hot_constant_branches(
+    facts: _PathFacts, out: Diagnostics, min_mass: float
+) -> None:
+    qa = facts.qa
+    baseline = qa.baseline
+    hpg_wz = qa.hpg_analysis
+    for label, block in facts.fn.blocks.items():
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        if not baseline.is_executable(label):
+            continue
+        env = baseline.output_env(label)
+        if env is UNREACHABLE or isinstance(eval_operand(term.cond, env), int):
+            continue  # the iterative analysis already resolves it (LINT004)
+        supporting = []
+        values = set()
+        for dup in facts.dups[label]:
+            if not hpg_wz.is_executable(dup):
+                continue
+            denv = hpg_wz.output_env(dup)
+            if denv is UNREACHABLE:
+                continue
+            cond = eval_operand(term.cond, denv)
+            if isinstance(cond, int):
+                supporting.append(dup)
+                values.add(cond)
+        if not supporting:
+            continue
+        evidence = facts.evidence(
+            label,
+            supporting,
+            iterative=f"condition {term.cond} is unresolved iteratively",
+            qualified=(
+                "condition is a known constant on the supporting hot-path "
+                "copies"
+            ),
+        )
+        if evidence is None or evidence.mass < min_mass:
+            continue
+        shown = ",".join(str(v) for v in sorted(values))
+        _emit(
+            out,
+            LINT_HOT_CONSTANT_BRANCH,
+            Severity.WARNING,
+            f"branch condition {term.cond} is constant ({shown}) on hot "
+            f"paths; straightening candidate",
+            facts=facts,
+            block=label,
+            hint="qualify then straighten the hot legs",
+            fix_hint=STRAIGHTEN_FIX,
+            evidence=evidence,
+        )
+
+
+# -- LINT007: redundant recomputation on hot paths --------------------------
+
+
+def _block_avail_schedule(block) -> list[tuple[int, bool, object]]:
+    """One forward scan decomposing in-block availability.
+
+    For each instruction index that computes an expression, yields
+    ``(idx, local, from_in)``: ``local`` means the expression was
+    generated earlier in the block and survives to ``idx`` regardless of
+    the in-set; ``from_in`` is the expression itself when availability at
+    ``idx`` reduces to ``from_in in in_set`` (no operand written before
+    ``idx``), else None.  This makes evaluating availability against any
+    number of in-sets (the CFG entry plus every hot dup) a membership
+    test per candidate instead of a transfer replay per in-set."""
+    schedule = []
+    gen_live: set = set()
+    killed: set[str] = set()
+    vars_of: dict = {}
+    for idx, instr in enumerate(block.instrs):
+        expr = expression_of(instr)
+        if expr is not None:
+            ev = vars_of.get(expr)
+            if ev is None:
+                ev = vars_of[expr] = _expr_vars(expr)
+            local = expr in gen_live
+            from_in = (
+                None
+                if local or any(v in killed for v in ev)
+                else expr
+            )
+            schedule.append((idx, local, from_in))
+            gen_live.add(expr)
+        if instr.dest is not None:
+            dest = instr.dest
+            killed.add(dest)
+            if gen_live:
+                gen_live = {
+                    e for e in gen_live if dest not in vars_of[e]
+                }
+    return schedule
+
+
+def _check_hot_redundant_exprs(
+    facts: _PathFacts, out: Diagnostics, min_mass: float
+) -> None:
+    csol = facts.solution("avail", AvailableExpressions, "cfg")
+    hsol = facts.solution("avail", AvailableExpressions, "hpg")
+    for label, block in facts.fn.blocks.items():
+        cfg_in = csol.value_in.get(label, ALL)
+        if cfg_in is ALL:
+            continue  # unreachable iteratively; nothing to sharpen
+        # A candidate is redundant on some hot copy but not iteratively:
+        # locally-available sites are redundant everywhere, and sites
+        # whose operands are overwritten earlier in the block can never
+        # inherit availability from any in-set.
+        candidates = [
+            (idx, expr)
+            for idx, local, expr in _block_avail_schedule(block)
+            if not local and expr is not None and expr not in cfg_in
+        ]
+        if not candidates:
+            continue
+        dup_ins = [
+            (dup, hin)
+            for dup in facts.dups[label]
+            if (hin := hsol.value_in.get(dup, ALL)) is not ALL
+        ]
+        for idx, expr in candidates:
+            instr = block.instrs[idx]
+            supporting = [dup for dup, hin in dup_ins if expr in hin]
+            if not supporting:
+                continue
+            evidence = facts.evidence(
+                label,
+                supporting,
+                iterative="expression is not available on all CFG paths",
+                qualified=(
+                    "expression is already computed on every path into the "
+                    "supporting hot copies"
+                ),
+            )
+            if evidence is None or evidence.mass < min_mass:
+                continue
+            _emit(
+                out,
+                LINT_HOT_REDUNDANT_EXPR,
+                Severity.WARNING,
+                f"{instr} recomputes a value already available on hot "
+                f"paths",
+                facts=facts,
+                block=label,
+                instr=idx,
+                hint="hoist or reuse the prior computation on the hot legs",
+                evidence=evidence,
+            )
+
+
+# -- LINT008: maybe-uninitialized uses initialized on hot paths -------------
+
+
+def _check_hot_initialized(
+    facts: _PathFacts, out: Diagnostics, min_mass: float
+) -> None:
+    fn = facts.fn
+    params = fn.params
+    csol = facts.solution("definite", lambda: DefiniteAssignment(params), "cfg")
+    hsol = facts.solution("definite", lambda: DefiniteAssignment(params), "hpg")
+    rsol = facts.solution(
+        "reaching", lambda: ReachingDefinitions(params, facts.cview.cfg.entry), "cfg"
+    )
+    for label, block in fn.blocks.items():
+        cfg_in = csol.value_in.get(label, ALL)
+        if cfg_in is ALL:
+            continue
+        reaching = {d[2] for d in rsol.value_in.get(label, frozenset())}
+        dup_ins = [
+            (dup, hin)
+            for dup in facts.dups[label]
+            if (hin := hsol.value_in.get(dup, ALL)) is not ALL
+        ]
+        # Definite assignment before an instruction splits into the block
+        # entry set (cfg_in / each dup's hin) plus ``local``, the dests
+        # written earlier in the block — the local part is the same for
+        # every in-set, so each candidate costs one lookup per dup.
+        local: set = set()
+        for idx, instr in enumerate(block.instrs):
+            for name in sorted(set(instr.use_vars())):
+                if name in cfg_in or name in local:
+                    continue  # definitely assigned — nothing to report
+                if name not in reaching:
+                    continue  # no def reaches at all — that's LINT001
+                supporting = [dup for dup, hin in dup_ins if name in hin]
+                if not supporting:
+                    continue
+                evidence = facts.evidence(
+                    label,
+                    supporting,
+                    iterative=(
+                        f"{name!r} may be uninitialized on some CFG path"
+                    ),
+                    qualified=(
+                        f"{name!r} is definitely assigned on the supporting "
+                        f"hot copies"
+                    ),
+                )
+                if evidence is None or evidence.mass < min_mass:
+                    continue
+                _emit(
+                    out,
+                    LINT_HOT_INITIALIZED,
+                    Severity.INFO,
+                    f"{instr} reads {name!r}, maybe-uninitialized "
+                    f"iteratively but initialized on all hot paths",
+                    facts=facts,
+                    block=label,
+                    instr=idx,
+                    hint="cold-path-only hazard; demoted by path evidence",
+                    evidence=evidence,
+                )
+            if instr.dest is not None:
+                local.add(instr.dest)
+
+
+# -- LINT009: copy-propagation opportunities on hot paths -------------------
+
+
+def _check_hot_copies(
+    facts: _PathFacts, out: Diagnostics, min_mass: float
+) -> None:
+    csol = facts.solution("copies", CopyPropagation, "cfg")
+    hsol = facts.solution("copies", CopyPropagation, "hpg")
+    for label, block in facts.fn.blocks.items():
+        cfg_in = csol.value_in.get(label, ALL)
+        if cfg_in is ALL:
+            continue
+        cfg_by_dst: dict = {}
+        for dst, src in cfg_in:
+            cfg_by_dst.setdefault(dst, set()).add(src)
+        dup_by_dst = []
+        for dup in facts.dups[label]:
+            hin = hsol.value_in.get(dup, ALL)
+            if hin is ALL:
+                continue
+            by_dst: dict = {}
+            for dst, src in hin:
+                by_dst.setdefault(dst, set()).add(src)
+            dup_by_dst.append((dup, by_dst))
+        # The copy set before an instruction splits into copies generated
+        # in the block (``local_cur``, replayed once — identical for every
+        # in-set) and in-set pairs whose dst/src escaped every write so
+        # far (``killed``) — so each candidate costs lookups, not a
+        # transfer replay per dup.
+        killed: set = set()
+        local_cur: set = set()
+        for idx, instr in enumerate(block.instrs):
+            uses = sorted(set(instr.use_vars()))
+            reported: set = set()
+            for name in uses:
+                if any(c[0] == name for c in local_cur):
+                    continue  # iterative copy-prop already handles it
+                if name not in killed and any(
+                    src not in killed for src in cfg_by_dst.get(name, ())
+                ):
+                    continue  # iterative copy-prop already handles it
+                sources: dict = {}
+                if name not in killed:
+                    for dup, by_dst in dup_by_dst:
+                        for src in by_dst.get(name, ()):
+                            if src not in killed:
+                                sources.setdefault(src, []).append(dup)
+                for src in sorted(sources):
+                    if (name, src) in reported:
+                        continue
+                    supporting = sources[src]
+                    evidence = facts.evidence(
+                        label,
+                        supporting,
+                        iterative=(
+                            f"{name!r} is not a known copy on all CFG paths"
+                        ),
+                        qualified=(
+                            f"{name!r} equals {src!r} on the supporting hot "
+                            f"copies"
+                        ),
+                    )
+                    if evidence is None or evidence.mass < min_mass:
+                        continue
+                    reported.add((name, src))
+                    _emit(
+                        out,
+                        LINT_HOT_COPY,
+                        Severity.INFO,
+                        f"{instr} reads {name!r}, a copy of {src!r} along "
+                        f"hot paths",
+                        facts=facts,
+                        block=label,
+                        instr=idx,
+                        hint="propagate the copy on the qualified graph",
+                        fix_hint=COPY_FIX,
+                        evidence=evidence,
+                    )
+            # CopyPropagation.transfer per instruction: kill, then gen.
+            if instr.dest is not None:
+                killed.add(instr.dest)
+                if local_cur:
+                    local_cur = {c for c in local_cur if instr.dest not in c}
+            if (
+                isinstance(instr, Assign)
+                and isinstance(instr.src, Var)
+                and instr.dest != instr.src.name
+            ):
+                local_cur.add((instr.dest, instr.src.name))
+
+
+# -- LINT010: qualified constant sharpening ---------------------------------
+
+
+def _check_hot_constant_sites(
+    facts: _PathFacts, out: Diagnostics, min_mass: float
+) -> None:
+    qa = facts.qa
+    baseline = qa.baseline
+    hpg_wz = qa.hpg_analysis
+    for label, block in facts.fn.blocks.items():
+        base_pure = baseline.pure_constant_sites(label)
+        sites: dict = {}
+        for dup in facts.dups[label]:
+            if not hpg_wz.is_executable(dup):
+                continue
+            for idx, value in hpg_wz.pure_constant_sites(dup).items():
+                if idx in base_pure:
+                    continue  # the iterative analysis already folds it
+                sites.setdefault(idx, {}).setdefault(value, []).append(dup)
+        for idx in sorted(sites):
+            supporting = [
+                dup for dups in sites[idx].values() for dup in dups
+            ]
+            values = sorted(sites[idx])
+            evidence = facts.evidence(
+                label,
+                supporting,
+                iterative="site is non-constant in the iterative solution",
+                qualified=(
+                    "site evaluates to a known constant on the supporting "
+                    "hot copies"
+                ),
+            )
+            if evidence is None or evidence.mass < min_mass:
+                continue
+            shown = ",".join(str(v) for v in values)
+            _emit(
+                out,
+                LINT_HOT_CONSTANT_SITE,
+                Severity.INFO,
+                f"{block.instrs[idx]} is constant ({shown}) on hot paths "
+                f"but not iteratively",
+                facts=facts,
+                block=label,
+                instr=idx,
+                hint="the qualified optimizer can fold this site",
+                fix_hint=FOLD_FIX,
+                evidence=evidence,
+            )
+
+
+# -- the pass ----------------------------------------------------------------
+
+
+def path_lint_qualified(
+    qualified, out: Optional[Diagnostics] = None, min_mass: float = DEFAULT_MIN_MASS
+) -> Diagnostics:
+    """Run every path lint over per-routine qualified analyses."""
+    if out is None:
+        out = Diagnostics()
+    for routine in sorted(qualified):
+        qa = qualified[routine]
+        if not qa.traced:
+            continue
+        facts = _PathFacts(qa)
+        _check_hot_dead_stores(facts, out, min_mass)
+        _check_hot_constant_branches(facts, out, min_mass)
+        _check_hot_redundant_exprs(facts, out, min_mass)
+        _check_hot_initialized(facts, out, min_mass)
+        _check_hot_copies(facts, out, min_mass)
+        _check_hot_constant_sites(facts, out, min_mass)
+    return out
+
+
+class PathLintPass(CheckPass):
+    """Profile-qualified lints over the hot-path graph (``LINT005``–``010``).
+
+    Deliberately *not* registered in the stage-pass registries: it runs
+    only through the analyzer entry points (``repro lint``, ``/v1/lint``),
+    keeping ``repro check`` output stable.
+    """
+
+    name = "path_lint"
+    codes = PATH_LINT_CODES
+    requires = ("qualified",)
+
+    def __init__(self, min_mass: float = DEFAULT_MIN_MASS) -> None:
+        self.min_mass = min_mass
+
+    def run(self, ctx: CheckContext, out: Diagnostics) -> None:
+        path_lint_qualified(ctx.qualified, out=out, min_mass=self.min_mass)
+
+
+__all__ = [
+    "DefiniteAssignment",
+    "PathLintPass",
+    "path_lint_qualified",
+    "PATH_LINT_CODES",
+    "DEFAULT_MIN_MASS",
+    "LINT_HOT_DEAD_STORE",
+    "LINT_HOT_CONSTANT_BRANCH",
+    "LINT_HOT_REDUNDANT_EXPR",
+    "LINT_HOT_INITIALIZED",
+    "LINT_HOT_COPY",
+    "LINT_HOT_CONSTANT_SITE",
+    "COPY_FIX",
+    "FOLD_FIX",
+]

@@ -1,0 +1,277 @@
+"""Analyzer reporters: ranked text, JSON, and SARIF 2.1.0.
+
+The SARIF export targets the minimal static-analysis interchange shape —
+one run, a tool driver with the full ``LINT*`` rule registry, one result
+per finding with logical locations (this analyzer works on MiniC IR, not
+source files), versioned partial fingerprints shared with the baseline
+layer, and ``suppressions`` entries for baselined findings — so output
+drops into any SARIF viewer or upload endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional, Sequence
+
+from ..checks.diagnostics import Diagnostic, Severity
+from .baseline import FINGERPRINT_KEY, Baseline, finding_fingerprint, partition
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/repro/repro"
+
+#: Rule registry: every code the analyzer can emit, in registry order.
+RULES: tuple[dict, ...] = (
+    {
+        "id": "LINT001",
+        "name": "UseBeforeDefinition",
+        "shortDescription": {
+            "text": "A variable is read where no definition reaches."
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT002",
+        "name": "DeadStore",
+        "shortDescription": {
+            "text": "A pure instruction writes a value that is never read."
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT003",
+        "name": "UnreachableUnderConstants",
+        "shortDescription": {
+            "text": (
+                "A structurally reachable block that constant propagation "
+                "proves no executable path enters."
+            )
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT004",
+        "name": "ConstantBranch",
+        "shortDescription": {
+            "text": "An executable branch whose condition is a constant."
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT005",
+        "name": "HotPathDeadStore",
+        "shortDescription": {
+            "text": (
+                "A store that is live iteratively but overwritten before "
+                "any read along hot paths carrying the profile mass."
+            )
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT006",
+        "name": "HotPathConstantBranch",
+        "shortDescription": {
+            "text": (
+                "A branch the iterative propagator cannot resolve, but "
+                "whose condition is constant on the hot-path copies — a "
+                "straightening candidate."
+            )
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT007",
+        "name": "HotPathRedundantExpression",
+        "shortDescription": {
+            "text": (
+                "An expression recomputed although it is already available "
+                "on every path into the hot-path copies."
+            )
+        },
+        "defaultConfiguration": {"level": "warning"},
+    },
+    {
+        "id": "LINT008",
+        "name": "HotPathInitialized",
+        "shortDescription": {
+            "text": (
+                "A maybe-uninitialized use that the qualified analysis "
+                "proves initialized on all hot paths (severity demoted)."
+            )
+        },
+        "defaultConfiguration": {"level": "note"},
+    },
+    {
+        "id": "LINT009",
+        "name": "HotPathCopy",
+        "shortDescription": {
+            "text": (
+                "A variable read that is a known copy of another variable "
+                "along hot paths but not iteratively."
+            )
+        },
+        "defaultConfiguration": {"level": "note"},
+    },
+    {
+        "id": "LINT010",
+        "name": "QualifiedConstantSharpening",
+        "shortDescription": {
+            "text": (
+                "A pure site non-constant in the iterative solution but "
+                "constant on hot-path copies carrying the profile mass."
+            )
+        },
+        "defaultConfiguration": {"level": "note"},
+    },
+)
+
+_RULE_INDEX = {rule["id"]: idx for idx, rule in enumerate(RULES)}
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result_properties(target: str, diag: Diagnostic) -> dict:
+    properties: dict = {"target": target}
+    if diag.hint:
+        properties["hint"] = diag.hint
+    if diag.fix_hint is not None:
+        properties["fix"] = diag.fix_hint.to_dict()
+    if diag.path_evidence is not None:
+        properties["pathEvidence"] = diag.path_evidence.to_dict()
+    return properties
+
+
+def to_sarif(
+    findings: Sequence[tuple[str, Diagnostic]],
+    baseline: Optional[Baseline] = None,
+) -> dict:
+    """A SARIF 2.1.0 log for ``(target, finding)`` pairs.
+
+    Baselined findings are *included* with a ``suppressions`` entry (SARIF's
+    model for accepted findings) rather than dropped, so viewers show the
+    full picture.
+    """
+    results = []
+    for target, diag in findings:
+        fingerprint = finding_fingerprint(target, diag)
+        result: dict = {
+            "ruleId": diag.code,
+            "level": _LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": (
+                                f"{target}::{diag.location()}"
+                                if diag.location()
+                                else target
+                            ),
+                            "kind": "function",
+                        }
+                    ]
+                }
+            ],
+            "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+            "properties": _result_properties(target, diag),
+        }
+        if diag.code in _RULE_INDEX:
+            result["ruleIndex"] = _RULE_INDEX[diag.code]
+        if baseline is not None and fingerprint in baseline:
+            suppression: dict = {"kind": "external"}
+            justification = baseline.justification(fingerprint)
+            if justification:
+                suppression["justification"] = justification
+            result["suppressions"] = [suppression]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": list(RULES),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: str,
+    findings: Sequence[tuple[str, Diagnostic]],
+    baseline: Optional[Baseline] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings, baseline), fh, indent=2)
+        fh.write("\n")
+
+
+def render_text(
+    findings: Sequence[tuple[str, Diagnostic]],
+    baseline: Optional[Baseline] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Ranked human report: one line per finding, suppressed ones marked."""
+    new, suppressed = partition(findings, baseline)
+    lines = []
+    shown = findings if limit is None else findings[:limit]
+    suppressed_set = {id(d) for _, d in suppressed}
+    for target, diag in shown:
+        marker = " [baselined]" if id(diag) in suppressed_set else ""
+        lines.append(f"{target} :: {diag.format()}{marker}")
+    if limit is not None and len(findings) > limit:
+        lines.append(f"... and {len(findings) - limit} more")
+    lines.append(
+        f"{len(findings)} finding(s): {len(new)} new, "
+        f"{len(suppressed)} baselined"
+    )
+    return "\n".join(lines)
+
+
+def to_json_payload(
+    findings: Sequence[tuple[str, Diagnostic]],
+    baseline: Optional[Baseline] = None,
+) -> dict:
+    """The ``repro lint --json`` payload."""
+    new, suppressed = partition(findings, baseline)
+    suppressed_set = {id(d) for _, d in suppressed}
+    records = []
+    for target, diag in findings:
+        record = diag.to_dict()
+        record["target"] = target
+        record["fingerprint"] = finding_fingerprint(target, diag)
+        record["suppressed"] = id(diag) in suppressed_set
+        records.append(record)
+    counts = {s.label: 0 for s in Severity}
+    for _, diag in findings:
+        counts[diag.severity.label] += 1
+    return {
+        "findings": records,
+        "counts": counts,
+        "new": len(new),
+        "suppressed": len(suppressed),
+    }
+
+
+__all__ = [
+    "RULES",
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "TOOL_NAME",
+    "render_text",
+    "to_json_payload",
+    "to_sarif",
+    "write_sarif",
+]

@@ -1,0 +1,182 @@
+"""Analyzer entry points: compute, rank, and fan out lint findings.
+
+The analyzer composes the classic data-flow lints (``LINT001``–``004``)
+with the path-qualified passes (``LINT005``–``010``) over one module's
+qualified analyses, then ranks findings by profile mass so the hottest
+evidence surfaces first.  Everything here is deterministic: identical
+inputs produce byte-identical finding lists regardless of ``--jobs`` or
+daemon vs. CLI execution, which the baseline fingerprints rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..checks.diagnostics import Diagnostic, Diagnostics
+from ..checks.engine import CheckContext, run_passes
+from ..checks.runner import LintPass
+from .passes import DEFAULT_MIN_MASS, PathLintPass
+
+
+def rank(findings: Iterable[Diagnostic]) -> tuple[Diagnostic, ...]:
+    """Order findings by profile mass (descending), then stable identity.
+
+    Unranked findings (no path evidence) sort after ranked ones; ties
+    break on (code, function, block, instr, message) so the order is
+    total and reproducible."""
+    def key(d: Diagnostic):
+        return (
+            d.mass is None,
+            -(d.mass or 0.0),
+            d.code,
+            d.function or "",
+            d.block or "",
+            -1 if d.instr is None else d.instr,
+            d.message,
+        )
+
+    return tuple(sorted(findings, key=key))
+
+
+def compute_findings(
+    module,
+    qualified: Mapping[str, object],
+    min_mass: float = DEFAULT_MIN_MASS,
+    workload: str = "program",
+) -> tuple[Diagnostic, ...]:
+    """All analyzer findings for one module + its qualified analyses."""
+    out = Diagnostics()
+    ctx = CheckContext(
+        workload=workload,
+        stage="lint",
+        module=module,
+        qualified=dict(qualified),
+    )
+    run_passes((LintPass(), PathLintPass(min_mass)), ctx, out)
+    return rank(out.records)
+
+
+def findings_under(
+    module,
+    qualified: Mapping[str, object],
+    min_mass: float = DEFAULT_MIN_MASS,
+    dataflow_engine: str = "auto",
+    workload: str = "program",
+) -> tuple[Diagnostic, ...]:
+    """:func:`compute_findings` under an explicit data-flow engine.
+
+    The qualified analyses are fixed inputs; only the analyzer's own
+    solves (liveness, available expressions, copies, definite assignment)
+    re-run under ``dataflow_engine`` — the matrix suite compares engines
+    pairwise to prove the lint layer engine-independent."""
+    from ..dataflow import engine_scope
+
+    with engine_scope(dataflow_engine):
+        return compute_findings(module, qualified, min_mass, workload)
+
+
+def lint_program(
+    module,
+    args,
+    inputs,
+    ca: float,
+    cr: float,
+    engine: str = "compiled",
+    workload: str = "program",
+    dataflow_engine: str = "auto",
+    wz_engine: str = "auto",
+    min_mass: float = DEFAULT_MIN_MASS,
+) -> tuple[Diagnostic, ...]:
+    """Analyze an ad-hoc program: one profiled run, the qualified pipeline
+    per routine, then the full lint battery (the ``repro lint <file>``
+    path, mirroring :func:`repro.checks.runner.check_program`)."""
+    from ..core.qualified import run_qualified
+    from ..dataflow import engine_scope, wz_engine_scope
+    from ..interp.interpreter import Interpreter
+    from ..profiles.path_profile import PathProfile
+
+    with engine_scope(dataflow_engine), wz_engine_scope(wz_engine):
+        result = Interpreter(
+            module, profile_mode="bl", track_sites=False, engine=engine
+        ).run(args, inputs)
+        qualified = {
+            name: run_qualified(
+                fn,
+                result.profiles.get(name, PathProfile()),
+                ca,
+                cr,
+                wz_engine=wz_engine,
+            )
+            for name, fn in module.functions.items()
+        }
+        return compute_findings(module, qualified, min_mass, workload)
+
+
+def lint_target(
+    name: str,
+    cache_dir: Optional[str] = None,
+    ca: Optional[float] = None,
+    cr: Optional[float] = None,
+    min_mass: float = DEFAULT_MIN_MASS,
+    engine: str = "compiled",
+    dataflow_engine: str = "auto",
+    wz_engine: str = "auto",
+) -> tuple[Diagnostic, ...]:
+    """Analyze one registered/generated target by name (cacheable)."""
+    from ..evaluation.harness import DEFAULT_CA, DEFAULT_CR
+    from ..pipeline.cached_run import make_run
+    from ..workloads.matrix import resolve_target
+
+    run = make_run(
+        resolve_target(name),
+        cache_dir=cache_dir,
+        engine=engine,
+        dataflow_engine=dataflow_engine,
+        wz_engine=wz_engine,
+    )
+    return run.lint(
+        ca if ca is not None else DEFAULT_CA,
+        cr if cr is not None else DEFAULT_CR,
+        min_mass,
+    )
+
+
+def _lint_target_job(
+    name: str,
+    cache_dir: Optional[str],
+    ca: Optional[float],
+    cr: Optional[float],
+    min_mass: float,
+    engine: str,
+    dataflow_engine: str,
+    wz_engine: str,
+) -> tuple[str, list[dict]]:
+    """Process-pool job: findings for one target, shipped as dicts."""
+    findings = lint_target(
+        name,
+        cache_dir=cache_dir,
+        ca=ca,
+        cr=cr,
+        min_mass=min_mass,
+        engine=engine,
+        dataflow_engine=dataflow_engine,
+        wz_engine=wz_engine,
+    )
+    return name, [d.to_dict() for d in findings]
+
+
+def pair_with_target(
+    target: str, findings: Sequence[Diagnostic]
+) -> list[tuple[str, Diagnostic]]:
+    """The ``(target, finding)`` pairs the reporters consume."""
+    return [(target, d) for d in findings]
+
+
+__all__ = [
+    "compute_findings",
+    "findings_under",
+    "lint_program",
+    "lint_target",
+    "pair_with_target",
+    "rank",
+]

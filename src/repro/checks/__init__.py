@@ -23,7 +23,7 @@ runs and the ``repro check`` CLI entry points — lives in
 from :mod:`repro.ir` without cycles).
 """
 
-from .diagnostics import Diagnostic, Diagnostics, Severity
+from .diagnostics import Diagnostic, Diagnostics, FixHint, PathEvidence, Severity
 from .engine import CheckContext, CheckPass, run_passes
 from .ir_checks import check_function_ir, check_module_ir
 
@@ -32,6 +32,8 @@ __all__ = [
     "CheckPass",
     "Diagnostic",
     "Diagnostics",
+    "FixHint",
+    "PathEvidence",
     "Severity",
     "check_function_ir",
     "check_module_ir",

@@ -32,6 +32,79 @@ class Severity(IntEnum):
 
 
 @dataclass(frozen=True)
+class FixHint:
+    """A machine-readable pointer at the transformation that resolves a
+    finding (e.g. the ``opt/straighten.py`` pass for a constant branch).
+
+    Frozen and scalar-only so :class:`Diagnostic` stays hashable — findings
+    are deduplicated through a ``set`` when merged across pool workers.
+    """
+
+    #: Transformation name (``straighten``, ``dce``, ``copy_prop``, ...).
+    transform: str
+    #: Dotted module implementing the transformation.
+    module: str
+    #: One-line description of what applying it would do here.
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FixHint":
+        return cls(
+            transform=d["transform"],
+            module=d["module"],
+            detail=d.get("detail", ""),
+        )
+
+
+@dataclass(frozen=True)
+class PathEvidence:
+    """Profile-mass provenance for a path-qualified finding.
+
+    Attached by the ``LINT005``–``LINT010`` analyzer passes: how much of the
+    training profile's mass flows through the hot-path-graph duplicates that
+    support the finding, which hot paths contribute, and what the iterative
+    (MFP) versus qualified analyses each concluded — the paper's Theorem-1
+    sharpening delta, visible in a diagnostic.
+    """
+
+    #: Fraction of the block's profile mass on the supporting duplicates.
+    mass: float
+    #: Indices (into the routine's hot-path list) of contributing paths.
+    hot_paths: tuple[int, ...] = ()
+    #: Supporting hot-path-graph duplicates of the block.
+    supporting: int = 0
+    #: Total hot-path-graph duplicates of the block.
+    duplicates: int = 0
+    #: What the iterative (whole-CFG) analysis concluded at this site.
+    iterative: str = ""
+    #: What the path-qualified analysis concluded on the supporting copies.
+    qualified: str = ""
+    #: True when the qualified fact is strictly sharper than the iterative
+    #: one (the finding exists *only* because of path qualification).
+    sharper: bool = False
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["hot_paths"] = list(self.hot_paths)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PathEvidence":
+        return cls(
+            mass=float(d["mass"]),
+            hot_paths=tuple(int(i) for i in d.get("hot_paths", ())),
+            supporting=int(d.get("supporting", 0)),
+            duplicates=int(d.get("duplicates", 0)),
+            iterative=d.get("iterative", ""),
+            qualified=d.get("qualified", ""),
+            sharper=bool(d.get("sharper", False)),
+        )
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One finding of a checker or lint pass."""
 
@@ -46,6 +119,15 @@ class Diagnostic:
     instr: Optional[int] = None
     #: A short suggestion for fixing the finding.
     hint: Optional[str] = None
+    #: Machine-readable fix transformation, when one applies.
+    fix_hint: Optional[FixHint] = None
+    #: Profile-mass provenance (path-qualified analyzer findings only).
+    path_evidence: Optional[PathEvidence] = None
+
+    @property
+    def mass(self) -> Optional[float]:
+        """Profile-mass fraction supporting this finding (ranking key)."""
+        return self.path_evidence.mass if self.path_evidence else None
 
     def location(self) -> str:
         """``function:block:instr`` with absent parts omitted."""
@@ -58,20 +140,30 @@ class Diagnostic:
         """One display line: ``error IR003 work:B: missing terminator``."""
         loc = self.location()
         line = f"{self.severity.label} {self.code}"
+        if self.path_evidence is not None:
+            line += f" [mass {self.path_evidence.mass:.0%}]"
         if loc:
             line += f" {loc}:"
         line += f" {self.message}"
         if self.hint:
             line += f" (hint: {self.hint})"
+        if self.fix_hint is not None:
+            line += f" (fix: {self.fix_hint.transform})"
         return line
 
     def to_dict(self) -> dict:
         d = asdict(self)
         d["severity"] = self.severity.label
+        if self.fix_hint is not None:
+            d["fix_hint"] = self.fix_hint.to_dict()
+        if self.path_evidence is not None:
+            d["path_evidence"] = self.path_evidence.to_dict()
         return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "Diagnostic":
+        fix_hint = d.get("fix_hint")
+        path_evidence = d.get("path_evidence")
         return cls(
             code=d["code"],
             severity=Severity[d["severity"].upper()],
@@ -80,6 +172,12 @@ class Diagnostic:
             block=d.get("block"),
             instr=d.get("instr"),
             hint=d.get("hint"),
+            fix_hint=None if fix_hint is None else FixHint.from_dict(fix_hint),
+            path_evidence=(
+                None
+                if path_evidence is None
+                else PathEvidence.from_dict(path_evidence)
+            ),
         )
 
 
@@ -107,6 +205,8 @@ class Diagnostics:
         block: Optional[str] = None,
         instr: Optional[int] = None,
         hint: Optional[str] = None,
+        fix_hint: Optional[FixHint] = None,
+        path_evidence: Optional[PathEvidence] = None,
     ) -> Diagnostic:
         d = Diagnostic(
             code=code,
@@ -116,6 +216,8 @@ class Diagnostics:
             block=None if block is None else str(block),
             instr=instr,
             hint=hint,
+            fix_hint=fix_hint,
+            path_evidence=path_evidence,
         )
         self._records.append(d)
         return d
@@ -233,4 +335,4 @@ class Diagnostics:
         return f"Diagnostics({self.summary()})"
 
 
-__all__ = ["Severity", "Diagnostic", "Diagnostics"]
+__all__ = ["Severity", "Diagnostic", "Diagnostics", "FixHint", "PathEvidence"]

@@ -34,15 +34,29 @@ from ..ir.cfg import Cfg
 from ..ir.function import Function, Module
 from ..ir.instructions import Branch
 from ..ir.operands import Var
-from .diagnostics import Diagnostics, Severity
+from .diagnostics import Diagnostics, FixHint, Severity
 
 LINT_USE_BEFORE_DEF = "LINT001"
 LINT_DEAD_STORE = "LINT002"
 LINT_UNREACHABLE_UNDER_CONSTANTS = "LINT003"
 LINT_CONSTANT_BRANCH = "LINT004"
 
+#: Machine-readable fix pointers: the optimizer pass that would resolve the
+#: finding (the CLI and SARIF exports surface these verbatim).
+DCE_FIX = FixHint(
+    transform="dce",
+    module="repro.opt.dce",
+    detail="eliminate_dead_code removes stores whose value is never read",
+)
+STRAIGHTEN_FIX = FixHint(
+    transform="straighten",
+    module="repro.opt.straighten",
+    detail="fold the branch into a jump and fuse the surviving leg",
+)
 
-def _warn(out: Diagnostics, code: str, message: str, *, function, block, instr=None, hint=None):
+
+def _warn(out: Diagnostics, code: str, message: str, *, function, block,
+          instr=None, hint=None, fix_hint=None):
     out.emit(
         code,
         Severity.WARNING,
@@ -51,6 +65,7 @@ def _warn(out: Diagnostics, code: str, message: str, *, function, block, instr=N
         block=block,
         instr=instr,
         hint=hint,
+        fix_hint=fix_hint,
     )
 
 
@@ -109,14 +124,18 @@ def _check_dead_stores(fn: Function, view: GraphView, out: Diagnostics) -> None:
                         function=fn.name,
                         block=label,
                         instr=idx,
+                        fix_hint=DCE_FIX,
                     )
                 live.discard(dest)
             for name in instr.use_vars():
                 live.add(name)
 
 
-def _check_constant_control(fn: Function, view: GraphView, out: Diagnostics) -> None:
-    wz = analyze(view)
+def _check_constant_control(
+    fn: Function, view: GraphView, out: Diagnostics, wz=None
+) -> None:
+    if wz is None:
+        wz = analyze(view)
     reachable = view.cfg.reachable()
     for label, block in fn.blocks.items():
         if label in reachable and not wz.is_executable(label):
@@ -145,6 +164,7 @@ def _check_constant_control(fn: Function, view: GraphView, out: Diagnostics) -> 
                     function=fn.name,
                     block=label,
                     hint="fold the branch into a jump",
+                    fix_hint=STRAIGHTEN_FIX,
                 )
 
 
@@ -152,14 +172,19 @@ def lint_function(
     fn: Function,
     module: Optional[Module] = None,
     out: Optional[Diagnostics] = None,
+    wz=None,
 ) -> Diagnostics:
-    """Run all lints over one function; collect-all, WARNING severity."""
+    """Run all lints over one function; collect-all, WARNING severity.
+
+    ``wz`` optionally supplies a precomputed Wegman–Zadek result for the
+    function's CFG (the analyzer reuses the qualified bundle's baseline
+    run instead of solving conditional constants a second time)."""
     if out is None:
         out = Diagnostics()
     view = GraphView.from_function(fn, Cfg.from_function(fn))
     _check_use_before_def(fn, view, out)
     _check_dead_stores(fn, view, out)
-    _check_constant_control(fn, view, out)
+    _check_constant_control(fn, view, out, wz=wz)
     return out
 
 

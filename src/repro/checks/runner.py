@@ -49,8 +49,17 @@ class LintPass(CheckPass):
     requires = ("module",)
 
     def run(self, ctx: CheckContext, out: Diagnostics) -> None:
+        qualified = ctx.qualified or {}
         for fn in ctx.module.functions.values():
-            lint_function(fn, ctx.module, out=out)
+            qa = qualified.get(fn.name)
+            # Reuse the qualified bundle's baseline Wegman–Zadek run when
+            # the analyzer provides one; plain check runs solve fresh.
+            lint_function(
+                fn,
+                ctx.module,
+                out=out,
+                wz=None if qa is None else qa.baseline,
+            )
 
 
 class ProfilePass(CheckPass):

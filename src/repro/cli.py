@@ -512,7 +512,17 @@ def _check_self_check(wz_engine: str = "auto") -> int:
     return 0
 
 
+def _aggregate_span_timings(spans) -> dict[str, float]:
+    """Total wall-clock seconds per span name, sorted by name."""
+    timings: dict[str, float] = {}
+    for span in spans:
+        timings[span.name] = timings.get(span.name, 0.0) + span.duration
+    return {name: timings[name] for name in sorted(timings)}
+
+
 def cmd_check(args: argparse.Namespace) -> int:
+    import json
+
     from .workloads import WORKLOAD_NAMES
 
     if args.self_check:
@@ -520,7 +530,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     if not args.target:
         raise SystemExit("check: give a workload name, a .mc file, or --self-check")
 
-    with _trace_capture(args):
+    def _run_checks():
         if args.target in WORKLOAD_NAMES:
             from .pipeline.cached_run import make_run
             from .workloads import get_workload
@@ -534,7 +544,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                 wz_engine=args.wz_engine,
             )
             run.qualified(args.ca, args.cr)
-            diags = run.checker.diagnostics
+            return run.checker.diagnostics
         elif args.target == "running_example":
             from .checks.runner import check_program
             from .workloads.running_example import (
@@ -543,7 +553,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
 
             n, inputs = training_run_inputs()
-            diags = check_program(
+            return check_program(
                 running_example_module(),
                 [n],
                 inputs,
@@ -559,7 +569,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
             with open(args.target) as f:
                 module = compile_program(f.read())
-            diags = check_program(
+            return check_program(
                 module,
                 args.args,
                 _parse_inputs(args.input),
@@ -570,11 +580,186 @@ def cmd_check(args: argparse.Namespace) -> int:
                 dataflow_engine=args.dataflow_engine,
                 wz_engine=args.wz_engine,
             )
+
+    timings: Optional[dict[str, float]] = None
+    with _trace_capture(args):
+        if args.json:
+            # Per-pass wall times ride along in the JSON payload; spans are
+            # captured locally unless --trace-out already enabled them.
+            from .obs import capture, get_tracer
+
+            ambient = get_tracer()
+            if ambient.enabled:
+                before = len(ambient.spans())
+                diags = _run_checks()
+                timings = _aggregate_span_timings(ambient.spans()[before:])
+            else:
+                with capture() as (tracer, _registry):
+                    diags = _run_checks()
+                timings = _aggregate_span_timings(tracer.spans())
+        else:
+            diags = _run_checks()
     if args.json:
-        print(diags.to_json())
+        payload = {
+            "diagnostics": diags.to_dicts(),
+            "counts": diags.counts(),
+            "timings": timings,
+        }
+        print(json.dumps(payload, indent=2))
     else:
         print(diags.render_text())
     return diags.exit_code(args.fail_on)
+
+
+def _is_named_lint_target(name: str) -> bool:
+    from .workloads import HANDWRITTEN_NAMES, WORKLOAD_NAMES
+    from .workloads.generate import GEN_PRESETS
+
+    return (
+        name in WORKLOAD_NAMES
+        or name in HANDWRITTEN_NAMES
+        or name in GEN_PRESETS
+        or name.startswith("gen:")
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .analyze import (
+        Baseline,
+        baseline_of,
+        finding_fingerprint,
+        lint_program,
+        lint_target,
+        partition,
+        render_text,
+        to_json_payload,
+        write_sarif,
+    )
+    from .analyze.runner import _lint_target_job
+    from .checks.diagnostics import Diagnostic, Diagnostics
+    from .workloads import WORKLOAD_NAMES
+
+    targets = list(args.targets) if args.targets else list(WORKLOAD_NAMES)
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.update_baseline and not args.baseline:
+        raise SystemExit("lint: --update-baseline requires --baseline FILE")
+
+    named = [t for t in targets if _is_named_lint_target(t)]
+    results: dict[str, list] = {}
+    with _trace_capture(args):
+        if args.jobs > 1 and len(named) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+                futures = [
+                    pool.submit(
+                        _lint_target_job,
+                        t,
+                        args.cache_dir,
+                        args.ca,
+                        args.cr,
+                        args.min_mass,
+                        args.engine,
+                        args.dataflow_engine,
+                        args.wz_engine,
+                    )
+                    for t in named
+                ]
+                for future in futures:
+                    name, dicts = future.result()
+                    results[name] = [Diagnostic.from_dict(d) for d in dicts]
+        else:
+            for t in named:
+                results[t] = list(
+                    lint_target(
+                        t,
+                        cache_dir=args.cache_dir,
+                        ca=args.ca,
+                        cr=args.cr,
+                        min_mass=args.min_mass,
+                        engine=args.engine,
+                        dataflow_engine=args.dataflow_engine,
+                        wz_engine=args.wz_engine,
+                    )
+                )
+        for t in targets:
+            if t in results:
+                continue
+            if t == "running_example":
+                from .workloads.running_example import (
+                    running_example_module,
+                    training_run_inputs,
+                )
+
+                n, inputs = training_run_inputs()
+                module, prog_args, prog_inputs = (
+                    running_example_module(),
+                    [n],
+                    inputs,
+                )
+            else:
+                with open(t) as f:
+                    module = compile_program(f.read())
+                prog_args, prog_inputs = args.args, _parse_inputs(args.input)
+            results[t] = list(
+                lint_program(
+                    module,
+                    prog_args,
+                    prog_inputs,
+                    ca=args.ca,
+                    cr=args.cr,
+                    engine=args.engine,
+                    workload=t,
+                    dataflow_engine=args.dataflow_engine,
+                    wz_engine=args.wz_engine,
+                    min_mass=args.min_mass,
+                )
+            )
+
+    # Findings in target order (stable regardless of --jobs), each target's
+    # list already ranked by mass.
+    pairs = [(t, d) for t in targets for d in results[t]]
+
+    if args.update_baseline:
+        existing = (
+            Baseline.load(args.baseline)
+            if os.path.exists(args.baseline)
+            else Baseline()
+        )
+        updated = Baseline()
+        for t, d in pairs:
+            fp = finding_fingerprint(t, d)
+            justification = (
+                existing.justification(fp) or args.justification
+            )
+            updated.record(t, d, justification)
+        updated.save(args.baseline)
+        print(
+            f"# baseline updated: {len(updated)} finding(s) -> {args.baseline}",
+            file=sys.stderr,
+        )
+
+    baseline = None
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = Baseline.load(args.baseline)
+    new, suppressed = partition(pairs, baseline)
+
+    if args.sarif:
+        write_sarif(args.sarif, pairs, baseline)
+        print(f"# SARIF written to {args.sarif}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(to_json_payload(pairs, baseline), indent=2))
+    else:
+        print(render_text(pairs, baseline, limit=args.limit))
+
+    code = Diagnostics(d for _, d in new).exit_code(args.fail_on)
+    if args.fail_on_new and new:
+        code = code or 1
+    return code
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -1012,6 +1197,92 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataflow_engine(p)
     _add_wz_engine(p)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="profile-qualified static analyzer: hot-path-ranked LINT "
+        "findings with SARIF export and baseline suppression "
+        "(see docs/ANALYZER.md)",
+    )
+    p.add_argument(
+        "targets",
+        nargs="*",
+        metavar="TARGET",
+        help="workload/handwritten/preset names, gen:k=v,... specs, "
+        "'running_example', or MiniC files (default: all registered "
+        "workloads)",
+    )
+    p.add_argument("--args", type=int, nargs="*", default=[],
+                   help="program arguments for MiniC file targets")
+    p.add_argument("--input", action="append", default=[],
+                   metavar="NAME=V1,V2",
+                   help="input arrays for MiniC file targets")
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--min-mass",
+        type=float,
+        default=0.5,
+        help="drop path findings whose supporting profile-mass fraction "
+        "is below this threshold (default: %(default)s)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine for the profiling runs",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache (findings are cached under the "
+        "analyzer configuration)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width over named targets (1 = serial)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--sarif", metavar="FILE", help="also write a SARIF 2.1.0 log"
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="content-addressed baseline of accepted findings "
+        "(suppresses known findings; see --fail-on-new)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline to accept every current finding "
+        "(existing justifications are preserved)",
+    )
+    p.add_argument(
+        "--justification",
+        default="accepted at baseline update",
+        help="justification recorded for newly baselined findings",
+    )
+    p.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help="exit non-zero when any finding is not in the baseline",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="never",
+        help="lowest severity of *new* findings that makes the exit code "
+        "non-zero (default: %(default)s)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None,
+        help="show at most this many findings in the text report",
+    )
+    _add_trace_out(p)
+    _add_dataflow_engine(p)
+    _add_wz_engine(p)
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

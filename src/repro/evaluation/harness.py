@@ -163,6 +163,7 @@ class WorkloadRun:
         self._classified: dict[
             tuple[float, float], dict[str, ConstantClassification]
         ] = {}
+        self._lint: dict[tuple[float, float, float], tuple] = {}
 
     @property
     def timings(self) -> dict[str, float]:
@@ -233,6 +234,47 @@ class WorkloadRun:
                         self.workload.name, self._qualified[key]
                     )
         return self._qualified[key]
+
+    def lint(
+        self,
+        ca: float = DEFAULT_CA,
+        cr: float = DEFAULT_CR,
+        min_mass: Optional[float] = None,
+    ) -> tuple:
+        """Ranked analyzer findings (classic + path lints), cached.
+
+        Subclasses memoize through :meth:`_compute_lint`, whose cache key
+        must include the analyzer configuration (``min_mass`` alongside the
+        coverage parameters and engines)."""
+        from ..analyze.passes import DEFAULT_MIN_MASS
+
+        if min_mass is None:
+            min_mass = DEFAULT_MIN_MASS
+        key = (ca, cr, min_mass)
+        if key not in self._lint:
+            with engine_scope(self.dataflow_engine), wz_engine_scope(
+                self.wz_engine
+            ):
+                with self.tracer.span(
+                    "workload.lint",
+                    workload=self.workload.name,
+                    ca=ca,
+                    cr=cr,
+                    min_mass=min_mass,
+                ) as span:
+                    self._lint[key] = self._compute_lint(ca, cr, min_mass)
+                span.set(findings=len(self._lint[key]))
+        return self._lint[key]
+
+    def _compute_lint(self, ca: float, cr: float, min_mass: float) -> tuple:
+        from ..analyze.runner import compute_findings
+
+        return compute_findings(
+            self.module,
+            self.qualified(ca, cr),
+            min_mass,
+            workload=self.workload.name,
+        )
 
     def classification(
         self, ca: float = DEFAULT_CA, cr: float = DEFAULT_CR

@@ -40,6 +40,7 @@ KIND_MODULE = "module"
 KIND_TRAIN_RUN = "train-run"
 KIND_REF_RUN = "ref-run"
 KIND_QUALIFIED = "qualified"
+KIND_LINT = "lint"
 
 #: The kinds whose recomputation means "we compiled or profiled again".
 COMPILE_PROFILE_KINDS = (KIND_MODULE, KIND_TRAIN_RUN, KIND_REF_RUN)

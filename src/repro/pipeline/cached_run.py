@@ -24,6 +24,7 @@ from ..obs import get_tracer
 from ..profiles.serialize import fingerprint_profiles
 from .cache import (
     ArtifactCache,
+    KIND_LINT,
     KIND_MODULE,
     KIND_QUALIFIED,
     KIND_REF_RUN,
@@ -108,6 +109,28 @@ class CachedWorkloadRun(WorkloadRun):
         )
         return self._memo(
             KIND_QUALIFIED, key, lambda: super(CachedWorkloadRun, self)._compute_qualified(ca, cr)
+        )
+
+    def _compute_lint(self, ca: float, cr: float, min_mass: float) -> tuple:
+        # Analyzer configuration is part of the key: findings (and their
+        # ranking) depend on the mass threshold and, for the analyzer's own
+        # solves, the engines that ran them.
+        key = content_key(
+            "lint",
+            self.workload.source,
+            fingerprint_profiles(self.train.profiles),
+            ca,
+            cr,
+            min_mass,
+            self.dataflow_engine,
+            self.wz_engine,
+        )
+        return self._memo(
+            KIND_LINT,
+            key,
+            lambda: super(CachedWorkloadRun, self)._compute_lint(
+                ca, cr, min_mass
+            ),
         )
 
 

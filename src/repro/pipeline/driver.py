@@ -27,7 +27,7 @@ import concurrent.futures
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
-from ..checks.diagnostics import Diagnostics
+from ..checks.diagnostics import Diagnostic, Diagnostics
 from ..evaluation.harness import CA_SWEEP, DEFAULT_CA, DEFAULT_CR, WorkloadRun
 from ..evaluation.figures import render_series
 from ..evaluation.tables import format_table
@@ -95,6 +95,10 @@ class SweepResult:
     cache_stats: CacheStats = field(default_factory=CacheStats)
     #: Checker findings merged across all jobs (empty unless ``check=True``).
     diagnostics: Diagnostics = field(default_factory=Diagnostics)
+    #: Ranked analyzer findings per workload (empty unless ``lint=True``).
+    #: Each workload's tuple is computed exactly once — in its summary job —
+    #: so the mapping is identical regardless of the pool width.
+    lint_findings: dict[str, tuple[Diagnostic, ...]] = field(default_factory=dict)
 
     # -- renderers ---------------------------------------------------------
 
@@ -334,15 +338,13 @@ def _cell_job(
     check: bool = False,
     dataflow_engine: str = "auto",
     wz_engine: str = "auto",
-) -> tuple[
-    str, float, SweepCell, CacheStats, list[dict],
-    Optional[tuple[list[dict], dict]],
-]:
+) -> tuple:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.cell", workload=name, ca=ca):
         run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
         cell = _cell_from_run(run, ca, cr)
     return (
+        "cell",
         name,
         ca,
         cell,
@@ -361,20 +363,29 @@ def _summary_job(
     check: bool = False,
     dataflow_engine: str = "auto",
     wz_engine: str = "auto",
-) -> tuple[
-    str, WorkloadSummary, CacheStats, list[dict],
-    Optional[tuple[list[dict], dict]],
-]:
+    lint: bool = False,
+    min_mass: Optional[float] = None,
+) -> tuple:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.summary", workload=name):
         run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
         summary = _summary_from_run(run, default_ca, cr)
+        # Analyzer findings ride on the summary job (exactly one per
+        # workload), shipped as dicts across the process boundary; the
+        # parent's mapping is therefore the same for any pool width.
+        lint_dicts = None
+        if lint:
+            lint_dicts = [
+                d.to_dict() for d in run.lint(default_ca, cr, min_mass)
+            ]
     return (
+        "summary",
         name,
         summary,
         _stats_delta(name, cache_dir, run),
         _diag_delta(name, cache_dir, run),
         _obs_delta(active),
+        lint_dicts,
     )
 
 
@@ -427,6 +438,8 @@ class ParallelDriver:
         check: bool = False,
         dataflow_engine: str = "auto",
         wz_engine: str = "auto",
+        lint: bool = False,
+        min_mass: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -440,6 +453,11 @@ class ParallelDriver:
         self.dataflow_engine = dataflow_engine
         #: Wegman-Zadek engine for every job's conditional-constant runs.
         self.wz_engine = wz_engine
+        #: Run the profile-qualified analyzer once per workload
+        #: (SweepResult.lint_findings).
+        self.lint = lint
+        #: Analyzer mass threshold (``None`` = the analyzer default).
+        self.min_mass = min_mass
 
     def sweep(
         self,
@@ -568,6 +586,10 @@ class ParallelDriver:
                 result.summaries[name] = _summary_from_run(
                     run, self.default_ca, self.cr
                 )
+                if self.lint:
+                    result.lint_findings[name] = tuple(
+                        run.lint(self.default_ca, self.cr, self.min_mass)
+                    )
             result.cache_stats.merge(_stats_of(run))
             result.diagnostics.extend(run.checker.diagnostics)
 
@@ -603,17 +625,23 @@ class ParallelDriver:
                     self.check,
                     self.dataflow_engine,
                     self.wz_engine,
+                    self.lint,
+                    self.min_mass,
                 )
                 for name in result.workloads
             ]
             for future in concurrent.futures.as_completed(futures):
                 payload = future.result()
-                if len(payload) == 6:
-                    name, ca, cell, stats, diags, obs_payload = payload
+                if payload[0] == "cell":
+                    _, name, ca, cell, stats, diags, obs_payload = payload
                     result.cells[(name, ca)] = cell
                 else:
-                    name, summary, stats, diags, obs_payload = payload
+                    _, name, summary, stats, diags, obs_payload, lint_dicts = payload
                     result.summaries[name] = summary
+                    if lint_dicts is not None:
+                        result.lint_findings[name] = tuple(
+                            Diagnostic.from_dict(d) for d in lint_dicts
+                        )
                 result.cache_stats.merge(stats)
                 for d in Diagnostics.from_dicts(diags):
                     if d not in seen_diags:

@@ -17,9 +17,11 @@ invocation (see ``docs/SERVICE.md``):
 
 from .api import (
     AnalysisRequest,
+    LintRequest,
     SweepRequest,
     analysis_payload,
     comparable_payload,
+    execute_lint,
     execute_request,
     execute_sweep,
     resolve_workload,
@@ -30,11 +32,13 @@ from .daemon import AnalysisService, make_server
 __all__ = [
     "AnalysisRequest",
     "AnalysisService",
+    "LintRequest",
     "ServiceClient",
     "ServiceError",
     "SweepRequest",
     "analysis_payload",
     "comparable_payload",
+    "execute_lint",
     "execute_request",
     "execute_sweep",
     "make_server",

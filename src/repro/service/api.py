@@ -186,6 +186,131 @@ class AnalysisRequest:
 
 
 @dataclass(frozen=True)
+class LintRequest:
+    """One analyzer submission: the ``/v1/lint`` body.
+
+    Shares the target model of :class:`AnalysisRequest` (named targets or
+    inline MiniC) plus the analyzer knob (``min_mass``).  Findings are
+    deterministic, so the same request produces bit-identical
+    :func:`comparable_payload` values through the daemon and the CLI."""
+
+    target: Optional[str] = None
+    source: Optional[str] = None
+    name: str = "inline"
+    args: tuple[int, ...] = ()
+    inputs: Mapping[str, Sequence[int]] = field(default_factory=dict)
+    ref_args: Optional[tuple[int, ...]] = None
+    ref_inputs: Optional[Mapping[str, Sequence[int]]] = None
+    engine: str = "compiled"
+    dataflow_engine: str = "auto"
+    wz_engine: str = "auto"
+    ca: float = DEFAULT_CA
+    cr: float = DEFAULT_CR
+    #: Drop path findings below this profile-mass fraction.
+    min_mass: float = 0.5
+
+    kind = "lint"
+
+    def __post_init__(self) -> None:
+        if (self.target is None) == (self.source is None):
+            raise ValueError("give exactly one of 'target' or 'source'")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"bad engine {self.engine!r}; choose from {_ENGINES}")
+        if self.dataflow_engine not in DATAFLOW_ENGINES:
+            raise ValueError(
+                f"bad dataflow_engine {self.dataflow_engine!r}; "
+                f"choose from {DATAFLOW_ENGINES}"
+            )
+        if self.wz_engine not in WZ_ENGINES:
+            raise ValueError(
+                f"bad wz_engine {self.wz_engine!r}; choose from {WZ_ENGINES}"
+            )
+        if not 0.0 <= float(self.ca) <= 1.0:
+            raise ValueError(f"ca must be in [0, 1], got {self.ca}")
+        if not 0.0 <= float(self.cr) <= 1.0:
+            raise ValueError(f"cr must be in [0, 1], got {self.cr}")
+        if not 0.0 <= float(self.min_mass) <= 1.0:
+            raise ValueError(
+                f"min_mass must be in [0, 1], got {self.min_mass}"
+            )
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "LintRequest":
+        if not isinstance(d, Mapping):
+            raise ValueError("request body must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        target = d.get("target")
+        source = d.get("source")
+        if target is not None and not isinstance(target, str):
+            raise ValueError("'target' must be a string")
+        if source is not None and not isinstance(source, str):
+            raise ValueError("'source' must be a string")
+        ref_args = d.get("ref_args")
+        ref_inputs = d.get("ref_inputs")
+        return cls(
+            target=target,
+            source=source,
+            name=str(d.get("name", "inline")),
+            args=_int_tuple(d.get("args", ()), "args"),
+            inputs=_inputs_map(d.get("inputs"), "inputs"),
+            ref_args=None if ref_args is None else _int_tuple(ref_args, "ref_args"),
+            ref_inputs=None if ref_inputs is None else _inputs_map(ref_inputs, "ref_inputs"),
+            engine=str(d.get("engine", "compiled")),
+            dataflow_engine=str(d.get("dataflow_engine", "auto")),
+            wz_engine=str(d.get("wz_engine", "auto")),
+            ca=float(d.get("ca", DEFAULT_CA)),
+            cr=float(d.get("cr", DEFAULT_CR)),
+            min_mass=float(d.get("min_mass", 0.5)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "source": self.source,
+            "name": self.name,
+            "args": list(self.args),
+            "inputs": {k: list(v) for k, v in sorted(self.inputs.items())},
+            "ref_args": None if self.ref_args is None else list(self.ref_args),
+            "ref_inputs": (
+                None
+                if self.ref_inputs is None
+                else {k: list(v) for k, v in sorted(self.ref_inputs.items())}
+            ),
+            "engine": self.engine,
+            "dataflow_engine": self.dataflow_engine,
+            "wz_engine": self.wz_engine,
+            "ca": self.ca,
+            "cr": self.cr,
+            "min_mass": self.min_mass,
+        }
+
+    def fingerprint(self) -> str:
+        return content_key("service-lint", self.to_dict())
+
+    def label(self) -> str:
+        return "lint:" + (self.target if self.target is not None else self.name)
+
+    def validate_target(self) -> None:
+        if self.source is not None:
+            if not self.source.strip():
+                raise ValueError("inline 'source' is empty")
+            return
+        from ..workloads.generate import parse_genspec
+        from ..workloads.matrix import TARGET_NAMES
+
+        if self.target.startswith("gen:"):
+            parse_genspec(self.target)
+        elif self.target not in TARGET_NAMES:
+            raise ValueError(
+                f"unknown target {self.target!r}; choose from {TARGET_NAMES} "
+                f"or a gen:key=value,... spec"
+            )
+
+
+@dataclass(frozen=True)
 class SweepRequest:
     """A figure/table coverage sweep, batched onto the
     :class:`~repro.pipeline.driver.ParallelDriver` pool."""
@@ -249,7 +374,7 @@ class SweepRequest:
 # ---------------------------------------------------------------------------
 
 
-def resolve_workload(request: AnalysisRequest) -> Workload:
+def resolve_workload(request: "AnalysisRequest | LintRequest") -> Workload:
     """The request's program as a :class:`Workload` (named targets resolve
     through the matrix registry; inline source becomes an ad-hoc one)."""
     if request.target is not None:
@@ -353,6 +478,47 @@ def execute_request(
         wz_engine=request.wz_engine,
     )
     return analysis_payload(run, request.ca, request.cr, table2=request.table2)
+
+
+def execute_lint(
+    request: LintRequest, cache: Optional[ArtifactCache] = None
+) -> dict:
+    """Run the profile-qualified analyzer for one request.
+
+    Findings come back ranked exactly as ``repro lint`` prints them, so a
+    daemon submission and the direct CLI agree bit-for-bit on everything
+    outside ``timings``."""
+    from ..pipeline.cached_run import make_run
+
+    workload = resolve_workload(request)
+    run = make_run(
+        workload,
+        cache,
+        engine=request.engine,
+        check=False,
+        dataflow_engine=request.dataflow_engine,
+        wz_engine=request.wz_engine,
+    )
+    findings = run.lint(request.ca, request.cr, request.min_mass)
+    from ..checks.diagnostics import Diagnostics
+
+    counts = Diagnostics(list(findings)).counts()
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "kind": "lint",
+        "workload": run.workload.name,
+        "config": {
+            "engine": run.engine,
+            "dataflow_engine": run.dataflow_engine,
+            "wz_engine": run.wz_engine,
+            "ca": request.ca,
+            "cr": request.cr,
+            "min_mass": request.min_mass,
+        },
+        "findings": [d.to_dict() for d in findings],
+        "counts": counts,
+        "timings": {k: round(v, 6) for k, v in run.timings.items()},
+    }
 
 
 def execute_sweep(

@@ -15,7 +15,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Mapping, Optional, Union
 
-from .api import AnalysisRequest, SweepRequest
+from .api import AnalysisRequest, LintRequest, SweepRequest
 
 
 class ServiceError(RuntimeError):
@@ -101,6 +101,12 @@ class ServiceClient:
         body = request.to_dict() if isinstance(request, AnalysisRequest) else dict(request)
         return self._request("POST", "/v1/analyze", body)[2]
 
+    def submit_lint(
+        self, request: Union[LintRequest, Mapping[str, Any]]
+    ) -> dict:
+        body = request.to_dict() if isinstance(request, LintRequest) else dict(request)
+        return self._request("POST", "/v1/lint", body)[2]
+
     def submit_sweep(
         self, request: Union[SweepRequest, Mapping[str, Any]]
     ) -> dict:
@@ -134,6 +140,14 @@ class ServiceClient:
     ) -> dict:
         """Submit-and-wait; returns the analysis result payload."""
         return self.wait(self.submit(request)["job"], timeout)["result"]
+
+    def lint(
+        self,
+        request: Union[LintRequest, Mapping[str, Any]],
+        timeout: float = 300.0,
+    ) -> dict:
+        """Submit-and-wait; returns the ranked-findings lint payload."""
+        return self.wait(self.submit_lint(request)["job"], timeout)["result"]
 
     def sweep(
         self,

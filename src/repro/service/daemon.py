@@ -24,6 +24,7 @@ method    path               meaning
 GET       ``/healthz``       liveness + queue/worker/cache summary
 GET       ``/metrics``       Prometheus text exposition (format 0.0.4)
 POST      ``/v1/analyze``    submit an :class:`AnalysisRequest` → 202 + job
+POST      ``/v1/lint``       submit a :class:`LintRequest` → 202 + job
 POST      ``/v1/sweep``      submit a :class:`SweepRequest` → 202 + job
 GET       ``/v1/jobs``       summaries of every known job
 GET       ``/v1/jobs/<id>``  one job, including its result when done
@@ -51,9 +52,16 @@ from ..obs import (
     request_scope,
 )
 from ..pipeline.cache import ArtifactCache
-from .api import AnalysisRequest, SweepRequest, execute_request, execute_sweep
+from .api import (
+    AnalysisRequest,
+    LintRequest,
+    SweepRequest,
+    execute_lint,
+    execute_request,
+    execute_sweep,
+)
 
-Request = Union[AnalysisRequest, SweepRequest]
+Request = Union[AnalysisRequest, LintRequest, SweepRequest]
 
 #: Job lifecycle states, in order.
 QUEUED, RUNNING, DONE, ERROR = "queued", "running", "done", "error"
@@ -230,6 +238,8 @@ class AnalysisService:
                 ):
                     if isinstance(job.request, AnalysisRequest):
                         job.result = execute_request(job.request, self.cache)
+                    elif isinstance(job.request, LintRequest):
+                        job.result = execute_lint(job.request, self.cache)
                     else:
                         job.result = execute_sweep(job.request, self.cache_dir)
             job.state = DONE
@@ -370,6 +380,8 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/v1/analyze":
             parse = AnalysisRequest.from_dict
+        elif path == "/v1/lint":
+            parse = LintRequest.from_dict
         elif path == "/v1/sweep":
             parse = SweepRequest.from_dict
         else:

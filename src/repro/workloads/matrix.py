@@ -22,7 +22,10 @@ Each cell of the cross product is simultaneously a measurement and a
    the environments, executable edges, and worklist visit counts must all
    match (``wz_parity``);
 4. the pipeline checkers run over every stage and must report no errors
-   (``checks_clean``).
+   (``checks_clean``);
+5. the profile-qualified analyzer (:mod:`repro.analyze`) runs over the
+   cell's qualified results under *both* dataflow engines and must produce
+   identical ranked findings (``lint_parity``).
 
 So the matrix doubles as the largest test surface in the repo: a cell that
 measures a speedup on a 1k-vertex organic graph has, in the same breath,
@@ -231,6 +234,9 @@ class MatrixCell:
     dataflow_mismatches: list = field(default_factory=list)
     wz_parity: bool = False
     wz_mismatches: list = field(default_factory=list)
+    lint_parity: bool = False
+    lint_mismatches: list = field(default_factory=list)
+    lint_findings: int = 0
     checks_errors: int = 0
     checks_warnings: int = 0
     # -- timings (reported, never gated: machine-bound) --
@@ -247,6 +253,7 @@ class MatrixCell:
             self.interp_parity
             and self.dataflow_parity
             and self.wz_parity
+            and self.lint_parity
             and self.checks_clean
         )
 
@@ -266,8 +273,10 @@ def cell_key(workload: Workload, instance: Instance) -> str:
     """Content address of one cell: target program + data + configuration."""
     from ..pipeline.cache import content_key
 
+    # The tag versions the archived cell schema: bumping it retires every
+    # previously archived cell (v2 added the lint-parity stage).
     return content_key(
-        "matrix-cell",
+        "matrix-cell-v2",
         workload.source,
         list(workload.train_args),
         {k: list(v) for k, v in workload.train_inputs.items()},
@@ -339,6 +348,32 @@ def _wz_parity(run, instance: Instance) -> tuple[bool, list]:
     return not mismatches, mismatches
 
 
+def _lint_parity(run, instance: Instance) -> tuple[bool, list, int]:
+    """Run the profile-qualified analyzer over the cell's qualified results
+    under both dataflow solver engines; the ranked findings (codes,
+    locations, messages, masses — everything) must be identical.
+
+    Returns ``(parity, mismatches, finding_count)``."""
+    from ..analyze.runner import findings_under
+
+    qualified = run.qualified(instance.ca, instance.cr)
+    generic = findings_under(
+        run.module, qualified, dataflow_engine="generic",
+        workload=run.workload.name,
+    )
+    compiled = findings_under(
+        run.module, qualified, dataflow_engine="compiled",
+        workload=run.workload.name,
+    )
+    if generic == compiled:
+        return True, [], len(generic)
+    mismatches = [
+        d.location() + ":" + d.code
+        for d in set(generic).symmetric_difference(compiled)
+    ]
+    return False, sorted(mismatches), len(generic)
+
+
 def run_cell(
     target: str,
     instance: Instance,
@@ -366,6 +401,7 @@ def run_cell(
         interp_ok, interp_bad = _interp_parity(run, workload, instance)
         df_ok, df_bad = _dataflow_parity(run, instance)
         wz_ok, wz_bad = _wz_parity(run, instance)
+        lint_ok, lint_bad, lint_count = _lint_parity(run, instance)
         diags = run.checker.diagnostics
         cell = MatrixCell(
             target=target,
@@ -386,6 +422,9 @@ def run_cell(
             dataflow_mismatches=df_bad,
             wz_parity=wz_ok,
             wz_mismatches=wz_bad,
+            lint_parity=lint_ok,
+            lint_mismatches=lint_bad,
+            lint_findings=lint_count,
             checks_errors=len(diags.errors),
             checks_warnings=len(diags.warnings),
             timings={
@@ -505,6 +544,11 @@ class MatrixResult:
                         "ok" if c.interp_parity else "FAIL",
                         "ok" if c.dataflow_parity else "FAIL",
                         "ok" if c.wz_parity else "FAIL",
+                        (
+                            f"{c.lint_findings} ok"
+                            if c.lint_parity
+                            else "FAIL"
+                        ),
                         "clean" if c.checks_clean else f"{c.checks_errors} err",
                     ]
                 )
@@ -521,6 +565,7 @@ class MatrixResult:
                 "interp",
                 "dataflow",
                 "wz",
+                "lint",
                 "checks",
             ],
             rows,

@@ -320,3 +320,211 @@ class TestLintMutations:
         dead = next(d for d in out if d.code == LINT_DEAD_STORE)
         assert dead.function == "f"
         assert dead.block == "entry"
+
+
+# -- path-lint family (LINT005-010) -----------------------------------------
+#
+# Each test seeds exactly one hot-path defect into a common loop scaffold:
+# a routine that reads flag[i] each iteration and branches hot (flag == 0,
+# ~90% of iterations) or cold.  The defect is invisible to the whole-CFG
+# lints — the cold arm keeps every store live, every branch non-constant,
+# every expression non-available — so only the profile-qualified analyzer
+# can catch it, and a path lint that never fires would go unnoticed.
+
+
+def _loop_module(body_builder) -> Module:
+    """The scaffold: ``main(n)`` iterates ``body ... -> latch`` n times.
+
+    ``body_builder(b)`` must emit a block named ``body`` and end every arm
+    with a jump to ``latch``.
+    """
+    from repro.ir import ArrayDecl
+
+    m = Module()
+    m.add_array(ArrayDecl("flag", 256))
+    b = IRBuilder("main", ["n"])
+    b.block("entry")
+    b.assign("i", 0)
+    b.assign("s", 0)
+    b.jump("head")
+    b.block("head")
+    b.binop("more", "lt", "i", "n")
+    b.branch("more", "body", "done")
+    body_builder(b)
+    b.block("latch")
+    b.binop("i", "add", "i", 1)
+    b.jump("head")
+    b.block("done")
+    b.ret("s")
+    m.add_function(b.finish())
+    return m
+
+
+def _path_lint(module, n: int = 64, ca: float = 0.85):
+    """Run the profiled pipeline + full lint battery on the scaffold.
+
+    ``flag`` is 0 (hot) except every tenth slot from 9; ``min_mass=0`` so
+    these tests assert pure *detection* — ranking and thresholds have their
+    own tests in ``tests/test_analyze.py``.
+    """
+    from repro.analyze import lint_program
+
+    flag = [1 if i % 10 == 9 else 0 for i in range(n)]
+    findings = lint_program(
+        module, [n], {"flag": flag}, ca, 0.95, min_mass=0.0
+    )
+    return {d.code for d in findings}, findings
+
+
+class TestPathLintMutations:
+    def test_hot_dead_store(self):
+        from repro.analyze.passes import LINT_HOT_DEAD_STORE
+
+        def body(b):
+            b.block("body")
+            b.binop("x", "mul", "i", 3)  # dead along the hot path
+            b.load("f", "flag", "i")
+            b.branch("f", "use", "skip")
+            b.block("use")  # cold: keeps x live on the CFG
+            b.binop("s", "add", "s", "x")
+            b.jump("redef")
+            b.block("skip")
+            b.jump("redef")
+            b.block("redef")
+            b.binop("x", "add", "i", 1)
+            b.binop("s", "add", "s", "x")
+            b.jump("latch")
+
+        codes, findings = _path_lint(_loop_module(body))
+        assert LINT_DEAD_STORE not in codes  # the cold use hides it from CFG lint
+        assert LINT_HOT_DEAD_STORE in codes
+        d = next(f for f in findings if f.code == LINT_HOT_DEAD_STORE)
+        assert d.block == "body"
+        assert d.fix_hint is not None and d.fix_hint.transform == "dce"
+        assert d.path_evidence is not None and d.path_evidence.mass > 0.5
+
+    def test_hot_constant_branch(self):
+        from repro.analyze.passes import LINT_HOT_CONSTANT_BRANCH
+
+        def body(b):
+            b.block("body")
+            b.assign("c", 1)
+            b.load("f", "flag", "i")
+            b.branch("f", "setc", "skip")
+            b.block("setc")  # cold: makes c non-constant at the merge
+            b.assign("c", 0)
+            b.jump("test")
+            b.block("skip")
+            b.jump("test")
+            b.block("test")
+            b.branch("c", "big", "small")  # constant on the hot copies
+            b.block("big")
+            b.binop("s", "add", "s", 2)
+            b.jump("latch")
+            b.block("small")
+            b.binop("s", "add", "s", 1)
+            b.jump("latch")
+
+        codes, findings = _path_lint(_loop_module(body))
+        assert LINT_CONSTANT_BRANCH not in codes
+        assert LINT_HOT_CONSTANT_BRANCH in codes
+        d = next(f for f in findings if f.code == LINT_HOT_CONSTANT_BRANCH)
+        assert d.block == "test"
+        assert d.fix_hint is not None and d.fix_hint.transform == "straighten"
+
+    def test_hot_redundant_expression(self):
+        from repro.analyze.passes import LINT_HOT_REDUNDANT_EXPR
+
+        def body(b):
+            b.block("body")
+            b.binop("a", "add", "n", 7)
+            b.load("f", "flag", "i")
+            b.branch("f", "cold", "hotc")
+            b.block("hotc")  # hot: computes a * 9 before the merge
+            b.binop("u", "mul", "a", 9)
+            b.binop("s", "add", "s", "u")
+            b.jump("join")
+            b.block("cold")
+            b.binop("s", "add", "s", 1)
+            b.jump("join")
+            b.block("join")
+            b.binop("w", "mul", "a", 9)  # recomputation, hot paths only
+            b.binop("s", "add", "s", "w")
+            b.jump("latch")
+
+        codes, findings = _path_lint(_loop_module(body))
+        assert LINT_HOT_REDUNDANT_EXPR in codes
+        d = next(
+            f
+            for f in findings
+            if f.code == LINT_HOT_REDUNDANT_EXPR and f.block == "join"
+        )
+        assert d.path_evidence is not None and d.path_evidence.sharper
+
+    def test_hot_initialized_use(self):
+        from repro.analyze.passes import LINT_HOT_INITIALIZED
+
+        def body(b):
+            b.block("body")
+            b.load("f", "flag", "i")
+            b.branch("f", "cold", "hotc")
+            b.block("hotc")  # hot: the only arm assigning t
+            b.binop("t", "add", "i", 2)
+            b.jump("join")
+            b.block("cold")
+            b.jump("join")
+            b.block("join")
+            b.binop("s", "add", "s", "t")  # maybe-uninitialized on the CFG
+            b.jump("latch")
+
+        codes, findings = _path_lint(_loop_module(body))
+        assert LINT_USE_BEFORE_DEF not in codes  # the hot def reaches the use
+        assert LINT_HOT_INITIALIZED in codes
+        d = next(f for f in findings if f.code == LINT_HOT_INITIALIZED)
+        assert d.block == "join"
+        from repro.checks import Severity
+
+        assert d.severity == Severity.INFO  # demoted: proven initialized when hot
+
+    def test_hot_copy_propagation(self):
+        from repro.analyze.passes import LINT_HOT_COPY
+
+        def body(b):
+            b.block("body")
+            b.binop("v", "add", "i", 5)
+            b.load("f", "flag", "i")
+            b.branch("f", "cold", "hotc")
+            b.block("hotc")  # hot: y is a pure copy of v
+            b.assign("y", "v")
+            b.jump("join")
+            b.block("cold")
+            b.binop("y", "add", "v", 1)
+            b.jump("join")
+            b.block("join")
+            b.binop("s", "add", "s", "y")  # y replaceable by v when hot
+            b.jump("latch")
+
+        codes, findings = _path_lint(_loop_module(body))
+        assert LINT_HOT_COPY in codes
+        d = next(f for f in findings if f.code == LINT_HOT_COPY)
+        assert d.block == "join"
+        assert d.fix_hint is not None and d.fix_hint.transform == "copy_prop"
+
+    def test_qualified_constant_sharpening(self, example_module):
+        # The paper's own Figure 5: x = a + b in block H is non-constant
+        # under iterative Wegman-Zadek but constant (6/5/4) on each hot
+        # duplicate of H — the flagship LINT010 finding.
+        from repro.analyze import lint_program
+        from repro.analyze.passes import LINT_HOT_CONSTANT_SITE
+        from repro.workloads.running_example import training_run_inputs
+
+        n, inputs = training_run_inputs()
+        findings = lint_program(example_module, [n], inputs, 0.97, 0.95)
+        sites = [f for f in findings if f.code == LINT_HOT_CONSTANT_SITE]
+        assert sites, "LINT010 must fire on the running example"
+        assert any(
+            f.function == "work" and f.block == "H" for f in sites
+        )
+        d = sites[0]
+        assert d.fix_hint is not None and d.fix_hint.transform == "const_fold"
+        assert d.path_evidence is not None and d.path_evidence.sharper

@@ -338,7 +338,11 @@ class TestCheck:
         )
         assert rc == 0
         parsed = json.loads(capsys.readouterr().out)
-        assert set(parsed) == {"diagnostics", "counts"}
+        assert set(parsed) == {"diagnostics", "counts", "timings"}
+        # The timings map aggregates spans by name; the checker's own
+        # passes appear as check.<name> entries among the pipeline spans.
+        assert any(name.startswith("check.") for name in parsed["timings"])
+        assert all(d >= 0.0 for d in parsed["timings"].values())
 
     def test_fail_on_warning(self, capsys):
         # compress95 carries known dead-store lint warnings, so promoting
