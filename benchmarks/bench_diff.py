@@ -91,6 +91,13 @@ def _lint_metrics(data):
     return {"overhead": (data["overhead"], "lower")}
 
 
+def _incremental_metrics(data):
+    """Incremental re-analysis (bench_incremental.py): cold-over-warm
+    wall-clock ratio for a one-function edit on gen-1k; raw seconds are
+    reported in the table only."""
+    return {"warm_speedup": (data["warm_speedup"], "higher")}
+
+
 def _serve_metrics(data):
     """Service daemon (bench_serve.py): the warm-cache amortization factor
     and the concurrent-over-serial throughput ratio are host-transferable;
@@ -110,6 +117,7 @@ TRACKED = {
     "BENCH_check_overhead": _check_metrics,
     "BENCH_serve": _serve_metrics,
     "BENCH_lint": _lint_metrics,
+    "BENCH_incremental": _incremental_metrics,
 }
 
 

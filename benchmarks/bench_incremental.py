@@ -1,0 +1,94 @@
+"""Incremental re-analysis speedup — what a one-function edit costs warm.
+
+The per-function cache keys of :mod:`repro.pipeline.cached_run` exist so
+an edit to one function re-analyzes *only* that function.  This bench
+measures the payoff on the ``gen-1k`` preset (the largest generated corpus
+the CI gate lints): a full cold analysis vs. re-analyzing after the
+deterministic seeded one-function edit against a warm cache.  The
+acceptance gate is a >= 5x warm speedup; ``BENCH_incremental.json`` feeds
+``bench_diff`` so the number is tracked mechanically.
+"""
+
+import time
+
+from repro.evaluation import format_table
+from repro.pipeline import ArtifactCache, edited_workload, make_run
+from repro.workloads.matrix import resolve_target
+
+from conftest import once
+
+TARGET = "gen-1k"
+CA = 0.97
+CR = 0.95
+MIN_MASS = 0.5
+#: Re-analyzing after a one-function edit must beat a cold full analysis
+#: by at least this factor (the ISSUE's acceptance criterion).
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _analyze(workload, cache):
+    """Full pipeline (compile, profile, qualify, lint) of one version."""
+    run = make_run(workload, cache)
+    run.qualified(CA, CR)
+    run.lint(CA, CR, MIN_MASS)
+    return run
+
+
+def compute_bench_incremental():
+    base = resolve_target(TARGET)
+    edited = edited_workload(base)
+    cache = ArtifactCache(None)
+
+    t0 = time.perf_counter()
+    _analyze(base, cache)
+    cold_seconds = time.perf_counter() - t0
+
+    # The edit-to-report path: everything except the edited function's
+    # qualified pipeline and lint is served from the warm cache (the
+    # edited module still recompiles and re-profiles, as an editor would).
+    t0 = time.perf_counter()
+    run = _analyze(edited, cache)
+    warm_seconds = time.perf_counter() - t0
+
+    fn_count = len(run.module.functions)
+    stats = cache.stats
+    return {
+        "target": TARGET,
+        "functions": fn_count,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "warm_qualified_misses": stats.misses.get("qualified", 0) - fn_count,
+        "warm_qualified_hits": stats.hits.get("qualified", 0),
+    }
+
+
+def test_bench_incremental(benchmark, record, record_json):
+    data = once(benchmark, compute_bench_incremental)
+    record(
+        "BENCH_incremental",
+        format_table(
+            ["target", "functions", "cold ms", "warm edit ms", "speedup"],
+            [
+                [
+                    data["target"],
+                    data["functions"],
+                    f"{data['cold_seconds'] * 1000:.1f}",
+                    f"{data['warm_seconds'] * 1000:.1f}",
+                    f"{data['warm_speedup']:.1f}x",
+                ]
+            ],
+            title="One-function edit vs. cold full analysis",
+        ),
+    )
+    record_json("BENCH_incremental", data)
+    # The warm run must have recomputed exactly the edited function.
+    assert data["warm_qualified_misses"] == 1, (
+        f"expected 1 recomputed function, got {data['warm_qualified_misses']}"
+    )
+    assert data["warm_qualified_hits"] == data["functions"] - 1
+    assert data["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"one-function edit on {data['target']} re-analyzes in "
+        f"{data['warm_seconds'] * 1000:.1f} ms vs {data['cold_seconds'] * 1000:.1f} ms cold "
+        f"— {data['warm_speedup']:.1f}x, below the {MIN_WARM_SPEEDUP:.0f}x gate"
+    )

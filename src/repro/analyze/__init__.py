@@ -30,6 +30,7 @@ from .passes import (
 from .report import RULES, render_text, to_json_payload, to_sarif, write_sarif
 from .runner import (
     compute_findings,
+    compute_function_findings,
     findings_under,
     lint_program,
     lint_target,
@@ -46,6 +47,7 @@ __all__ = [
     "RULES",
     "baseline_of",
     "compute_findings",
+    "compute_function_findings",
     "finding_fingerprint",
     "findings_under",
     "lint_program",

@@ -56,6 +56,40 @@ def compute_findings(
     return rank(out.records)
 
 
+def compute_function_findings(
+    fn,
+    qualified_analysis,
+    min_mass: float = DEFAULT_MIN_MASS,
+    workload: str = "program",
+) -> tuple[Diagnostic, ...]:
+    """Analyzer findings for a *single* function.
+
+    Both lint passes are function-local (the classic lints inspect one
+    function at a time; the path lints inspect one routine's qualified
+    analysis at a time), so linting each function separately and
+    re-ranking the concatenation reproduces :func:`compute_findings`
+    exactly — :func:`rank` is a deterministic total order over the same
+    finding multiset.  The incremental pipeline relies on this to cache
+    lint results per function.
+    """
+    from ..ir.function import Module
+
+    solo = Module()
+    solo.add_function(fn)
+    qualified = (
+        {fn.name: qualified_analysis} if qualified_analysis is not None else {}
+    )
+    out = Diagnostics()
+    ctx = CheckContext(
+        workload=workload,
+        stage="lint",
+        module=solo,
+        qualified=qualified,
+    )
+    run_passes((LintPass(), PathLintPass(min_mass)), ctx, out)
+    return rank(out.records)
+
+
 def findings_under(
     module,
     qualified: Mapping[str, object],

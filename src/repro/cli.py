@@ -254,6 +254,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check=args.check,
         dataflow_engine=args.dataflow_engine,
         wz_engine=args.wz_engine,
+        incremental=args.incremental,
     )
     with _trace_capture(args):
         if ca_values is None:
@@ -762,6 +763,57 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .pipeline.cache import ArtifactCache
+    from .pipeline.incremental import render_diff_text
+    from .service.api import DiffRequest, execute_diff
+
+    if _is_named_lint_target(args.old):
+        version = {"target": args.old}
+    else:
+        with open(args.old) as f:
+            version = {
+                "source": f.read(),
+                "name": args.old,
+                "args": tuple(args.args),
+                "inputs": _parse_inputs(args.input),
+            }
+    if args.new is not None:
+        with open(args.new) as f:
+            version["new_source"] = f.read()
+    elif args.seed_edit:
+        version["seed_edit"] = True
+        version["edit_function"] = args.edit_function
+    else:
+        raise SystemExit("diff: give a NEW file or --seed-edit")
+    try:
+        request = DiffRequest(
+            **version,
+            engine=args.engine,
+            dataflow_engine=args.dataflow_engine,
+            wz_engine=args.wz_engine,
+            ca=args.ca,
+            cr=args.cr,
+            min_mass=args.min_mass,
+            check=args.check,
+        )
+        request.validate_target()
+    except ValueError as exc:
+        raise SystemExit(f"diff: {exc}")
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    with _trace_capture(args):
+        payload = execute_diff(request, cache)
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_diff_text(payload["report"] | {"timings": payload["timings"]}))
+    if args.fail_on_new and payload["report"]["findings"]["new"]:
+        return 1
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -980,6 +1032,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify every pipeline stage in every job "
         "(exit 2 on error findings)",
+    )
+    p.add_argument(
+        "--incremental",
+        action="store_true",
+        help="memoize whole sweep cells by module fingerprint: after an "
+        "edit, only cells whose workload changed re-run (warm cells skip "
+        "checker re-runs)",
     )
     _add_trace_out(p)
     _add_dataflow_engine(p)
@@ -1283,6 +1342,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataflow_engine(p)
     _add_wz_engine(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "diff",
+        help="incremental re-analysis of an edit: per-function "
+        "hit/recompute ledger plus new/fixed/unchanged findings "
+        "(see docs/INCREMENTAL.md)",
+    )
+    p.add_argument(
+        "old",
+        metavar="OLD",
+        help="old version: a named target (workload/preset/gen:spec) "
+        "or a MiniC file",
+    )
+    p.add_argument(
+        "new",
+        nargs="?",
+        metavar="NEW",
+        help="new version: a MiniC file (omit with --seed-edit)",
+    )
+    p.add_argument(
+        "--seed-edit",
+        action="store_true",
+        help="derive the new version by injecting a deterministic "
+        "one-function edit into the old source (benchmark/smoke mode)",
+    )
+    p.add_argument(
+        "--edit-function",
+        metavar="NAME",
+        help="function the seeded edit targets (default: the first)",
+    )
+    p.add_argument("--args", type=int, nargs="*", default=[],
+                   help="program arguments for MiniC file targets")
+    p.add_argument("--input", action="append", default=[],
+                   metavar="NAME=V1,V2",
+                   help="input arrays for MiniC file targets")
+    p.add_argument("--ca", type=float, default=0.97)
+    p.add_argument("--cr", type=float, default=0.95)
+    p.add_argument(
+        "--min-mass",
+        type=float,
+        default=0.5,
+        help="analyzer mass threshold (default: %(default)s)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("reference", "compiled"),
+        default="compiled",
+        help="execution engine for the profiling runs",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent artifact cache shared between the two versions "
+        "(and with earlier runs)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="run the pipeline checkers on both versions and diff their "
+        "diagnostics",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help="exit 1 when the edit introduces any new lint finding",
+    )
+    _add_trace_out(p)
+    _add_dataflow_engine(p)
+    _add_wz_engine(p)
+    p.set_defaults(func=cmd_diff)
 
     return parser
 

@@ -1,6 +1,12 @@
 """MiniC front end: lexer, parser, semantic checks, and lowering to IR."""
 
 from .ast_nodes import Program
+from .fingerprint import (
+    changed_functions,
+    function_fingerprint,
+    function_fingerprints,
+    module_fingerprint,
+)
 from .lexer import MiniCError, Token, tokenize
 from .lower import compile_program, lower_program
 from .parser import parse_program
@@ -8,9 +14,13 @@ from .sema import BUILTIN_ARITY, check_program
 
 __all__ = [
     "BUILTIN_ARITY",
+    "changed_functions",
     "check_program",
     "compile_program",
+    "function_fingerprint",
+    "function_fingerprints",
     "lower_program",
+    "module_fingerprint",
     "MiniCError",
     "parse_program",
     "Program",

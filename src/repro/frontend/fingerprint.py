@@ -1,0 +1,103 @@
+"""Stable per-function fingerprints over lowered IR.
+
+The incremental layer (``repro.pipeline.incremental``) needs to answer
+"which functions did this edit actually change?" without diffing source
+text — source diffs over-approximate (whitespace, comments, reordering)
+and under-approximate nothing.  Lowering is per-function and
+deterministic, so the canonical textual IR of each function
+(``str(Function)``, the same rendering ``repro.ir.text`` round-trips) is
+a faithful identity: two sources lower a function to the same IR text iff
+the analyses see the same function.
+
+Consequences the tests pin down:
+
+* whitespace/comment-only source edits keep every fingerprint;
+* an edit inside ``f`` changes only ``f``'s fingerprint (lowering never
+  looks across function boundaries);
+* renaming a function changes its fingerprint (the name heads the IR text
+  and is part of the analysis identity — profiles key on it).
+
+The *module* fingerprint folds in the global array declarations plus every
+function fingerprint, name-sorted, so it identifies the program's complete
+executable content while staying insensitive to declaration order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..ir.function import Function, Module
+
+#: Bump when the fingerprint recipe changes (feeds cache keys, so a bump
+#: simply re-keys — never mis-shares — cached artifacts).
+FINGERPRINT_VERSION = 1
+
+_PREFIX = f"repro-fn-fp-v{FINGERPRINT_VERSION}".encode()
+
+
+def function_fingerprint(fn: Function) -> str:
+    """SHA-256 of one function's canonical textual IR."""
+    h = hashlib.sha256()
+    h.update(_PREFIX)
+    h.update(b"\x00")
+    h.update(str(fn).encode())
+    return h.hexdigest()
+
+
+def function_fingerprints(module: Module) -> dict[str, str]:
+    """Per-function fingerprints of a compiled module, in function order."""
+    return {
+        name: function_fingerprint(fn)
+        for name, fn in module.functions.items()
+    }
+
+
+def module_fingerprint(module: Module) -> str:
+    """Content digest of a module's arrays + functions (order-insensitive).
+
+    This is what whole-program artifacts (profiling runs, sweep cells) key
+    on: it changes exactly when some function's IR or some global array
+    declaration changes — not when the source is reformatted.
+    """
+    h = hashlib.sha256()
+    h.update(_PREFIX)
+    for name in sorted(module.arrays):
+        decl = module.arrays[name]
+        h.update(b"\x00array\x00")
+        h.update(
+            f"{decl.name} {decl.size} {','.join(map(str, decl.init))}".encode()
+        )
+    for name, fp in sorted(function_fingerprints(module).items()):
+        h.update(b"\x00func\x00")
+        h.update(f"{name} {fp}".encode())
+    return h.hexdigest()
+
+
+def changed_functions(
+    old: Module, new: Module
+) -> tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...], tuple[str, ...]]:
+    """Partition function names into (changed, added, removed, unchanged).
+
+    All four tuples are name-sorted; "changed" means present in both
+    modules with different fingerprints.
+    """
+    old_fps = function_fingerprints(old)
+    new_fps = function_fingerprints(new)
+    changed = tuple(
+        sorted(n for n in old_fps if n in new_fps and old_fps[n] != new_fps[n])
+    )
+    added = tuple(sorted(set(new_fps) - set(old_fps)))
+    removed = tuple(sorted(set(old_fps) - set(new_fps)))
+    unchanged = tuple(
+        sorted(n for n in old_fps if new_fps.get(n) == old_fps[n])
+    )
+    return changed, added, removed, unchanged
+
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "changed_functions",
+    "function_fingerprint",
+    "function_fingerprints",
+    "module_fingerprint",
+]

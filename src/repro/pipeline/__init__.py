@@ -2,24 +2,44 @@
 
 The production-facing layer over the evaluation harness: a content-addressed
 :class:`ArtifactCache` that memoizes compiled modules, profiling runs, and
-qualified-analysis bundles across coverage sweeps / processes / sessions,
-and a :class:`ParallelDriver` that fans workload × coverage jobs over a
-process pool with a deterministic serial fallback.  See ``docs/PIPELINE.md``.
+per-function qualified/lint artifacts across coverage sweeps / processes /
+sessions, a :class:`ParallelDriver` that fans workload × coverage jobs over
+a process pool with a deterministic serial fallback, and an
+:class:`IncrementalSession` that re-analyzes only the functions a source
+edit touched and reports the differences.  See ``docs/PIPELINE.md`` and
+``docs/INCREMENTAL.md``.
 """
 
 from .cache import (
     ArtifactCache,
     CacheStats,
     COMPILE_PROFILE_KINDS,
+    DEFAULT_MEMORY_ENTRIES,
+    KIND_LINT,
     KIND_MODULE,
     KIND_QUALIFIED,
     KIND_REF_RUN,
+    KIND_SWEEP_CELL,
+    KIND_SWEEP_SUMMARY,
     KIND_TRAIN_RUN,
     SCHEMA_VERSION,
     content_key,
 )
-from .cached_run import CachedWorkloadRun, make_run
+from .cached_run import (
+    CachedWorkloadRun,
+    lint_function_key,
+    make_run,
+    qualified_function_key,
+)
 from .driver import ParallelDriver, SweepCell, SweepResult, WorkloadSummary
+from .incremental import (
+    DIFF_SCHEMA,
+    IncrementalSession,
+    diff_workloads,
+    edited_workload,
+    render_diff_text,
+    seeded_edit,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -27,13 +47,25 @@ __all__ = [
     "CachedWorkloadRun",
     "COMPILE_PROFILE_KINDS",
     "content_key",
+    "DEFAULT_MEMORY_ENTRIES",
+    "DIFF_SCHEMA",
+    "diff_workloads",
+    "edited_workload",
+    "IncrementalSession",
+    "KIND_LINT",
     "KIND_MODULE",
     "KIND_QUALIFIED",
     "KIND_REF_RUN",
+    "KIND_SWEEP_CELL",
+    "KIND_SWEEP_SUMMARY",
     "KIND_TRAIN_RUN",
+    "lint_function_key",
     "make_run",
     "ParallelDriver",
+    "qualified_function_key",
+    "render_diff_text",
     "SCHEMA_VERSION",
+    "seeded_edit",
     "SweepCell",
     "SweepResult",
     "WorkloadSummary",

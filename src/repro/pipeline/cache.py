@@ -11,8 +11,8 @@ coverage sweeps, across processes of a parallel run, and across sessions.
 Keys are SHA-256 over a canonical JSON rendering of the key parts plus a
 schema version; bumping :data:`SCHEMA_VERSION` invalidates every persisted
 artifact at once (the invalidation story is documented in
-``docs/PIPELINE.md``).  Values are stored in a two-level hierarchy: an
-in-process dictionary in front of an optional on-disk store
+``docs/PIPELINE.md``).  Values are stored in a two-level hierarchy: a
+bounded in-process LRU in front of an optional on-disk store
 (``<root>/<kind>/<hash>.pkl``, written atomically via a temp file +
 ``os.replace`` so concurrent workers never observe partial artifacts).
 """
@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import pickle
 import tempfile
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Optional, Union
@@ -32,7 +34,9 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Union
 from ..obs import get_metrics, get_tracer
 
 #: Bump to invalidate all persisted artifacts (e.g. on IR format changes).
-SCHEMA_VERSION = 1
+#: v2: per-function qualified/lint artifacts, IR-fingerprint run keys, and
+#: tagged canonicalization of bytes / non-finite floats in ``content_key``.
+SCHEMA_VERSION = 2
 
 #: Artifact kinds the pipeline stores; each gets its own subdirectory and
 #: its own row in the hit/miss statistics.
@@ -41,18 +45,39 @@ KIND_TRAIN_RUN = "train-run"
 KIND_REF_RUN = "ref-run"
 KIND_QUALIFIED = "qualified"
 KIND_LINT = "lint"
+KIND_SWEEP_CELL = "sweep-cell"
+KIND_SWEEP_SUMMARY = "sweep-summary"
 
 #: The kinds whose recomputation means "we compiled or profiled again".
 COMPILE_PROFILE_KINDS = (KIND_MODULE, KIND_TRAIN_RUN, KIND_REF_RUN)
 
+#: Default bound on in-memory entries per :class:`ArtifactCache`.  Long
+#: sweeps touch thousands of per-function artifacts; without a cap the
+#: memory layer would pin every one of them live for the process lifetime.
+DEFAULT_MEMORY_ENTRIES = 512
+
 
 def _canonical(part: Any) -> Any:
-    """Reduce a key part to canonically-JSON-serializable data."""
+    """Reduce a key part to canonically-JSON-serializable data.
+
+    Bytes and non-finite floats get *tagged* encodings (single-key mappings
+    ``{"__bytes__": hex}`` / ``{"__float__": "nan"|"inf"|"-inf"}``) instead
+    of falling through to ``repr`` or to JSON's non-standard ``NaN`` token —
+    both of which would silently produce keys that other JSON parsers (or
+    future selves) disagree about.  Finite numbers, strings, and containers
+    keep their plain canonical form, so existing keys are unaffected.
+    """
     if isinstance(part, Mapping):
         return {str(k): _canonical(v) for k, v in sorted(part.items(), key=lambda kv: str(kv[0]))}
     if isinstance(part, (list, tuple)):
         return [_canonical(v) for v in part]
-    if isinstance(part, (str, int, float, bool)) or part is None:
+    if isinstance(part, float) and not isinstance(part, bool):
+        if math.isfinite(part):
+            return part
+        return {"__float__": repr(part)}
+    if isinstance(part, bytes):
+        return {"__bytes__": part.hex()}
+    if isinstance(part, (str, int, bool)) or part is None:
         return part
     return repr(part)
 
@@ -65,7 +90,10 @@ def content_key(*parts: Any) -> str:
         h.update(b"\x00")
         h.update(
             json.dumps(
-                _canonical(part), sort_keys=True, separators=(",", ":")
+                _canonical(part),
+                sort_keys=True,
+                separators=(",", ":"),
+                allow_nan=False,
             ).encode()
         )
     return h.hexdigest()
@@ -86,6 +114,13 @@ class CacheStats:
     #: Artifacts found on disk but unreadable (truncated/stale pickles);
     #: each one was silently treated as a miss and recomputed.
     corrupt: dict[str, int] = field(default_factory=dict)
+    #: Entries dropped from the bounded in-memory layer (LRU).  A disk-backed
+    #: cache reloads them on the next lookup; a purely in-memory cache
+    #: recomputes.
+    evictions: dict[str, int] = field(default_factory=dict)
+
+    #: Counter dicts, for the bulk merge/copy/diff operations below.
+    _COUNTERS = ("hits", "misses", "stores", "corrupt", "evictions")
 
     def record_hit(self, kind: str) -> None:
         self.hits[kind] = self.hits.get(kind, 0) + 1
@@ -98,6 +133,9 @@ class CacheStats:
 
     def record_corrupt(self, kind: str) -> None:
         self.corrupt[kind] = self.corrupt.get(kind, 0) + 1
+
+    def record_eviction(self, kind: str) -> None:
+        self.evictions[kind] = self.evictions.get(kind, 0) + 1
 
     def computations(self, kinds: Iterable[str]) -> int:
         """How many times the computations behind ``kinds`` actually ran."""
@@ -113,27 +151,20 @@ class CacheStats:
 
     def merge(self, other: "CacheStats") -> None:
         """Fold another stats object (e.g. from a worker process) into this."""
-        for kind, n in other.hits.items():
-            self.hits[kind] = self.hits.get(kind, 0) + n
-        for kind, n in other.misses.items():
-            self.misses[kind] = self.misses.get(kind, 0) + n
-        for kind, n in other.stores.items():
-            self.stores[kind] = self.stores.get(kind, 0) + n
-        for kind, n in other.corrupt.items():
-            self.corrupt[kind] = self.corrupt.get(kind, 0) + n
+        for field_name in self._COUNTERS:
+            mine = getattr(self, field_name)
+            for kind, n in getattr(other, field_name).items():
+                mine[kind] = mine.get(kind, 0) + n
 
     def copy(self) -> "CacheStats":
         return CacheStats(
-            dict(self.hits),
-            dict(self.misses),
-            dict(self.stores),
-            dict(self.corrupt),
+            **{name: dict(getattr(self, name)) for name in self._COUNTERS}
         )
 
     def diff(self, earlier: "CacheStats") -> "CacheStats":
         """Counts accumulated since ``earlier`` (a previous :meth:`copy`)."""
         out = CacheStats()
-        for field_name in ("hits", "misses", "stores", "corrupt"):
+        for field_name in self._COUNTERS:
             mine = getattr(self, field_name)
             theirs = getattr(earlier, field_name)
             target = getattr(out, field_name)
@@ -153,6 +184,8 @@ class CacheStats:
             )
             if self.corrupt.get(kind):
                 part += f" / {self.corrupt[kind]} corrupt"
+            if self.evictions.get(kind):
+                part += f" / {self.evictions[kind]} evicted"
             parts.append(part)
         return "; ".join(parts) if parts else "empty"
 
@@ -174,16 +207,43 @@ class ArtifactCache:
     equals the number of times the computation actually ran).
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        memory_entries: Optional[int] = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        if memory_entries is not None and memory_entries < 1:
+            raise ValueError(
+                f"memory_entries must be >= 1 or None, got {memory_entries}"
+            )
         self.root: Optional[Path] = Path(root) if root is not None else None
+        #: LRU bound on the memory layer (``None`` = unbounded).  Evicted
+        #: entries reload from disk when a root is configured; a purely
+        #: in-memory cache recomputes them, so keep the cap generous.
+        self.memory_entries = memory_entries
         self.stats = CacheStats()
-        self._memory: dict[tuple[str, str], Any] = {}
+        self._memory: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
         self._lock = threading.Lock()
         #: In-flight computations, keyed like ``_memory``; followers wait on
         #: the leader's event instead of recomputing.
         self._inflight: dict[tuple[str, str], threading.Event] = {}
 
     # -- core protocol -----------------------------------------------------
+
+    def _memory_put(self, mem_key: tuple[str, str], value: Any) -> None:
+        """Insert into the LRU memory layer; caller holds ``_lock``.
+
+        Eviction never touches ``_inflight``: single-flight followers wait
+        on the leader's event regardless of what the LRU drops.
+        """
+        self._memory[mem_key] = value
+        self._memory.move_to_end(mem_key)
+        if self.memory_entries is None:
+            return
+        while len(self._memory) > self.memory_entries:
+            (evicted_kind, _), _ = self._memory.popitem(last=False)
+            self.stats.record_eviction(evicted_kind)
+            get_metrics().counter("cache_evictions", kind=evicted_kind).inc()
 
     def memo(self, kind: str, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached artifact for ``(kind, key)``, computing on miss."""
@@ -194,6 +254,7 @@ class ArtifactCache:
                 if mem_key in self._memory:
                     self.stats.record_hit(kind)
                     value = self._memory[mem_key]
+                    self._memory.move_to_end(mem_key)
                     hit_level = "memory"
                     break
                 event = self._inflight.get(mem_key)
@@ -211,7 +272,7 @@ class ArtifactCache:
                 if value is not None:
                     with self._lock:
                         self.stats.record_hit(kind)
-                        self._memory[mem_key] = value
+                        self._memory_put(mem_key, value)
                     metrics.counter("cache_hits", kind=kind, level="disk").inc()
                     return value
                 with self._lock:
@@ -219,7 +280,7 @@ class ArtifactCache:
                 metrics.counter("cache_misses", kind=kind).inc()
                 value = compute()
                 with self._lock:
-                    self._memory[mem_key] = value
+                    self._memory_put(mem_key, value)
                 self._store(kind, key, value)
                 return value
             finally:

@@ -4,24 +4,29 @@ cache.
 Key derivation (see ``docs/PIPELINE.md`` for the full rules):
 
 * compiled module — hash of the MiniC source text alone;
-* train / ref profiling runs — hash of (source, args, input arrays), so a
-  new data set re-profiles but a new coverage level does not;
-* qualified pipelines — hash of (source, canonical *profile fingerprint*,
-  CA, CR): the derived artifacts depend on the training profile's content,
-  not on how it was collected, so any run reproducing the same profile
-  shares the automata and hot-path graphs.
+* train / ref profiling runs — hash of (*module fingerprint*, args, input
+  arrays): the module fingerprint digests the lowered IR, so a
+  whitespace-only edit recompiles (cheap) but does not re-profile, while a
+  new data set re-profiles and a new coverage level does not;
+* qualified pipelines and lint — **per function**: each function's
+  artifact is keyed by (function fingerprint, that routine's *profile
+  fingerprint*, CA, CR, engines).  Qualification and lint are
+  function-local computations, so an edit to ``f`` leaves ``g``'s
+  automata, hot-path graphs, qualified dataflow, and findings as warm
+  hits — this is what makes :mod:`repro.pipeline.incremental` cheap.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..core.qualified import QualifiedAnalysis
 from ..evaluation.harness import Workload, WorkloadRun
+from ..frontend.fingerprint import function_fingerprints, module_fingerprint
 from ..interp.interpreter import RunResult
 from ..ir.function import Module
 from ..obs import get_tracer
-from ..profiles.serialize import fingerprint_profiles
+from ..profiles.serialize import fingerprint_profile
 from .cache import (
     ArtifactCache,
     KIND_LINT,
@@ -35,6 +40,58 @@ from .cache import (
 
 def _inputs_part(inputs: Mapping[str, Sequence[int]]) -> dict[str, list[int]]:
     return {name: list(values) for name, values in inputs.items()}
+
+
+def qualified_function_key(
+    fn_fingerprint: str,
+    profile_fingerprint: str,
+    ca: float,
+    cr: float,
+    dataflow_engine: str,
+    wz_engine: str,
+) -> str:
+    """Cache key of one function's qualified pipeline artifact.
+
+    Exposed (rather than inlined in :class:`CachedWorkloadRun`) so the
+    incremental session can probe hit/miss per function before running.
+    """
+    # The dataflow and WZ engines are part of the key: the engines prove
+    # equal solutions, but a cached artifact should always be reproducible
+    # by the exact configuration that produced it.
+    return content_key(
+        "qualified-fn",
+        fn_fingerprint,
+        profile_fingerprint,
+        ca,
+        cr,
+        dataflow_engine,
+        wz_engine,
+    )
+
+
+def lint_function_key(
+    fn_fingerprint: str,
+    profile_fingerprint: str,
+    ca: float,
+    cr: float,
+    min_mass: float,
+    dataflow_engine: str,
+    wz_engine: str,
+) -> str:
+    """Cache key of one function's ranked lint findings."""
+    # Analyzer configuration is part of the key: findings (and their
+    # ranking) depend on the mass threshold and, for the analyzer's own
+    # solves, the engines that ran them.
+    return content_key(
+        "lint-fn",
+        fn_fingerprint,
+        profile_fingerprint,
+        ca,
+        cr,
+        min_mass,
+        dataflow_engine,
+        wz_engine,
+    )
 
 
 class CachedWorkloadRun(WorkloadRun):
@@ -55,6 +112,9 @@ class CachedWorkloadRun(WorkloadRun):
         wz_engine: str = "auto",
     ) -> None:
         self.cache = cache
+        self._fn_fingerprints: Optional[dict[str, str]] = None
+        self._module_fingerprint: Optional[str] = None
+        self._profile_fingerprints: dict[str, str] = {}
         super().__init__(
             workload,
             engine=engine,
@@ -62,6 +122,28 @@ class CachedWorkloadRun(WorkloadRun):
             dataflow_engine=dataflow_engine,
             wz_engine=wz_engine,
         )
+
+    # -- fingerprints ------------------------------------------------------
+
+    def function_fingerprints(self) -> dict[str, str]:
+        """Per-function IR fingerprints of the compiled module, memoized."""
+        if self._fn_fingerprints is None:
+            self._fn_fingerprints = function_fingerprints(self.module)
+        return self._fn_fingerprints
+
+    def module_fingerprint(self) -> str:
+        """The whole-module IR fingerprint, memoized."""
+        if self._module_fingerprint is None:
+            self._module_fingerprint = module_fingerprint(self.module)
+        return self._module_fingerprint
+
+    def profile_fingerprint(self, fn_name: str) -> str:
+        """Content digest of one routine's training profile, memoized."""
+        if fn_name not in self._profile_fingerprints:
+            self._profile_fingerprints[fn_name] = fingerprint_profile(
+                self.train_profile(fn_name)
+            )
+        return self._profile_fingerprints[fn_name]
 
     # -- pipeline steps, memoized -----------------------------------------
 
@@ -81,57 +163,89 @@ class CachedWorkloadRun(WorkloadRun):
     def _run_train(self) -> RunResult:
         w = self.workload
         key = content_key(
-            "train", w.source, list(w.train_args), _inputs_part(w.train_inputs)
+            "train",
+            self.module_fingerprint(),
+            list(w.train_args),
+            _inputs_part(w.train_inputs),
         )
         return self._memo(KIND_TRAIN_RUN, key, super()._run_train)
 
     def _run_ref(self) -> RunResult:
         w = self.workload
         key = content_key(
-            "ref", w.source, list(w.ref_args), _inputs_part(w.ref_inputs)
+            "ref",
+            self.module_fingerprint(),
+            list(w.ref_args),
+            _inputs_part(w.ref_inputs),
         )
         return self._memo(KIND_REF_RUN, key, super()._run_ref)
 
     def _compute_qualified(
         self, ca: float, cr: float
     ) -> dict[str, QualifiedAnalysis]:
-        # The dataflow and WZ engines are part of the key: the engines prove
-        # equal solutions, but a cached artifact should always be
-        # reproducible by the exact configuration that produced it.
-        key = content_key(
-            "qualified",
-            self.workload.source,
-            fingerprint_profiles(self.train.profiles),
-            ca,
-            cr,
-            self.dataflow_engine,
-            self.wz_engine,
-        )
-        return self._memo(
-            KIND_QUALIFIED, key, lambda: super(CachedWorkloadRun, self)._compute_qualified(ca, cr)
-        )
+        # One cache entry *per function*: each routine's pipeline depends
+        # only on its own IR and its own training profile, so edits to other
+        # functions leave it warm.
+        from ..core.qualified import run_qualified
+
+        fps = self.function_fingerprints()
+        out: dict[str, QualifiedAnalysis] = {}
+        for name, fn in self.module.functions.items():
+            key = qualified_function_key(
+                fps[name],
+                self.profile_fingerprint(name),
+                ca,
+                cr,
+                self.dataflow_engine,
+                self.wz_engine,
+            )
+            out[name] = self._memo(
+                KIND_QUALIFIED,
+                key,
+                lambda fn=fn, name=name: run_qualified(
+                    fn,
+                    self.train_profile(name),
+                    ca,
+                    cr,
+                    wz_engine=self.wz_engine,
+                ),
+            )
+        return out
 
     def _compute_lint(self, ca: float, cr: float, min_mass: float) -> tuple:
-        # Analyzer configuration is part of the key: findings (and their
-        # ranking) depend on the mass threshold and, for the analyzer's own
-        # solves, the engines that ran them.
-        key = content_key(
-            "lint",
-            self.workload.source,
-            fingerprint_profiles(self.train.profiles),
-            ca,
-            cr,
-            min_mass,
-            self.dataflow_engine,
-            self.wz_engine,
-        )
-        return self._memo(
-            KIND_LINT,
-            key,
-            lambda: super(CachedWorkloadRun, self)._compute_lint(
-                ca, cr, min_mass
-            ),
-        )
+        # Lint is function-local too (both lint passes inspect one function
+        # / one routine's qualified analysis at a time), so findings are
+        # cached per function and the module result is the re-ranked
+        # concatenation — identical to a whole-module lint because
+        # ``rank`` is a deterministic total order over the same multiset.
+        from ..analyze.runner import compute_function_findings, rank
+
+        qualified = self.qualified(ca, cr)
+        fps = self.function_fingerprints()
+        findings = []
+        for name, fn in self.module.functions.items():
+            key = lint_function_key(
+                fps[name],
+                self.profile_fingerprint(name),
+                ca,
+                cr,
+                min_mass,
+                self.dataflow_engine,
+                self.wz_engine,
+            )
+            findings.extend(
+                self._memo(
+                    KIND_LINT,
+                    key,
+                    lambda fn=fn, name=name: compute_function_findings(
+                        fn,
+                        qualified.get(name),
+                        min_mass,
+                        workload=self.workload.name,
+                    ),
+                )
+            )
+        return rank(findings)
 
 
 def make_run(

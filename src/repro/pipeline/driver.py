@@ -42,7 +42,14 @@ from ..obs import (
     set_tracer,
 )
 from ..workloads import WORKLOAD_NAMES, get_workload
-from .cache import ArtifactCache, CacheStats
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    KIND_MODULE,
+    KIND_SWEEP_CELL,
+    KIND_SWEEP_SUMMARY,
+    content_key,
+)
 from .cached_run import make_run
 
 
@@ -210,6 +217,20 @@ class SweepResult:
 #: and profiled a workload serves its remaining coverage jobs from memory.
 _RUN_TABLE: dict[tuple[str, Optional[str], bool, str, str], WorkloadRun] = {}
 
+#: Per-process shared caches for incremental sweeps, one per
+#: (workload, cache_dir), so cell/summary memos and any runs they build
+#: count into a single stats stream.
+_CACHE_TABLE: dict[tuple[str, Optional[str]], ArtifactCache] = {}
+
+
+def _obtain_cache(name: str, cache_dir: Optional[str]) -> ArtifactCache:
+    key = (name, cache_dir)
+    cache = _CACHE_TABLE.get(key)
+    if cache is None:
+        cache = ArtifactCache(cache_dir)
+        _CACHE_TABLE[key] = cache
+    return cache
+
 
 def _obtain_run(
     name: str,
@@ -217,13 +238,15 @@ def _obtain_run(
     check: bool = False,
     dataflow_engine: str = "auto",
     wz_engine: str = "auto",
+    incremental: bool = False,
 ) -> WorkloadRun:
     key = (name, cache_dir, check, dataflow_engine, wz_engine)
     run = _RUN_TABLE.get(key)
     if run is None:
+        store = _obtain_cache(name, cache_dir) if incremental else cache_dir
         run = make_run(
             get_workload(name),
-            cache_dir,
+            store,
             check=check,
             dataflow_engine=dataflow_engine,
             wz_engine=wz_engine,
@@ -308,9 +331,10 @@ def _obs_delta(active: bool) -> Optional[tuple[list[dict], dict]]:
 _REPORTED: dict[tuple[str, Optional[str]], CacheStats] = {}
 
 
-def _stats_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> CacheStats:
+def _stats_delta(
+    name: str, cache_dir: Optional[str], current: CacheStats
+) -> CacheStats:
     key = (name, cache_dir)
-    current = _stats_of(run)
     delta = current.diff(_REPORTED.get(key, CacheStats()))
     _REPORTED[key] = current.copy()
     return delta
@@ -321,12 +345,133 @@ def _stats_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> Cache
 _DIAG_REPORTED: dict[tuple[str, Optional[str]], int] = {}
 
 
-def _diag_delta(name: str, cache_dir: Optional[str], run: WorkloadRun) -> list[dict]:
+def _diag_delta(
+    name: str, cache_dir: Optional[str], run: Optional[WorkloadRun]
+) -> list[dict]:
+    if run is None:
+        # Incremental sweeps serve warm cells without ever building the
+        # run, so there is no checker to report from (see INCREMENTAL.md).
+        return []
     key = (name, cache_dir)
     records = run.checker.diagnostics.records
     start = _DIAG_REPORTED.get(key, 0)
     _DIAG_REPORTED[key] = len(records)
     return [d.to_dict() for d in records[start:]]
+
+
+# -- incremental sweep memos -------------------------------------------------
+#
+# With ``incremental=True`` the driver memoizes whole cells and summaries in
+# the artifact cache, keyed by the workload's *module fingerprint* (lowered
+# IR content) plus its data sets and the sweep configuration.  After an
+# edit, only the cells of workloads whose function set changed miss; warm
+# cells are served without compiling, profiling, or analyzing anything —
+# the memoized values are deterministic functions of the key, except the
+# carried wall-clock ``analysis_time``, which rendered artifacts already
+# exclude.  Warm cells also skip checker re-runs (their artifacts were
+# checked when first computed).
+
+
+def _workload_module_fp(name: str, cache: ArtifactCache) -> str:
+    from ..frontend.fingerprint import module_fingerprint
+    from ..frontend.lower import compile_program
+
+    w = get_workload(name)
+    module = cache.memo(
+        KIND_MODULE,
+        content_key("module", w.source),
+        lambda: compile_program(w.source),
+    )
+    return module_fingerprint(module)
+
+
+def _workload_data_part(name: str) -> list:
+    w = get_workload(name)
+    return [
+        list(w.train_args),
+        {k: list(v) for k, v in w.train_inputs.items()},
+        list(w.ref_args),
+        {k: list(v) for k, v in w.ref_inputs.items()},
+    ]
+
+
+def _incremental_cell(
+    name: str,
+    ca: float,
+    cr: float,
+    cache_dir: Optional[str],
+    check: bool,
+    dataflow_engine: str,
+    wz_engine: str,
+) -> tuple[SweepCell, Optional[WorkloadRun]]:
+    cache = _obtain_cache(name, cache_dir)
+    key = content_key(
+        "sweep-cell",
+        _workload_module_fp(name, cache),
+        _workload_data_part(name),
+        ca,
+        cr,
+        dataflow_engine,
+        wz_engine,
+    )
+    cell = cache.memo(
+        KIND_SWEEP_CELL,
+        key,
+        lambda: _cell_from_run(
+            _obtain_run(
+                name, cache_dir, check, dataflow_engine, wz_engine,
+                incremental=True,
+            ),
+            ca,
+            cr,
+        ),
+    )
+    return cell, _RUN_TABLE.get((name, cache_dir, check, dataflow_engine, wz_engine))
+
+
+def _incremental_summary(
+    name: str,
+    default_ca: float,
+    cr: float,
+    cache_dir: Optional[str],
+    check: bool,
+    dataflow_engine: str,
+    wz_engine: str,
+    lint: bool,
+    min_mass: Optional[float],
+) -> tuple[WorkloadSummary, Optional[list], Optional[WorkloadRun]]:
+    cache = _obtain_cache(name, cache_dir)
+    key = content_key(
+        "sweep-summary",
+        _workload_module_fp(name, cache),
+        _workload_data_part(name),
+        default_ca,
+        cr,
+        dataflow_engine,
+        wz_engine,
+        bool(lint),
+        min_mass,
+    )
+
+    def compute():
+        run = _obtain_run(
+            name, cache_dir, check, dataflow_engine, wz_engine,
+            incremental=True,
+        )
+        summary = _summary_from_run(run, default_ca, cr)
+        lint_dicts = (
+            [d.to_dict() for d in run.lint(default_ca, cr, min_mass)]
+            if lint
+            else None
+        )
+        return summary, lint_dicts
+
+    summary, lint_dicts = cache.memo(KIND_SWEEP_SUMMARY, key, compute)
+    return (
+        summary,
+        lint_dicts,
+        _RUN_TABLE.get((name, cache_dir, check, dataflow_engine, wz_engine)),
+    )
 
 
 def _cell_job(
@@ -338,17 +483,25 @@ def _cell_job(
     check: bool = False,
     dataflow_engine: str = "auto",
     wz_engine: str = "auto",
+    incremental: bool = False,
 ) -> tuple:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.cell", workload=name, ca=ca):
-        run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
-        cell = _cell_from_run(run, ca, cr)
+        if incremental:
+            cell, run = _incremental_cell(
+                name, ca, cr, cache_dir, check, dataflow_engine, wz_engine
+            )
+            stats = _obtain_cache(name, cache_dir).stats
+        else:
+            run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
+            cell = _cell_from_run(run, ca, cr)
+            stats = _stats_of(run)
     return (
         "cell",
         name,
         ca,
         cell,
-        _stats_delta(name, cache_dir, run),
+        _stats_delta(name, cache_dir, stats),
         _diag_delta(name, cache_dir, run),
         _obs_delta(active),
     )
@@ -365,24 +518,33 @@ def _summary_job(
     wz_engine: str = "auto",
     lint: bool = False,
     min_mass: Optional[float] = None,
+    incremental: bool = False,
 ) -> tuple:
     active = _ensure_worker_obs(obs)
     with get_tracer().span("driver.summary", workload=name):
-        run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
-        summary = _summary_from_run(run, default_ca, cr)
-        # Analyzer findings ride on the summary job (exactly one per
-        # workload), shipped as dicts across the process boundary; the
-        # parent's mapping is therefore the same for any pool width.
-        lint_dicts = None
-        if lint:
-            lint_dicts = [
-                d.to_dict() for d in run.lint(default_ca, cr, min_mass)
-            ]
+        if incremental:
+            summary, lint_dicts, run = _incremental_summary(
+                name, default_ca, cr, cache_dir, check,
+                dataflow_engine, wz_engine, lint, min_mass,
+            )
+            stats = _obtain_cache(name, cache_dir).stats
+        else:
+            run = _obtain_run(name, cache_dir, check, dataflow_engine, wz_engine)
+            summary = _summary_from_run(run, default_ca, cr)
+            # Analyzer findings ride on the summary job (exactly one per
+            # workload), shipped as dicts across the process boundary; the
+            # parent's mapping is therefore the same for any pool width.
+            lint_dicts = None
+            if lint:
+                lint_dicts = [
+                    d.to_dict() for d in run.lint(default_ca, cr, min_mass)
+                ]
+            stats = _stats_of(run)
     return (
         "summary",
         name,
         summary,
-        _stats_delta(name, cache_dir, run),
+        _stats_delta(name, cache_dir, stats),
         _diag_delta(name, cache_dir, run),
         _obs_delta(active),
         lint_dicts,
@@ -440,6 +602,7 @@ class ParallelDriver:
         wz_engine: str = "auto",
         lint: bool = False,
         min_mass: Optional[float] = None,
+        incremental: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -458,6 +621,11 @@ class ParallelDriver:
         self.lint = lint
         #: Analyzer mass threshold (``None`` = the analyzer default).
         self.min_mass = min_mass
+        #: Memoize whole sweep cells/summaries by module fingerprint: after
+        #: an edit, only cells whose workload's function set changed re-run.
+        #: Warm cells skip checker re-runs (artifacts were checked when
+        #: first computed) — see ``docs/INCREMENTAL.md``.
+        self.incremental = incremental
 
     def sweep(
         self,
@@ -572,6 +740,9 @@ class ParallelDriver:
     # -- serial fallback ---------------------------------------------------
 
     def _sweep_serial(self, result: SweepResult) -> None:
+        if self.incremental:
+            self._sweep_serial_incremental(result)
+            return
         for name in result.workloads:
             with get_tracer().span("driver.workload", workload=name):
                 run = make_run(
@@ -593,6 +764,39 @@ class ParallelDriver:
             result.cache_stats.merge(_stats_of(run))
             result.diagnostics.extend(run.checker.diagnostics)
 
+    def _sweep_serial_incremental(self, result: SweepResult) -> None:
+        """Serial sweep over the per-workload cell/summary memos.
+
+        Stats and diagnostics are reported as *deltas* (like pool workers)
+        because the per-process cache and run tables persist across sweeps
+        — a second sweep in the same process must not re-report them.
+        """
+        for name in result.workloads:
+            with get_tracer().span("driver.workload", workload=name):
+                run = None
+                for ca in result.ca_values:
+                    cell, run = _incremental_cell(
+                        name, ca, self.cr, self.cache_dir, self.check,
+                        self.dataflow_engine, self.wz_engine,
+                    )
+                    result.cells[(name, ca)] = cell
+                summary, lint_dicts, run = _incremental_summary(
+                    name, self.default_ca, self.cr, self.cache_dir,
+                    self.check, self.dataflow_engine, self.wz_engine,
+                    self.lint, self.min_mass,
+                )
+                result.summaries[name] = summary
+                if lint_dicts is not None:
+                    result.lint_findings[name] = tuple(
+                        Diagnostic.from_dict(d) for d in lint_dicts
+                    )
+            stats = _obtain_cache(name, self.cache_dir).stats
+            result.cache_stats.merge(_stats_delta(name, self.cache_dir, stats))
+            for d in Diagnostics.from_dicts(
+                _diag_delta(name, self.cache_dir, run)
+            ):
+                result.diagnostics.add(d)
+
     # -- process-pool fan-out ----------------------------------------------
 
     def _sweep_parallel(self, result: SweepResult) -> None:
@@ -610,6 +814,7 @@ class ParallelDriver:
                 pool.submit(
                     _cell_job, name, ca, self.cr, self.cache_dir, obs,
                     self.check, self.dataflow_engine, self.wz_engine,
+                    self.incremental,
                 )
                 for name in result.workloads
                 for ca in result.ca_values
@@ -627,6 +832,7 @@ class ParallelDriver:
                     self.wz_engine,
                     self.lint,
                     self.min_mass,
+                    self.incremental,
                 )
                 for name in result.workloads
             ]

@@ -9,6 +9,8 @@ from .serialize import (
     ProfileFormatError,
     dump_profiles,
     dumps_profiles,
+    fingerprint_profile,
+    fingerprint_profiles,
     load_profiles,
     loads_profiles,
 )
@@ -19,6 +21,8 @@ __all__ = [
     "coverage_of",
     "dump_profiles",
     "dumps_profiles",
+    "fingerprint_profile",
+    "fingerprint_profiles",
     "load_profiles",
     "loads_profiles",
     "ProfileFormatError",

@@ -67,6 +67,23 @@ def fingerprint_profiles(profiles: Mapping[str, PathProfile]) -> str:
     return hashlib.sha256(dumps_profiles(ordered).encode()).hexdigest()
 
 
+def fingerprint_profile(profile: PathProfile) -> str:
+    """A stable content digest of a *single* routine's profile.
+
+    Unlike :func:`fingerprint_profiles`, the routine's name is not part of
+    the digest: the fingerprint identifies the observed path multiset
+    alone.  The incremental pipeline keys per-function artifacts
+    (automata, HPGs, qualified dataflow, lint) on
+    ``(function fingerprint, profile fingerprint, ...)`` so an edit to one
+    function leaves every other function's artifacts warm even though the
+    whole-module profiling run was re-executed.
+    """
+    import hashlib
+
+    body = dumps_profiles({"__routine__": profile})
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
 def load_profiles(source: TextIO) -> dict[str, PathProfile]:
     """Parse the text format back into per-routine profiles."""
     lines = source.read().splitlines()

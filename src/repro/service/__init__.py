@@ -17,10 +17,12 @@ invocation (see ``docs/SERVICE.md``):
 
 from .api import (
     AnalysisRequest,
+    DiffRequest,
     LintRequest,
     SweepRequest,
     analysis_payload,
     comparable_payload,
+    execute_diff,
     execute_lint,
     execute_request,
     execute_sweep,
@@ -32,12 +34,14 @@ from .daemon import AnalysisService, make_server
 __all__ = [
     "AnalysisRequest",
     "AnalysisService",
+    "DiffRequest",
     "LintRequest",
     "ServiceClient",
     "ServiceError",
     "SweepRequest",
     "analysis_payload",
     "comparable_payload",
+    "execute_diff",
     "execute_lint",
     "execute_request",
     "execute_sweep",

@@ -311,6 +311,154 @@ class LintRequest:
 
 
 @dataclass(frozen=True)
+class DiffRequest:
+    """One incremental re-analysis: the ``/v1/diff`` body.
+
+    ``target``/``source`` name the *old* version exactly like the other
+    request kinds; the *new* version is either ``new_source`` (inline
+    MiniC) or — with ``seed_edit`` — the old source with the deterministic
+    one-function :func:`~repro.pipeline.incremental.seeded_edit` applied
+    (the CI smoke / benchmark workload).  The differential report is
+    deterministic outside ``timings``, so a daemon submission and a direct
+    ``repro diff`` agree bit-for-bit; the daemon coalesces concurrent
+    submissions by the fingerprint of the (old, new) pair."""
+
+    target: Optional[str] = None
+    source: Optional[str] = None
+    #: The edited program version.  Mutually exclusive with ``seed_edit``.
+    new_source: Optional[str] = None
+    #: Apply the deterministic seeded one-function edit to the old source.
+    seed_edit: bool = False
+    #: Restrict the seeded edit to this function (default: the first).
+    edit_function: Optional[str] = None
+    name: str = "inline"
+    args: tuple[int, ...] = ()
+    inputs: Mapping[str, Sequence[int]] = field(default_factory=dict)
+    ref_args: Optional[tuple[int, ...]] = None
+    ref_inputs: Optional[Mapping[str, Sequence[int]]] = None
+    engine: str = "compiled"
+    dataflow_engine: str = "auto"
+    wz_engine: str = "auto"
+    ca: float = DEFAULT_CA
+    cr: float = DEFAULT_CR
+    min_mass: float = 0.5
+    #: Run the pipeline checkers on both versions and diff their findings.
+    check: bool = False
+
+    kind = "diff"
+
+    def __post_init__(self) -> None:
+        if (self.target is None) == (self.source is None):
+            raise ValueError("give exactly one of 'target' or 'source'")
+        if (self.new_source is None) == (not self.seed_edit):
+            raise ValueError(
+                "give exactly one of 'new_source' or 'seed_edit'"
+            )
+        if self.engine not in _ENGINES:
+            raise ValueError(f"bad engine {self.engine!r}; choose from {_ENGINES}")
+        if self.dataflow_engine not in DATAFLOW_ENGINES:
+            raise ValueError(
+                f"bad dataflow_engine {self.dataflow_engine!r}; "
+                f"choose from {DATAFLOW_ENGINES}"
+            )
+        if self.wz_engine not in WZ_ENGINES:
+            raise ValueError(
+                f"bad wz_engine {self.wz_engine!r}; choose from {WZ_ENGINES}"
+            )
+        if not 0.0 <= float(self.ca) <= 1.0:
+            raise ValueError(f"ca must be in [0, 1], got {self.ca}")
+        if not 0.0 <= float(self.cr) <= 1.0:
+            raise ValueError(f"cr must be in [0, 1], got {self.cr}")
+        if not 0.0 <= float(self.min_mass) <= 1.0:
+            raise ValueError(
+                f"min_mass must be in [0, 1], got {self.min_mass}"
+            )
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "DiffRequest":
+        if not isinstance(d, Mapping):
+            raise ValueError("request body must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        for key in ("target", "source", "new_source", "edit_function"):
+            value = d.get(key)
+            if value is not None and not isinstance(value, str):
+                raise ValueError(f"'{key}' must be a string")
+        ref_args = d.get("ref_args")
+        ref_inputs = d.get("ref_inputs")
+        return cls(
+            target=d.get("target"),
+            source=d.get("source"),
+            new_source=d.get("new_source"),
+            seed_edit=bool(d.get("seed_edit", False)),
+            edit_function=d.get("edit_function"),
+            name=str(d.get("name", "inline")),
+            args=_int_tuple(d.get("args", ()), "args"),
+            inputs=_inputs_map(d.get("inputs"), "inputs"),
+            ref_args=None if ref_args is None else _int_tuple(ref_args, "ref_args"),
+            ref_inputs=None if ref_inputs is None else _inputs_map(ref_inputs, "ref_inputs"),
+            engine=str(d.get("engine", "compiled")),
+            dataflow_engine=str(d.get("dataflow_engine", "auto")),
+            wz_engine=str(d.get("wz_engine", "auto")),
+            ca=float(d.get("ca", DEFAULT_CA)),
+            cr=float(d.get("cr", DEFAULT_CR)),
+            min_mass=float(d.get("min_mass", 0.5)),
+            check=bool(d.get("check", False)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "source": self.source,
+            "new_source": self.new_source,
+            "seed_edit": self.seed_edit,
+            "edit_function": self.edit_function,
+            "name": self.name,
+            "args": list(self.args),
+            "inputs": {k: list(v) for k, v in sorted(self.inputs.items())},
+            "ref_args": None if self.ref_args is None else list(self.ref_args),
+            "ref_inputs": (
+                None
+                if self.ref_inputs is None
+                else {k: list(v) for k, v in sorted(self.ref_inputs.items())}
+            ),
+            "engine": self.engine,
+            "dataflow_engine": self.dataflow_engine,
+            "wz_engine": self.wz_engine,
+            "ca": self.ca,
+            "cr": self.cr,
+            "min_mass": self.min_mass,
+            "check": self.check,
+        }
+
+    def fingerprint(self) -> str:
+        return content_key("service-diff", self.to_dict())
+
+    def label(self) -> str:
+        return "diff:" + (self.target if self.target is not None else self.name)
+
+    def validate_target(self) -> None:
+        if self.new_source is not None and not self.new_source.strip():
+            raise ValueError("'new_source' is empty")
+        if self.source is not None:
+            if not self.source.strip():
+                raise ValueError("inline 'source' is empty")
+            return
+        from ..workloads.generate import parse_genspec
+        from ..workloads.matrix import TARGET_NAMES
+
+        if self.target.startswith("gen:"):
+            parse_genspec(self.target)
+        elif self.target not in TARGET_NAMES:
+            raise ValueError(
+                f"unknown target {self.target!r}; choose from {TARGET_NAMES} "
+                f"or a gen:key=value,... spec"
+            )
+
+
+@dataclass(frozen=True)
 class SweepRequest:
     """A figure/table coverage sweep, batched onto the
     :class:`~repro.pipeline.driver.ParallelDriver` pool."""
@@ -374,7 +522,9 @@ class SweepRequest:
 # ---------------------------------------------------------------------------
 
 
-def resolve_workload(request: "AnalysisRequest | LintRequest") -> Workload:
+def resolve_workload(
+    request: "AnalysisRequest | LintRequest | DiffRequest",
+) -> Workload:
     """The request's program as a :class:`Workload` (named targets resolve
     through the matrix registry; inline source becomes an ad-hoc one)."""
     if request.target is not None:
@@ -518,6 +668,47 @@ def execute_lint(
         "findings": [d.to_dict() for d in findings],
         "counts": counts,
         "timings": {k: round(v, 6) for k, v in run.timings.items()},
+    }
+
+
+def execute_diff(
+    request: DiffRequest, cache: Optional[ArtifactCache] = None
+) -> dict:
+    """Run one incremental old→new re-analysis for a request.
+
+    The wrapped differential report is deterministic (its own ``timings``
+    section is hoisted to the payload's top-level ``timings`` key), so the
+    daemon and a direct ``repro diff`` agree bit-for-bit on
+    :func:`comparable_payload`."""
+    import dataclasses as _dc
+
+    from ..pipeline.incremental import diff_workloads, seeded_edit
+
+    old = resolve_workload(request)
+    new_source = (
+        request.new_source
+        if request.new_source is not None
+        else seeded_edit(old.source, request.edit_function)
+    )
+    new = _dc.replace(old, source=new_source)
+    report = diff_workloads(
+        old,
+        new,
+        cache,
+        ca=request.ca,
+        cr=request.cr,
+        min_mass=request.min_mass,
+        engine=request.engine,
+        check=request.check,
+        dataflow_engine=request.dataflow_engine,
+        wz_engine=request.wz_engine,
+    )
+    return {
+        "schema": PAYLOAD_SCHEMA,
+        "kind": "diff",
+        "workload": report["workload"],
+        "report": {k: v for k, v in report.items() if k != "timings"},
+        "timings": report["timings"],
     }
 
 

@@ -15,7 +15,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Mapping, Optional, Union
 
-from .api import AnalysisRequest, LintRequest, SweepRequest
+from .api import AnalysisRequest, DiffRequest, LintRequest, SweepRequest
 
 
 class ServiceError(RuntimeError):
@@ -113,6 +113,12 @@ class ServiceClient:
         body = request.to_dict() if isinstance(request, SweepRequest) else dict(request)
         return self._request("POST", "/v1/sweep", body)[2]
 
+    def submit_diff(
+        self, request: Union[DiffRequest, Mapping[str, Any]]
+    ) -> dict:
+        body = request.to_dict() if isinstance(request, DiffRequest) else dict(request)
+        return self._request("POST", "/v1/diff", body)[2]
+
     # -- convenience -------------------------------------------------------
 
     def wait(
@@ -155,6 +161,14 @@ class ServiceClient:
         timeout: float = 600.0,
     ) -> dict:
         return self.wait(self.submit_sweep(request)["job"], timeout)["result"]
+
+    def diff(
+        self,
+        request: Union[DiffRequest, Mapping[str, Any]],
+        timeout: float = 300.0,
+    ) -> dict:
+        """Submit-and-wait; returns the differential report payload."""
+        return self.wait(self.submit_diff(request)["job"], timeout)["result"]
 
     def wait_ready(self, timeout: float = 10.0, poll: float = 0.05) -> dict:
         """Retry ``/healthz`` until the daemon accepts connections — the

@@ -26,6 +26,7 @@ GET       ``/metrics``       Prometheus text exposition (format 0.0.4)
 POST      ``/v1/analyze``    submit an :class:`AnalysisRequest` → 202 + job
 POST      ``/v1/lint``       submit a :class:`LintRequest` → 202 + job
 POST      ``/v1/sweep``      submit a :class:`SweepRequest` → 202 + job
+POST      ``/v1/diff``       submit a :class:`DiffRequest` → 202 + job
 GET       ``/v1/jobs``       summaries of every known job
 GET       ``/v1/jobs/<id>``  one job, including its result when done
 ========  =================  ==============================================
@@ -54,14 +55,16 @@ from ..obs import (
 from ..pipeline.cache import ArtifactCache
 from .api import (
     AnalysisRequest,
+    DiffRequest,
     LintRequest,
     SweepRequest,
+    execute_diff,
     execute_lint,
     execute_request,
     execute_sweep,
 )
 
-Request = Union[AnalysisRequest, LintRequest, SweepRequest]
+Request = Union[AnalysisRequest, LintRequest, DiffRequest, SweepRequest]
 
 #: Job lifecycle states, in order.
 QUEUED, RUNNING, DONE, ERROR = "queued", "running", "done", "error"
@@ -240,6 +243,8 @@ class AnalysisService:
                         job.result = execute_request(job.request, self.cache)
                     elif isinstance(job.request, LintRequest):
                         job.result = execute_lint(job.request, self.cache)
+                    elif isinstance(job.request, DiffRequest):
+                        job.result = execute_diff(job.request, self.cache)
                     else:
                         job.result = execute_sweep(job.request, self.cache_dir)
             job.state = DONE
@@ -384,6 +389,8 @@ class ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
             parse = LintRequest.from_dict
         elif path == "/v1/sweep":
             parse = SweepRequest.from_dict
+        elif path == "/v1/diff":
+            parse = DiffRequest.from_dict
         else:
             self._error(404, f"no such endpoint {path!r}")
             return

@@ -193,16 +193,100 @@ def test_dataflow_engine_is_part_of_the_qualified_key(tmp_path):
         get_workload(WORKLOAD), cache, dataflow_engine="compiled"
     )
     first.qualified(DEFAULT_CA, DEFAULT_CR)
-    assert cache.stats.misses.get("qualified", 0) == 1
+    fn_count = len(first.module.functions)
+    assert cache.stats.misses.get("qualified", 0) == fn_count
 
     second = CachedWorkloadRun(
         get_workload(WORKLOAD), ArtifactCache(tmp_path), dataflow_engine="generic"
     )
     second.qualified(DEFAULT_CA, DEFAULT_CR)
-    assert second.cache.stats.misses.get("qualified", 0) == 1  # not a hit
+    assert second.cache.stats.misses.get("qualified", 0) == fn_count  # no hits
 
     third = CachedWorkloadRun(
         get_workload(WORKLOAD), ArtifactCache(tmp_path), dataflow_engine="compiled"
     )
     third.qualified(DEFAULT_CA, DEFAULT_CR)
-    assert third.cache.stats.hits.get("qualified", 0) == 1  # same engine hits
+    assert third.cache.stats.hits.get("qualified", 0) == fn_count  # same engine hits
+
+
+# -- bounded memory layer --------------------------------------------------
+
+
+def test_memory_layer_is_bounded_lru():
+    """The in-process layer holds at most ``memory_entries`` artifacts, so
+    long sweeps no longer keep every artifact they ever touched live."""
+    cache = ArtifactCache(None, memory_entries=4)
+    for i in range(10):
+        cache.memo("module", content_key("lru", i), lambda i=i: i)
+    assert len(cache._memory) == 4
+    assert cache.stats.evictions.get("module", 0) == 6
+    # The most recently used entries survive...
+    hits_before = cache.stats.hits.get("module", 0)
+    assert cache.memo("module", content_key("lru", 9), lambda: "X") == 9
+    assert cache.stats.hits.get("module", 0) == hits_before + 1
+    # ...and an evicted entry recomputes (no disk layer to fall back on).
+    assert cache.memo("module", content_key("lru", 0), lambda: "recomputed") == "recomputed"
+
+
+def test_lru_eviction_falls_back_to_disk(tmp_path):
+    cache = ArtifactCache(tmp_path, memory_entries=2)
+    keys = [content_key("lru-disk", i) for i in range(5)]
+    for i, key in enumerate(keys):
+        cache.memo("module", key, lambda i=i: [i])
+    assert len(cache._memory) == 2
+    # Evicted from memory, but the disk artifact still serves a hit — the
+    # value round-trips, it is just no longer pinned in RAM.
+    assert cache.memo("module", keys[0], lambda: "MISS") == [0]
+    assert cache.stats.hits.get("module", 0) == 1
+
+
+def test_lru_touch_refreshes_recency():
+    cache = ArtifactCache(None, memory_entries=2)
+    a, b, c = (content_key("touch", x) for x in "abc")
+    cache.memo("module", a, lambda: "A")
+    cache.memo("module", b, lambda: "B")
+    cache.memo("module", a, lambda: "?")  # touch a: b is now the LRU entry
+    cache.memo("module", c, lambda: "C")  # evicts b, not a
+    assert cache.memo("module", a, lambda: "RECOMPUTED") == "A"
+    assert cache.memo("module", b, lambda: "RECOMPUTED") == "RECOMPUTED"
+
+
+def test_memory_entries_must_be_positive():
+    with pytest.raises(ValueError):
+        ArtifactCache(None, memory_entries=0)
+    # None disables the bound entirely.
+    unbounded = ArtifactCache(None, memory_entries=None)
+    for i in range(600):
+        unbounded.memo("module", content_key("unbounded", i), lambda i=i: i)
+    assert len(unbounded._memory) == 600
+    assert unbounded.stats.evictions == {}
+
+
+# -- canonical key stability -----------------------------------------------
+
+
+def test_content_key_is_stable_across_processes():
+    """Cache keys are part of the on-disk contract: this digest is pinned
+    so a canonicalization change (which would orphan every cached
+    artifact) fails loudly instead of silently going cold."""
+    key = content_key(
+        "pin",
+        float("nan"),
+        float("inf"),
+        float("-inf"),
+        b"\x00\xff",
+        {"b": 2, "a": [1, True, None, 0.5]},
+    )
+    assert key == "204dad8b213c7f00fecd651b575370c264ec333e8c188ae6687d8c596424407f"
+
+
+def test_content_key_distinguishes_lookalike_values():
+    # Non-finite floats are tagged, not collapsed to null.
+    assert content_key("k", float("nan")) != content_key("k", None)
+    assert content_key("k", float("inf")) != content_key("k", float("-inf"))
+    assert content_key("k", float("nan")) == content_key("k", float("nan"))
+    # Bytes are tagged by content, and differ from their hex spelling.
+    assert content_key("k", b"\x01") == content_key("k", b"\x01")
+    assert content_key("k", b"\x01") != content_key("k", "01")
+    # bool is not collapsed into int.
+    assert content_key("k", True) != content_key("k", 1)
